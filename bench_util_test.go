@@ -1,0 +1,43 @@
+package repro_test
+
+import (
+	"testing"
+
+	"repro/internal/isa"
+	"repro/internal/programs"
+)
+
+// mustAsm assembles a workload or fails the benchmark.
+func mustAsm(b *testing.B, w *programs.Workload) *isa.Program {
+	b.Helper()
+	p, err := isa.Assemble(w.Source)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return p
+}
+
+// newFlatRAM loads a program into a fresh flat memory.
+func newFlatRAM(p *isa.Program) *isa.FlatRAM {
+	ram := &isa.FlatRAM{}
+	p.LoadInto(ram)
+	return ram
+}
+
+// newCore returns a core reset to the program entry with a stack.
+func newCore(ram *isa.FlatRAM, entry uint16) *isa.Core {
+	c := &isa.Core{Bus: ram}
+	c.Reset(entry)
+	c.R[isa.SP] = 0xff00
+	return c
+}
+
+// sysStop returns a SYS handler that halts on workload completion.
+func sysStop(done *bool) func(code uint16, c *isa.Core) {
+	return func(code uint16, c *isa.Core) {
+		if code == programs.SysDone {
+			*done = true
+			c.Halted = true
+		}
+	}
+}

@@ -1,0 +1,222 @@
+// Command ehsim runs a single transiently-powered scenario from the
+// command line: pick a workload, a supply, a runtime, and a storage size;
+// get completions, snapshot counts, energy figures and (optionally) a CSV
+// trace of V_CC.
+//
+// Usage:
+//
+//	ehsim -workload fft64 -supply square -runtime hibernus -c 10u -dur 3
+//
+// Examples:
+//
+//	ehsim -workload sieve3000 -supply square -runtime none
+//	ehsim -workload fft64 -supply wind -runtime hibernus-pn -c 330u
+//	ehsim -workload crc256 -supply sine20 -runtime quickrecall -trace vcc.csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/lab"
+	"repro/internal/mcu"
+	"repro/internal/powerneutral"
+	"repro/internal/programs"
+	"repro/internal/source"
+	"repro/internal/trace"
+	"repro/internal/transient"
+	"repro/internal/units"
+)
+
+func main() {
+	workload := flag.String("workload", "fft64", "fft64|fft256|crc256|sieve3000|fib24")
+	supply := flag.String("supply", "square", "square|sine20|wind|solar|rf|dc")
+	runtimeName := flag.String("runtime", "hibernus", "none|hibernus|hibernus++|mementos|quickrecall|hibernus-pn")
+	capFlag := flag.String("c", "10u", "rail capacitance, e.g. 10u, 470u, 6m")
+	duration := flag.Float64("dur", 3.0, "simulated seconds")
+	tracePath := flag.String("trace", "", "write a V_CC/freq/mode CSV trace to this file")
+	flag.Parse()
+
+	c, err := parseCap(*capFlag)
+	if err != nil {
+		fail(err)
+	}
+
+	unified := *runtimeName == "quickrecall"
+	layout := programs.DefaultLayout()
+	params := mcu.DefaultParams()
+	if unified {
+		layout = programs.UnifiedNVLayout()
+		params = mcu.UnifiedNVParams()
+	}
+
+	w, err := pickWorkload(*workload, layout)
+	if err != nil {
+		fail(err)
+	}
+	vs, err := pickSupply(*supply)
+	if err != nil {
+		fail(err)
+	}
+	mk, err := pickRuntime(*runtimeName, c)
+	if err != nil {
+		fail(err)
+	}
+
+	s := lab.Setup{
+		Workload:    w,
+		Params:      params,
+		MakeRuntime: mk,
+		VSource:     vs,
+		C:           c,
+		LeakR:       50e3,
+		Duration:    *duration,
+	}
+	var rec *trace.Recorder
+	if *tracePath != "" {
+		rec = trace.NewRecorder()
+		s.Recorder = rec
+		s.RecordInterval = 1e-3
+	}
+
+	res, err := lab.Run(s)
+	if err != nil {
+		fail(err)
+	}
+
+	fmt.Printf("scenario: %s on %s, runtime=%s, C=%s, %gs\n",
+		w.Name, *supply, *runtimeName, units.Format(c, "F"), *duration)
+	fmt.Printf("  completions:        %d (wrong: %d)\n", res.Completions, res.WrongResults)
+	fmt.Printf("  throughput:         %.2f ops/s\n", res.Throughput(*duration))
+	if res.Completions > 0 {
+		fmt.Printf("  energy/completion:  %s\n", units.Format(res.EnergyPerCompletion(), "J"))
+		fmt.Printf("  first completion:   %s\n", units.FormatSeconds(res.FirstCompletion))
+	}
+	st := res.Stats
+	fmt.Printf("  snapshots:          %d started, %d done, %d aborted\n",
+		st.SavesStarted, st.SavesDone, st.SavesAborted)
+	fmt.Printf("  restores/wakes:     %d / %d\n", st.Restores, st.WakeNoRestore)
+	fmt.Printf("  power cycles:       %d brown-outs, %d cold starts\n", st.BrownOuts, st.ColdStarts)
+	fmt.Printf("  time split:         active %.2fs, sleep %.2fs, save %.2fs, off %.2fs\n",
+		st.ActiveSec, st.SleepSec, st.SaveSec, st.OffSec)
+	fmt.Printf("  energy:             harvested %s, consumed %s\n",
+		units.Format(res.HarvestedJ, "J"), units.Format(res.ConsumedJ, "J"))
+	if res.RuntimeErr != nil {
+		fmt.Printf("  guest fault:        %v\n", res.RuntimeErr)
+	}
+
+	if rec != nil {
+		f, err := os.Create(*tracePath)
+		if err != nil {
+			fail(err)
+		}
+		defer f.Close()
+		if err := rec.WriteCSV(f); err != nil {
+			fail(err)
+		}
+		fmt.Printf("  trace written to %s\n", *tracePath)
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintf(os.Stderr, "ehsim: %v\n", err)
+	os.Exit(1)
+}
+
+// parseCap parses values like "10u", "470u", "6m", "0.01".
+func parseCap(s string) (float64, error) {
+	mult := 1.0
+	switch {
+	case strings.HasSuffix(s, "u"):
+		mult, s = 1e-6, strings.TrimSuffix(s, "u")
+	case strings.HasSuffix(s, "m"):
+		mult, s = 1e-3, strings.TrimSuffix(s, "m")
+	case strings.HasSuffix(s, "n"):
+		mult, s = 1e-9, strings.TrimSuffix(s, "n")
+	}
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil || v <= 0 {
+		return 0, fmt.Errorf("invalid capacitance %q", s)
+	}
+	return v * mult, nil
+}
+
+func pickWorkload(name string, l programs.Layout) (*programs.Workload, error) {
+	switch name {
+	case "fft64":
+		return programs.FFT(64, l), nil
+	case "fft256":
+		return programs.FFT(256, l), nil
+	case "crc256":
+		return programs.CRC16(256, l), nil
+	case "sieve3000":
+		return programs.Sieve(3000, l), nil
+	case "fib24":
+		return programs.Fib(24, l), nil
+	default:
+		return nil, fmt.Errorf("unknown workload %q", name)
+	}
+}
+
+func pickSupply(name string) (source.VoltageSource, error) {
+	switch name {
+	case "square":
+		return &source.SquareWaveVoltage{High: 3.3, OnTime: 0.004, OffTime: 0.150, Rs: 100}, nil
+	case "sine20":
+		return source.HalfWave(&source.SignalGenerator{Amplitude: 4.5, Frequency: 20, Rs: 100}, 0.2), nil
+	case "wind":
+		t := &source.WindTurbine{PeakVoltage: 4.5, ACFrequency: 8, GustStart: 0.3,
+			GustRise: 0.5, GustHold: 2.2, GustFall: 0.8, Rs: 150}
+		return source.HalfWave(t, 0.2), nil
+	case "dc":
+		return &source.ConstantVoltage{V: 3.3, Rs: 100}, nil
+	case "solar":
+		// Indoor PV behind a boost converter: present the power source as
+		// a soft voltage source via Thevenin equivalent at ~1 mW.
+		return &source.ConstantVoltage{V: 3.0, Rs: 3000}, nil
+	case "rf":
+		gated := &source.GatedVoltage{
+			Source:  &source.ConstantVoltage{V: 3.3, Rs: 400},
+			Windows: [][2]float64{},
+		}
+		// RF illumination: 300 ms bursts every second.
+		for t := 0.0; t < 3600; t += 1.0 {
+			gated.Windows = append(gated.Windows, [2]float64{t, t + 0.3})
+		}
+		return gated, nil
+	default:
+		return nil, fmt.Errorf("unknown supply %q", name)
+	}
+}
+
+func pickRuntime(name string, c float64) (func(d *mcu.Device) mcu.Runtime, error) {
+	switch name {
+	case "none":
+		return nil, nil
+	case "hibernus":
+		return func(d *mcu.Device) mcu.Runtime {
+			return transient.NewHibernus(d, c, 1.1, 0.35)
+		}, nil
+	case "hibernus++":
+		return func(d *mcu.Device) mcu.Runtime {
+			return transient.NewHibernusPP(d)
+		}, nil
+	case "mementos":
+		return func(d *mcu.Device) mcu.Runtime {
+			return transient.NewMementos(d, 2.2)
+		}, nil
+	case "quickrecall":
+		return func(d *mcu.Device) mcu.Runtime {
+			return transient.NewQuickRecall(d, c, 1.1, 0.35)
+		}, nil
+	case "hibernus-pn":
+		return func(d *mcu.Device) mcu.Runtime {
+			return powerneutral.NewHibernusPN(d, c, 1.1, 0.35, 3.0)
+		}, nil
+	default:
+		return nil, fmt.Errorf("unknown runtime %q", name)
+	}
+}

@@ -1,0 +1,146 @@
+// Command evm is the standalone EVM-16 toolchain driver: assemble a
+// source file, disassemble the image, or run a program on a flat memory
+// and print the final register state.
+//
+// Usage:
+//
+//	evm asm  prog.s            assemble; print segment map and symbols
+//	evm dis  prog.s            assemble then disassemble
+//	evm run  prog.s [-steps N] assemble and execute until HALT
+//	evm demo fft|crc|sieve|fib print a generated workload's source
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/isa"
+	"repro/internal/programs"
+	"repro/internal/units"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	cmd := os.Args[1]
+	args := os.Args[2:]
+	switch cmd {
+	case "asm":
+		withProgram(args, func(p *isa.Program, _ string) {
+			fmt.Printf("entry: 0x%04x\n", p.Entry)
+			fmt.Printf("size:  %d bytes in %d segments\n", p.Size(), len(p.Segments))
+			for _, seg := range p.Segments {
+				fmt.Printf("  segment 0x%04x..0x%04x (%d bytes)\n",
+					seg.Addr, int(seg.Addr)+len(seg.Data)-1, len(seg.Data))
+			}
+			fmt.Println("symbols:")
+			for name, addr := range p.Labels {
+				fmt.Printf("  %-20s 0x%04x\n", name, addr)
+			}
+		})
+	case "dis":
+		withProgram(args, func(p *isa.Program, _ string) {
+			ram := &isa.FlatRAM{}
+			p.LoadInto(ram)
+			for _, seg := range p.Segments {
+				for _, line := range isa.Disassemble(ram, seg.Addr, uint16(len(seg.Data))) {
+					fmt.Println(line)
+				}
+			}
+		})
+	case "run":
+		fs := flag.NewFlagSet("run", flag.ExitOnError)
+		steps := fs.Int("steps", 10_000_000, "maximum instructions")
+		rest := fs.Args()
+		if err := fs.Parse(args); err != nil {
+			fail(err)
+		}
+		rest = fs.Args()
+		if len(rest) != 1 {
+			usage()
+		}
+		src, err := os.ReadFile(rest[0])
+		if err != nil {
+			fail(err)
+		}
+		p, err := isa.Assemble(string(src))
+		if err != nil {
+			fail(err)
+		}
+		ram := &isa.FlatRAM{}
+		p.LoadInto(ram)
+		c := &isa.Core{Bus: ram}
+		c.Reset(p.Entry)
+		c.R[isa.SP] = 0xff00
+		c.Sys = func(code uint16, core *isa.Core) {
+			fmt.Printf("SYS #%d: r1=0x%04x r2=0x%04x\n", code, core.R[1], core.R[2])
+			if code == programs.SysDone {
+				core.Halted = true
+			}
+		}
+		n, err := c.Run(*steps)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("retired %d instructions, %d cycles (%s at 8 MHz)\n",
+			n, c.Cycles, units.FormatSeconds(float64(c.Cycles)/8e6))
+		for i, v := range c.R {
+			fmt.Printf("  r%-2d = 0x%04x (%d)\n", i, v, int16(v))
+		}
+		fmt.Printf("  pc  = 0x%04x  halted=%v\n", c.PC, c.Halted)
+	case "demo":
+		if len(args) != 1 {
+			usage()
+		}
+		l := programs.DefaultLayout()
+		var w *programs.Workload
+		switch args[0] {
+		case "fft":
+			w = programs.FFT(64, l)
+		case "crc":
+			w = programs.CRC16(64, l)
+		case "sieve":
+			w = programs.Sieve(1000, l)
+		case "fib":
+			w = programs.Fib(24, l)
+		default:
+			usage()
+		}
+		fmt.Printf("; workload %s — expected result 0x%04x in r1 at SYS #%d\n",
+			w.Name, w.Expected, programs.SysDone)
+		fmt.Print(w.Source)
+	default:
+		usage()
+	}
+}
+
+func withProgram(args []string, f func(p *isa.Program, path string)) {
+	if len(args) != 1 {
+		usage()
+	}
+	src, err := os.ReadFile(args[0])
+	if err != nil {
+		fail(err)
+	}
+	p, err := isa.Assemble(string(src))
+	if err != nil {
+		fail(err)
+	}
+	f(p, args[0])
+}
+
+func fail(err error) {
+	fmt.Fprintf(os.Stderr, "evm: %v\n", err)
+	os.Exit(1)
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage:
+  evm asm  prog.s            assemble; print segments and symbols
+  evm dis  prog.s            assemble then disassemble
+  evm run  prog.s [-steps N] assemble and execute until HALT/SYS done
+  evm demo fft|crc|sieve|fib print a generated workload's source`)
+	os.Exit(2)
+}

@@ -1,0 +1,84 @@
+// Command figures regenerates every figure and equation reproduction from
+// the paper: it runs each registered experiment, prints the textual report,
+// and (with -out) writes the recorded time series as CSV files suitable
+// for external plotting.
+//
+// Usage:
+//
+//	figures [-out DIR] [-only ID]
+//
+// With no flags it runs everything and prints to stdout.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	outDir := flag.String("out", "", "directory to write CSV traces and reports into")
+	only := flag.String("only", "", "run a single experiment by ID (e.g. fig7)")
+	flag.Parse()
+
+	exps := experiments.All()
+	if *only != "" {
+		e, ok := experiments.ByID(*only)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "figures: unknown experiment %q; available:\n", *only)
+			for _, e := range exps {
+				fmt.Fprintf(os.Stderr, "  %-8s %s\n", e.ID, e.Title)
+			}
+			os.Exit(2)
+		}
+		exps = []experiments.Experiment{e}
+	}
+
+	if *outDir != "" {
+		if err := os.MkdirAll(*outDir, 0o755); err != nil {
+			fmt.Fprintf(os.Stderr, "figures: %v\n", err)
+			os.Exit(1)
+		}
+	}
+
+	failed := 0
+	for _, e := range exps {
+		fmt.Printf("running %s: %s\n", e.ID, e.Title)
+		out, err := e.Run()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "figures: %s failed: %v\n", e.ID, err)
+			failed++
+			continue
+		}
+		fmt.Println(out.Render())
+		if *outDir == "" {
+			continue
+		}
+		report := filepath.Join(*outDir, e.ID+".txt")
+		if err := os.WriteFile(report, []byte(out.Render()), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "figures: write %s: %v\n", report, err)
+			failed++
+		}
+		if out.Recorder != nil {
+			csvPath := filepath.Join(*outDir, e.ID+".csv")
+			f, err := os.Create(csvPath)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "figures: %v\n", err)
+				failed++
+				continue
+			}
+			if err := out.Recorder.WriteCSV(f); err != nil {
+				fmt.Fprintf(os.Stderr, "figures: write %s: %v\n", csvPath, err)
+				failed++
+			}
+			f.Close()
+			fmt.Printf("wrote %s\n", csvPath)
+		}
+	}
+	if failed > 0 {
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,64 @@
+// Command taxonomy prints the paper's Fig. 2 classification table: every
+// reference system placed by storage autonomy, axis, adaptation class and
+// region.
+//
+// Usage:
+//
+//	taxonomy [-json]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/experiments"
+)
+
+func main() {
+	asJSON := flag.Bool("json", false, "emit the registry as JSON instead of a table")
+	flag.Parse()
+
+	if *asJSON {
+		type row struct {
+			Name         string  `json:"name"`
+			Ref          string  `json:"ref"`
+			StorageJ     float64 `json:"storage_j"`
+			AutonomySec  float64 `json:"autonomy_sec"`
+			Axis         string  `json:"axis"`
+			Adaptation   string  `json:"adaptation"`
+			PowerNeutral bool    `json:"power_neutral"`
+			EnergyDriven bool    `json:"energy_driven"`
+		}
+		var rows []row
+		for _, s := range core.ByAutonomy(core.Registry()) {
+			rows = append(rows, row{
+				Name: s.Name, Ref: s.Ref, StorageJ: s.StorageJ,
+				AutonomySec: s.AutonomySec(), Axis: s.Axis(),
+				Adaptation: s.Adaptation.String(), PowerNeutral: s.PowerNeutral,
+				EnergyDriven: s.EnergyDriven,
+			})
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rows); err != nil {
+			fmt.Fprintf(os.Stderr, "taxonomy: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	e, ok := experiments.ByID("fig2")
+	if !ok {
+		fmt.Fprintln(os.Stderr, "taxonomy: fig2 experiment missing")
+		os.Exit(1)
+	}
+	out, err := e.Run()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "taxonomy: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Print(out.Render())
+}

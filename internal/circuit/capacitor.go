@@ -1,0 +1,216 @@
+// Package circuit provides the electrical substrate between a harvesting
+// source and a computational load: storage elements (capacitors,
+// supercapacitors, batteries), power conversion (regulators, rectifiers are
+// in package source), voltage comparators with hysteresis, and a fixed-step
+// rail solver that ties them together.
+//
+// The paper's taxonomy is fundamentally about how much energy storage sits
+// on this rail (Fig. 2's horizontal axis) and whether the load tolerates
+// the rail collapsing (eq. 2). Every experiment therefore runs on a Rail:
+// a single storage node charged by a source and discharged by loads, with
+// comparators watching V_CC to drive the transient runtimes.
+package circuit
+
+import (
+	"math"
+
+	"repro/internal/units"
+)
+
+// Capacitor models the storage node capacitance: the sum of deliberate
+// storage (e.g. a 6 mF supercapacitor) and the parasitic/decoupling
+// capacitance that is always present (the paper's "practical minimum").
+type Capacitor struct {
+	C        float64 // farads
+	V        float64 // present voltage
+	ESR      float64 // equivalent series resistance, ohms (informational)
+	LeakR    float64 // parallel leakage resistance, ohms; 0 = no leakage
+	MaxV     float64 // overvoltage clamp (zener/protection); 0 = unclamped
+	ClampedJ float64 // cumulative energy shed by the clamp, joules
+}
+
+// NewCapacitor returns a capacitor of c farads starting at v0 volts.
+func NewCapacitor(c, v0 float64) *Capacitor {
+	return &Capacitor{C: c, V: v0}
+}
+
+// Energy returns the stored energy C·V²/2 in joules.
+func (c *Capacitor) Energy() float64 { return units.CapacitorEnergy(c.C, c.V) }
+
+// Step integrates the node for dt seconds with net current iNet flowing in
+// (amperes; negative discharges). Leakage is applied internally. The
+// voltage is clamped to [0, MaxV].
+func (c *Capacitor) Step(iNet, dt float64) {
+	if c.C <= 0 {
+		return
+	}
+	if c.LeakR > 0 {
+		iNet -= c.V / c.LeakR
+	}
+	before := c.V
+	c.V += iNet * dt / c.C
+	if c.V < 0 {
+		c.V = 0
+	}
+	if c.MaxV > 0 && c.V > c.MaxV {
+		c.ClampedJ += units.EnergyBetween(c.C, c.V, c.MaxV)
+		c.V = c.MaxV
+	}
+	_ = before
+}
+
+// DrawEnergy removes e joules from the capacitor instantaneously (used for
+// event-style consumption such as a packet transmission). It returns the
+// energy actually removed (limited by what is stored above vFloor).
+func (c *Capacitor) DrawEnergy(e, vFloor float64) float64 {
+	if e <= 0 || c.C <= 0 {
+		return 0
+	}
+	avail := units.EnergyBetween(c.C, c.V, vFloor)
+	if avail <= 1e-18 { // below any physically meaningful budget
+		return 0
+	}
+	if e > avail {
+		e = avail
+	}
+	newE := units.CapacitorEnergy(c.C, c.V) - e
+	c.V = units.CapacitorVoltage(c.C, newE)
+	if c.V < vFloor {
+		c.V = vFloor
+	}
+	return e
+}
+
+// Supercapacitor is a Capacitor with the leakage and ESR characteristics
+// typical of supercapacitors pre-filled.
+func Supercapacitor(c, v0 float64) *Capacitor {
+	return &Capacitor{
+		C:     c,
+		V:     v0,
+		ESR:   0.05,
+		LeakR: 200e3, // microamp-scale leakage at a few volts
+	}
+}
+
+// Battery is a simple state-of-charge energy reservoir with a terminal
+// voltage that sags linearly with depth of discharge and separate
+// charge/discharge efficiencies. It is sufficient for the energy-neutral
+// experiments, where what matters is eq. (1) bookkeeping over hours–days.
+type Battery struct {
+	CapacityJ   float64 // full-charge energy, joules
+	SoC         float64 // state of charge, 0..1
+	VFull       float64 // terminal voltage at SoC=1
+	VEmpty      float64 // terminal voltage at SoC=0
+	EtaCharge   float64 // fraction of input energy stored
+	EtaDischrg  float64 // fraction of stored energy delivered
+	ThroughputJ float64 // cumulative energy cycled through (wear proxy)
+}
+
+// NewBattery returns a battery of capacityJ joules at the given initial
+// state of charge, with typical Li-ion-ish parameters.
+func NewBattery(capacityJ, soc float64) *Battery {
+	return &Battery{
+		CapacityJ:  capacityJ,
+		SoC:        units.Clamp(soc, 0, 1),
+		VFull:      4.2,
+		VEmpty:     3.0,
+		EtaCharge:  0.95,
+		EtaDischrg: 0.95,
+	}
+}
+
+// Voltage returns the present terminal voltage.
+func (b *Battery) Voltage() float64 {
+	return b.VEmpty + (b.VFull-b.VEmpty)*b.SoC
+}
+
+// Energy returns the stored energy in joules.
+func (b *Battery) Energy() float64 { return b.SoC * b.CapacityJ }
+
+// Charge adds e joules of input energy; the stored amount is scaled by the
+// charge efficiency and clamped at capacity. It returns the energy that
+// could not be accepted (spill).
+func (b *Battery) Charge(e float64) (spill float64) {
+	if e <= 0 || b.CapacityJ <= 0 {
+		return 0
+	}
+	stored := e * b.EtaCharge
+	room := (1 - b.SoC) * b.CapacityJ
+	if stored > room {
+		spill = (stored - room) / b.EtaCharge
+		stored = room
+	}
+	b.SoC += stored / b.CapacityJ
+	b.ThroughputJ += stored
+	return spill
+}
+
+// Discharge removes enough stored energy to deliver e joules at the
+// terminals, honouring the discharge efficiency. It returns the energy
+// actually delivered (less than e if the battery empties).
+func (b *Battery) Discharge(e float64) float64 {
+	if e <= 0 || b.CapacityJ <= 0 || b.EtaDischrg <= 0 {
+		return 0
+	}
+	need := e / b.EtaDischrg
+	have := b.SoC * b.CapacityJ
+	if need > have {
+		need = have
+	}
+	b.SoC -= need / b.CapacityJ
+	b.ThroughputJ += need
+	return need * b.EtaDischrg
+}
+
+// Depleted reports whether the battery is effectively empty.
+func (b *Battery) Depleted() bool { return b.SoC <= 1e-9 }
+
+// Regulator models a switching converter between the storage node and the
+// load: fixed output voltage, efficiency that droops at light load. The
+// conversion stages in the paper's Fig. 3 (energy-neutral architecture)
+// are instances of this; Fig. 4's harvesting-aware load omits them.
+type Regulator struct {
+	VOut    float64 // regulated output voltage
+	VInMin  float64 // dropout: below this input, the output collapses
+	EtaPeak float64 // peak efficiency (0..1)
+	IKnee   float64 // output current at which efficiency reaches ~peak
+}
+
+// NewRegulator returns a buck/boost-ish regulator with the given output
+// voltage, 85 % peak efficiency and a 1 mA efficiency knee.
+func NewRegulator(vOut float64) *Regulator {
+	return &Regulator{VOut: vOut, VInMin: vOut * 0.6, EtaPeak: 0.85, IKnee: 1e-3}
+}
+
+// Efficiency returns the conversion efficiency at output current iOut.
+func (r *Regulator) Efficiency(iOut float64) float64 {
+	if iOut <= 0 {
+		return r.EtaPeak
+	}
+	// Quiescent-dominated droop at light load: η = ηpk · i/(i + knee/10).
+	return r.EtaPeak * iOut / (iOut + r.IKnee/10)
+}
+
+// InputCurrent returns the current drawn from the storage node at voltage
+// vIn to supply iOut at VOut. Below dropout the regulator is off and draws
+// only a small quiescent current.
+func (r *Regulator) InputCurrent(vIn, iOut float64) float64 {
+	const iQuiescent = 2e-6
+	if vIn < r.VInMin || vIn <= 0 {
+		return iQuiescent
+	}
+	eta := r.Efficiency(iOut)
+	if eta <= 0 {
+		return iQuiescent
+	}
+	return (r.VOut*iOut)/(vIn*eta) + iQuiescent
+}
+
+// Output returns the regulated output voltage given input vIn (0 below
+// dropout).
+func (r *Regulator) Output(vIn float64) float64 {
+	if vIn < r.VInMin {
+		return 0
+	}
+	return math.Min(r.VOut, vIn) // LDO-like behaviour if vIn < VOut
+}

@@ -1,0 +1,217 @@
+package circuit
+
+import (
+	"math"
+
+	"repro/internal/source"
+)
+
+// Load is anything that draws current from the rail. The rail calls
+// Current once per step with the present rail voltage and time; the load
+// returns its draw in amperes. Loads that are off (e.g. a browned-out MCU)
+// return ~0.
+type Load interface {
+	Current(v, t float64) float64
+}
+
+// LoadFunc adapts a plain function to the Load interface.
+type LoadFunc func(v, t float64) float64
+
+// Current implements Load.
+func (f LoadFunc) Current(v, t float64) float64 { return f(v, t) }
+
+// ConstantCurrentLoad draws a fixed current whenever the rail is above a
+// minimum operating voltage.
+type ConstantCurrentLoad struct {
+	I    float64
+	VMin float64
+}
+
+// Current implements Load.
+func (l *ConstantCurrentLoad) Current(v, _ float64) float64 {
+	if v < l.VMin {
+		return 0
+	}
+	return l.I
+}
+
+// ResistiveLoad draws V/R.
+type ResistiveLoad struct {
+	R float64
+}
+
+// Current implements Load.
+func (l *ResistiveLoad) Current(v, _ float64) float64 {
+	if l.R <= 0 {
+		return 0
+	}
+	return v / l.R
+}
+
+// EdgeKind distinguishes comparator events.
+type EdgeKind int
+
+// Comparator edge kinds.
+const (
+	EdgeFalling EdgeKind = iota // crossed below the low threshold
+	EdgeRising                  // crossed above the high threshold
+)
+
+// Comparator watches the rail voltage and fires a callback on hysteretic
+// threshold crossings — the voltage-interrupt mechanism hibernus and
+// QuickRecall rely on to detect imminent supply failure.
+type Comparator struct {
+	Low, High float64 // hysteresis band: fires falling at Low, rising at High
+	OnEdge    func(kind EdgeKind, v, t float64)
+
+	state bool // true = above band
+	armed bool
+}
+
+// NewComparator returns a comparator with the given hysteresis band.
+// low must be ≤ high.
+func NewComparator(low, high float64, onEdge func(EdgeKind, float64, float64)) *Comparator {
+	return &Comparator{Low: low, High: high, OnEdge: onEdge}
+}
+
+// Observe feeds the comparator a new voltage sample at time t, firing
+// OnEdge on band crossings. The first observation initialises state
+// without firing.
+func (c *Comparator) Observe(v, t float64) {
+	if !c.armed {
+		c.armed = true
+		c.state = v >= c.High
+		return
+	}
+	if c.state && v < c.Low {
+		c.state = false
+		if c.OnEdge != nil {
+			c.OnEdge(EdgeFalling, v, t)
+		}
+	} else if !c.state && v >= c.High {
+		c.state = true
+		if c.OnEdge != nil {
+			c.OnEdge(EdgeRising, v, t)
+		}
+	}
+}
+
+// Above reports whether the comparator currently considers the voltage
+// above its band.
+func (c *Comparator) Above() bool { return c.state }
+
+// Rail is the single-node power rail: a storage capacitor charged by a
+// voltage or power source (through an ideal diode, so the source never
+// discharges the node) and discharged by the attached loads.
+//
+// The solver is explicit forward Euler on the capacitor voltage. With the
+// default step of a few microseconds and RC constants ≥ hundreds of
+// microseconds the local error is far below the threshold hysteresis the
+// runtimes use, which is what matters for event ordering fidelity.
+type Rail struct {
+	VSource source.VoltageSource // either VSource or PSource (or both) may be set
+	PSource source.PowerSource
+	Cap     *Capacitor
+	Loads   []Load
+	Comps   []*Comparator
+
+	// MaxSourceI limits the current a power source can push at very low
+	// rail voltage (models converter current limits); 0 = 1 A default.
+	MaxSourceI float64
+
+	// Telemetry (cumulative, joules / coulombs).
+	HarvestedJ float64 // energy delivered into the node by the source
+	ConsumedJ  float64 // energy drawn by loads
+
+	// Last-step observables (amperes), for controllers that need the
+	// instantaneous P_h and P_c of the paper's eq. (3).
+	LastSourceI float64
+	LastLoadI   float64
+
+	now float64
+}
+
+// NewRail returns a rail over the given storage capacitor.
+func NewRail(cap *Capacitor) *Rail {
+	return &Rail{Cap: cap, MaxSourceI: 1}
+}
+
+// AddLoad attaches a load to the rail.
+func (r *Rail) AddLoad(l Load) { r.Loads = append(r.Loads, l) }
+
+// AddComparator attaches a comparator watching the rail voltage.
+func (r *Rail) AddComparator(c *Comparator) { r.Comps = append(r.Comps, c) }
+
+// Now returns the rail's current simulated time in seconds.
+func (r *Rail) Now() float64 { return r.now }
+
+// V returns the present rail voltage.
+func (r *Rail) V() float64 { return r.Cap.V }
+
+// sourceCurrent computes the current the source pushes into the node at
+// rail voltage v and time t.
+func (r *Rail) sourceCurrent(v, t float64) float64 {
+	var i float64
+	if r.VSource != nil {
+		vs := r.VSource.Voltage(t)
+		rs := r.VSource.SeriesResistance()
+		if rs <= 0 {
+			rs = 1e-3
+		}
+		if vs > v { // ideal series diode: no reverse current
+			i += (vs - v) / rs
+		}
+	}
+	if r.PSource != nil {
+		p := r.PSource.Power(t)
+		if p > 0 {
+			// Current-limited constant-power injection; at very low rail
+			// voltage the converter runs at its current limit.
+			limit := r.MaxSourceI
+			if limit <= 0 {
+				limit = 1
+			}
+			vEff := math.Max(v, 0.1)
+			i += math.Min(p/vEff, limit)
+		}
+	}
+	return i
+}
+
+// Step advances the rail by dt seconds: computes source and load currents
+// at the present voltage, integrates the capacitor, updates telemetry, and
+// clocks the comparators. It returns the rail voltage after the step.
+func (r *Rail) Step(dt float64) float64 {
+	t := r.now
+	v := r.Cap.V
+	iSrc := r.sourceCurrent(v, t)
+	var iLoad float64
+	for _, l := range r.Loads {
+		iLoad += l.Current(v, t)
+	}
+	r.LastSourceI, r.LastLoadI = iSrc, iLoad
+	r.Cap.Step(iSrc-iLoad, dt)
+	r.HarvestedJ += iSrc * v * dt
+	r.ConsumedJ += iLoad * v * dt
+	r.now += dt
+	for _, c := range r.Comps {
+		c.Observe(r.Cap.V, r.now)
+	}
+	return r.Cap.V
+}
+
+// Run steps the rail until time end, invoking observe (if non-nil) after
+// every step. The step count is computed up front so accumulated floating-
+// point drift in the clock cannot add or drop a step.
+func (r *Rail) Run(end, dt float64, observe func(t, v float64)) {
+	if dt <= 0 || end <= r.now {
+		return
+	}
+	n := int(math.Round((end - r.now) / dt))
+	for i := 0; i < n; i++ {
+		v := r.Step(dt)
+		if observe != nil {
+			observe(r.now, v)
+		}
+	}
+}

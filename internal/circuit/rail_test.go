@@ -1,0 +1,201 @@
+package circuit
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/source"
+	"repro/internal/units"
+)
+
+func TestComparatorHysteresis(t *testing.T) {
+	var events []EdgeKind
+	c := NewComparator(2.0, 2.5, func(k EdgeKind, v, tm float64) {
+		events = append(events, k)
+	})
+	// First observation arms without firing.
+	c.Observe(3.0, 0)
+	if len(events) != 0 {
+		t.Fatal("arming observation must not fire")
+	}
+	if !c.Above() {
+		t.Fatal("should start above band")
+	}
+	// Dip into band: no event (hysteresis).
+	c.Observe(2.2, 1)
+	if len(events) != 0 {
+		t.Fatal("in-band sample must not fire")
+	}
+	// Cross below low: falling edge.
+	c.Observe(1.9, 2)
+	if len(events) != 1 || events[0] != EdgeFalling {
+		t.Fatalf("expected falling edge, got %v", events)
+	}
+	// Rise into band: nothing.
+	c.Observe(2.3, 3)
+	if len(events) != 1 {
+		t.Fatal("in-band rise must not fire")
+	}
+	// Cross above high: rising edge.
+	c.Observe(2.6, 4)
+	if len(events) != 2 || events[1] != EdgeRising {
+		t.Fatalf("expected rising edge, got %v", events)
+	}
+}
+
+func TestComparatorNilCallback(t *testing.T) {
+	c := NewComparator(1, 2, nil)
+	c.Observe(3, 0)
+	c.Observe(0.5, 1) // must not panic
+	if c.Above() {
+		t.Error("state should be below after falling")
+	}
+}
+
+func TestRailChargesFromVoltageSource(t *testing.T) {
+	// DC source charging RC: V(t) = Vs(1 - e^{-t/RC}).
+	cap := NewCapacitor(100e-6, 0)
+	r := NewRail(cap)
+	r.VSource = &source.ConstantVoltage{V: 3.0, Rs: 1000} // τ = 100 ms
+	r.Run(0.1, 10e-6, nil)
+	want := 3.0 * (1 - math.Exp(-1))
+	if math.Abs(cap.V-want)/want > 0.005 {
+		t.Errorf("RC charge after τ: V = %g, want ≈%g", cap.V, want)
+	}
+}
+
+func TestRailDiodeBlocksReverse(t *testing.T) {
+	// Cap pre-charged above the source: no discharge through the source.
+	cap := NewCapacitor(100e-6, 3.0)
+	r := NewRail(cap)
+	r.VSource = &source.ConstantVoltage{V: 1.0, Rs: 100}
+	r.Run(0.05, 10e-6, nil)
+	if cap.V < 3.0-1e-9 {
+		t.Errorf("diode leaked: V = %g", cap.V)
+	}
+}
+
+func TestRailPowerSourceCurrentLimit(t *testing.T) {
+	cap := NewCapacitor(100e-6, 0)
+	r := NewRail(cap)
+	r.PSource = &source.ConstantPower{P: 10} // would be 100 A at 0.1 V
+	r.MaxSourceI = 0.01
+	v := r.Step(1e-3)
+	// ΔV = I·dt/C = 0.01·1e-3/100e-6 = 0.1 V exactly at the limit.
+	if math.Abs(v-0.1) > 1e-9 {
+		t.Errorf("current-limited step V = %g, want 0.1", v)
+	}
+}
+
+func TestRailLoadDischarges(t *testing.T) {
+	cap := NewCapacitor(100e-6, 3.0)
+	r := NewRail(cap)
+	r.AddLoad(&ConstantCurrentLoad{I: 1e-3, VMin: 1.0})
+	r.Run(0.1, 10e-6, nil) // 1 mA for 100 ms = 1 V drop
+	if math.Abs(cap.V-2.0) > 1e-6 {
+		t.Errorf("V after discharge = %g, want 2.0", cap.V)
+	}
+	// Load cuts out below VMin.
+	r.Run(0.3, 10e-6, nil)
+	if cap.V < 1.0-1e-6 {
+		t.Errorf("load drew below its VMin: %g", cap.V)
+	}
+}
+
+func TestRailEnergyAccounting(t *testing.T) {
+	// Source energy in = capacitor energy + load energy (no leakage).
+	cap := NewCapacitor(470e-6, 0)
+	r := NewRail(cap)
+	r.VSource = &source.ConstantVoltage{V: 3.3, Rs: 100}
+	r.AddLoad(&ResistiveLoad{R: 10e3})
+	r.Run(0.5, 5e-6, nil)
+	// HarvestedJ counts energy into the node (after the source resistance
+	// loss), so it must equal stored + consumed.
+	balance := cap.Energy() + r.ConsumedJ
+	if !units.ApproxEqual(r.HarvestedJ, balance, 0.01) {
+		t.Errorf("energy imbalance: harvested %g vs stored+consumed %g",
+			r.HarvestedJ, balance)
+	}
+}
+
+func TestRailComparatorFiresOnOutage(t *testing.T) {
+	cap := NewCapacitor(47e-6, 3.3)
+	r := NewRail(cap)
+	sq := &source.SquareWaveVoltage{High: 3.3, OnTime: 0.05, OffTime: 0.05, Rs: 100}
+	r.VSource = sq
+	r.AddLoad(&ConstantCurrentLoad{I: 2e-3, VMin: 1.0})
+	falls, rises := 0, 0
+	r.AddComparator(NewComparator(2.0, 3.0, func(k EdgeKind, v, tm float64) {
+		if k == EdgeFalling {
+			falls++
+		} else {
+			rises++
+		}
+	}))
+	r.Run(0.5, 5e-6, nil)
+	// 5 outages in 0.5 s at 10 Hz square wave: expect ≈5 falling edges and
+	// recoveries.
+	if falls < 4 || falls > 6 {
+		t.Errorf("falling edges = %d, want ≈5", falls)
+	}
+	if rises < 4 || rises > 6 {
+		t.Errorf("rising edges = %d, want ≈5", rises)
+	}
+}
+
+func TestRailObserveCallback(t *testing.T) {
+	cap := NewCapacitor(1e-6, 1)
+	r := NewRail(cap)
+	n := 0
+	var lastT float64
+	r.Run(0.001, 1e-4, func(tm, v float64) {
+		n++
+		if tm <= lastT {
+			t.Fatal("time must advance monotonically")
+		}
+		lastT = tm
+	})
+	if n != 10 {
+		t.Errorf("observe called %d times, want 10", n)
+	}
+	if math.Abs(r.Now()-0.001) > 1e-12 {
+		t.Errorf("Now() = %g, want 0.001", r.Now())
+	}
+}
+
+func TestLoadFuncAdapter(t *testing.T) {
+	l := LoadFunc(func(v, _ float64) float64 { return v / 100 })
+	if l.Current(5, 0) != 0.05 {
+		t.Error("LoadFunc adapter broken")
+	}
+}
+
+func TestResistiveLoadZeroR(t *testing.T) {
+	l := &ResistiveLoad{R: 0}
+	if l.Current(3, 0) != 0 {
+		t.Error("zero resistance should draw 0 (guard)")
+	}
+}
+
+func TestRailHalfWaveRectifiedSineShape(t *testing.T) {
+	// The Fig. 7 supply: half-wave rectified sine charges the cap each
+	// positive half-cycle; with a load, V ripples between charge peaks.
+	gen := &source.SignalGenerator{Amplitude: 3.6, Frequency: 4.7, Rs: 200}
+	cap := NewCapacitor(22e-6, 0)
+	r := NewRail(cap)
+	r.VSource = source.HalfWave(gen, 0.2)
+	r.AddLoad(&ConstantCurrentLoad{I: 500e-6, VMin: 1.8})
+	var minV, maxV float64 = math.Inf(1), math.Inf(-1)
+	r.Run(2.0, 5e-6, func(tm, v float64) {
+		if tm > 0.5 { // after initial charge
+			minV = math.Min(minV, v)
+			maxV = math.Max(maxV, v)
+		}
+	})
+	if maxV < 2.5 {
+		t.Errorf("rail never charged: max %g", maxV)
+	}
+	if maxV-minV < 0.2 {
+		t.Errorf("expected ripple across half-cycles, got %g..%g", minV, maxV)
+	}
+}

@@ -1,0 +1,232 @@
+package core
+
+import (
+	"math"
+	"testing"
+)
+
+func TestRegistryValidates(t *testing.T) {
+	for _, s := range Registry() {
+		if err := s.Validate(); err != nil {
+			t.Errorf("%s: %v", s.Name, err)
+		}
+	}
+}
+
+func TestRegistryHasThePaperSystems(t *testing.T) {
+	want := []string{
+		"Smartphone", "Desktop PC", "Laptop (hibernation)", "Energy-neutral WSN",
+		"WISPCam", "Gomez energy bursts", "Monjolo", "Mementos", "QuickRecall",
+		"Hibernus", "NVP", "Power-neutral MPSoC", "hibernus-PN",
+	}
+	got := map[string]bool{}
+	for _, s := range Registry() {
+		got[s.Name] = true
+	}
+	for _, name := range want {
+		if !got[name] {
+			t.Errorf("registry missing %q", name)
+		}
+	}
+	if len(Registry()) != len(want) {
+		t.Errorf("registry has %d systems, want %d", len(Registry()), len(want))
+	}
+}
+
+func TestAutonomyOrderingMatchesFig2(t *testing.T) {
+	// The storage axis: checkpointing runtimes < task-based systems <
+	// desktop hold-up < smartphone/laptop/WSN.
+	byName := map[string]System{}
+	for _, s := range Registry() {
+		byName[s.Name] = s
+	}
+	order := [][2]string{
+		{"Hibernus", "Monjolo"},              // continuous < task-based
+		{"NVP", "WISPCam"},                   // continuous < task-based
+		{"Monjolo", "Desktop PC"},            // harvest-scale < mains hold-up
+		{"Desktop PC", "Smartphone"},         // hold-up < battery
+		{"Smartphone", "Energy-neutral WSN"}, // phone-day < WSN months
+	}
+	for _, pair := range order {
+		a, b := byName[pair[0]], byName[pair[1]]
+		if a.AutonomySec() >= b.AutonomySec() {
+			t.Errorf("%s autonomy (%.3g s) should be below %s (%.3g s)",
+				a.Name, a.AutonomySec(), b.Name, b.AutonomySec())
+		}
+	}
+}
+
+func TestEnergyDrivenRegionMatchesPaper(t *testing.T) {
+	// The shaded region: all the harvesting-native systems; none of the
+	// traditional ones.
+	energyDriven := map[string]bool{
+		"WISPCam": true, "Gomez energy bursts": true, "Monjolo": true,
+		"Mementos": true, "QuickRecall": true, "Hibernus": true, "NVP": true,
+		"Power-neutral MPSoC": true, "hibernus-PN": true,
+	}
+	for _, s := range Registry() {
+		if got := s.EnergyDriven; got != energyDriven[s.Name] {
+			t.Errorf("%s: EnergyDriven = %v, want %v", s.Name, got, energyDriven[s.Name])
+		}
+		wantRegion := "traditional"
+		if energyDriven[s.Name] {
+			wantRegion = "energy-driven"
+		}
+		if s.Region() != wantRegion {
+			t.Errorf("%s: region %q, want %q", s.Name, s.Region(), wantRegion)
+		}
+	}
+}
+
+func TestAxisAssignment(t *testing.T) {
+	byName := map[string]System{}
+	for _, s := range Registry() {
+		byName[s.Name] = s
+	}
+	// The paper is explicit: the PN MPSoC sits on the energy-neutral axis
+	// (no transient functionality); hibernus and the laptop sit on the
+	// transient axis.
+	if byName["Power-neutral MPSoC"].Axis() != "energy-neutral" {
+		t.Error("PN MPSoC must be on the energy-neutral axis")
+	}
+	if byName["Hibernus"].Axis() != "transient" {
+		t.Error("hibernus must be on the transient axis")
+	}
+	if byName["Laptop (hibernation)"].Axis() != "transient" {
+		t.Error("laptop-with-hibernation must be on the transient axis")
+	}
+	if byName["Desktop PC"].Axis() != "energy-neutral" {
+		t.Error("desktop must be on the energy-neutral axis")
+	}
+}
+
+func TestByAutonomySorted(t *testing.T) {
+	sorted := ByAutonomy(Registry())
+	for i := 1; i < len(sorted); i++ {
+		if sorted[i-1].AutonomySec() > sorted[i].AutonomySec() {
+			t.Fatal("ByAutonomy not sorted")
+		}
+	}
+	// Original slice untouched.
+	reg := Registry()
+	if reg[0].Name != "Smartphone" {
+		t.Error("Registry order changed")
+	}
+}
+
+func TestValidateRejectsBrokenDescriptors(t *testing.T) {
+	cases := []struct {
+		name string
+		s    System
+	}{
+		{"unnamed", System{}},
+		{"negative storage", System{Name: "x", StorageJ: -1, EnergyNeutral: true}},
+		{"pn without continuous", System{Name: "x", EnergyNeutral: true,
+			PowerNeutral: true, Adaptation: AdaptTaskBased}},
+		{"fails own environment", System{Name: "x"}},
+		{"energy-driven unconstrained", System{Name: "x", EnergyNeutral: true,
+			EnergyDriven: true, Adaptation: AdaptUnconstrained}},
+	}
+	for _, tt := range cases {
+		t.Run(tt.name, func(t *testing.T) {
+			if tt.s.Validate() == nil {
+				t.Error("expected validation error")
+			}
+		})
+	}
+}
+
+func TestAdaptationString(t *testing.T) {
+	if AdaptUnconstrained.String() != "unconstrained" ||
+		AdaptTaskBased.String() != "task-based" ||
+		AdaptContinuous.String() != "continuous" {
+		t.Error("adaptation names wrong")
+	}
+	if Adaptation(99).String() != "?" {
+		t.Error("unknown adaptation should render ?")
+	}
+}
+
+func TestAutonomyInfiniteForZeroLoad(t *testing.T) {
+	s := System{Name: "x", StorageJ: 1, EnergyNeutral: true}
+	if !math.IsInf(s.AutonomySec(), 1) {
+		t.Error("zero load should mean infinite autonomy")
+	}
+}
+
+func TestEnergyNeutralOverEq1(t *testing.T) {
+	// Harvest: constant 1 W. Consumption: square wave averaging 1 W.
+	ph := func(float64) float64 { return 1.0 }
+	pc := func(t float64) float64 {
+		if math.Mod(t, 2) < 1 {
+			return 2.0
+		}
+		return 0
+	}
+	if !EnergyNeutralOver(ph, pc, 0, 10, 1e-3, 0.01) {
+		t.Error("balanced square wave should be energy-neutral over 10 s")
+	}
+	// Consumption 20 % high: not neutral at 1 % tolerance, neutral at 25 %.
+	pcHigh := func(t float64) float64 { return 1.2 }
+	if EnergyNeutralOver(ph, pcHigh, 0, 10, 1e-3, 0.01) {
+		t.Error("20% imbalance should fail at 1% tolerance")
+	}
+	if !EnergyNeutralOver(ph, pcHigh, 0, 10, 1e-3, 0.25) {
+		t.Error("20% imbalance should pass at 25% tolerance")
+	}
+	// Zero harvest with zero consumption is trivially neutral.
+	zero := func(float64) float64 { return 0 }
+	if !EnergyNeutralOver(zero, zero, 0, 5, 1e-2, 0.01) {
+		t.Error("dead system is trivially neutral")
+	}
+	if EnergyNeutralOver(zero, ph, 0, 5, 1e-2, 0.01) {
+		t.Error("consuming without harvesting is not neutral")
+	}
+}
+
+func TestSupplyMaintainedEq2(t *testing.T) {
+	v := func(t float64) float64 { return 3.0 - 0.2*t }
+	if !SupplyMaintained(v, 1.8, 0, 5, 1e-2) {
+		t.Error("V stays above 1.8 until t=6")
+	}
+	if SupplyMaintained(v, 1.8, 0, 7, 1e-2) {
+		t.Error("V crosses 1.8 at t=6")
+	}
+}
+
+func TestPowerNeutralOverEq3(t *testing.T) {
+	ph := func(t float64) float64 { return 1 + 0.5*math.Sin(t) }
+	// Perfectly tracking consumer: power-neutral at any window.
+	if !PowerNeutralOver(ph, ph, 0, 10, 0.5, 1e-3, 0.01) {
+		t.Error("perfect tracking should be power-neutral")
+	}
+	// A consumer that only balances on long timescales (constant 1 W
+	// against the sinusoid): energy-neutral over 2π but NOT power-neutral
+	// over quarter-period windows.
+	pc := func(float64) float64 { return 1.0 }
+	if !EnergyNeutralOver(ph, pc, 0, 4*math.Pi, 1e-3, 0.01) {
+		t.Error("constant consumer is energy-neutral over full periods")
+	}
+	if PowerNeutralOver(ph, pc, 0, 4*math.Pi, math.Pi/2, 1e-3, 0.05) {
+		t.Error("constant consumer must fail power-neutrality at sub-period windows")
+	}
+}
+
+func TestTaxonomySeparatesTheClasses(t *testing.T) {
+	// The defining example of the taxonomy: the same trace pair can be
+	// energy-neutral but not power-neutral — the two classes are distinct,
+	// which is the paper's core argument for the new axis.
+	ph := func(t float64) float64 {
+		if math.Mod(t, 24) < 12 {
+			return 2.0 // day
+		}
+		return 0 // night
+	}
+	pcBuffered := func(float64) float64 { return 1.0 } // battery smooths
+	if !EnergyNeutralOver(ph, pcBuffered, 0, 48, 1e-2, 0.01) {
+		t.Error("buffered consumer is energy-neutral over days")
+	}
+	if PowerNeutralOver(ph, pcBuffered, 0, 48, 1.0, 1e-2, 0.1) {
+		t.Error("buffered consumer cannot be power-neutral hour-by-hour")
+	}
+}

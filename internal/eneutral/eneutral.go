@@ -1,0 +1,223 @@
+// Package eneutral implements the paper's §II.A: energy-neutral computing,
+// the "make the harvester look like a battery" approach of Kansal et
+// al. [3]. A sensor node buffers harvested energy in meaningful storage
+// (battery or supercapacitor) and adapts its duty cycle so that, over a
+// period T matched to the energy environment (24 h for solar), consumption
+// equals harvest — eq. (1) — while the buffer keeps the supply alive —
+// eq. (2). The package provides the node model, an adaptive (Kansal-style)
+// duty-cycle controller and a fixed-duty baseline, and the windowed
+// eq. (1)/(2) metrics the taxonomy and experiments evaluate.
+package eneutral
+
+import (
+	"math"
+
+	"repro/internal/circuit"
+	"repro/internal/source"
+)
+
+// Controller adjusts a node's duty cycle at each control epoch.
+type Controller interface {
+	Name() string
+	// Adjust returns the new duty cycle given the node state, the time,
+	// and the controller-period mean harvested power observed since the
+	// previous call.
+	Adjust(n *Node, t, meanHarvestW float64) float64
+}
+
+// Node is an energy-neutral sensing node: storage, harvester, and a
+// duty-cycled load.
+type Node struct {
+	Storage *circuit.Battery
+	Harvest source.PowerSource
+
+	PActive float64 // consumption while performing duty (sense+transmit), W
+	PSleep  float64 // sleep floor, W
+	Duty    float64 // fraction of time active (0..1)
+	DutyMin float64
+	DutyMax float64
+
+	// ReviveSoC: a node that died (eq. 2 violation) restarts only once
+	// the battery recovers to this state of charge.
+	ReviveSoC float64
+
+	Controller Controller
+	CtrlPeriod float64 // seconds between controller invocations
+
+	dead bool
+}
+
+// NewNode returns a solar-WSN-flavoured node: 60 mW active, 60 µW sleep,
+// duty limited to [1 %, 80 %], hourly control.
+func NewNode(batteryJ, soc float64, harvest source.PowerSource) *Node {
+	return &Node{
+		Storage:    circuit.NewBattery(batteryJ, soc),
+		Harvest:    harvest,
+		PActive:    60e-3,
+		PSleep:     60e-6,
+		Duty:       0.2,
+		DutyMin:    0.01,
+		DutyMax:    0.8,
+		ReviveSoC:  0.05,
+		CtrlPeriod: 3600,
+	}
+}
+
+// consumptionW returns the node's mean power at its present duty cycle.
+func (n *Node) consumptionW() float64 {
+	if n.dead {
+		return 0
+	}
+	return n.Duty*n.PActive + (1-n.Duty)*n.PSleep
+}
+
+// Result summarises a simulation.
+type Result struct {
+	HarvestedJ float64
+	ConsumedJ  float64
+	FinalSoC   float64
+
+	Violations  int     // eq. (2) violations: storage depleted, node dead
+	DowntimeSec float64 // time spent dead
+	ActiveSec   float64 // duty-weighted productive time
+
+	// Windows holds the per-window eq. (1) imbalance ratios
+	// |E_h − E_c| / E_h for each completed neutrality window.
+	Windows []float64
+
+	DutyTrace []float64 // duty cycle at each control epoch
+}
+
+// WorstWindow returns the largest eq. (1) imbalance ratio, or +Inf if no
+// window completed.
+func (r Result) WorstWindow() float64 {
+	if len(r.Windows) == 0 {
+		return math.Inf(1)
+	}
+	worst := 0.0
+	for _, w := range r.Windows {
+		worst = math.Max(worst, w)
+	}
+	return worst
+}
+
+// Simulate runs the node for duration seconds with the given integration
+// step and eq. (1) evaluation window (typically 24 h).
+func (n *Node) Simulate(duration, dt, window float64) Result {
+	var res Result
+	var winH, winC, winT float64
+	var ctlH, ctlT float64
+	nextCtrl := n.CtrlPeriod
+	for t := 0.0; t < duration; t += dt {
+		ph := n.Harvest.Power(t)
+		eh := ph * dt
+		spill := n.Storage.Charge(eh)
+		_ = spill
+
+		if n.dead && n.Storage.SoC >= n.ReviveSoC {
+			n.dead = false
+		}
+		pc := n.consumptionW()
+		ec := pc * dt
+		got := n.Storage.Discharge(ec)
+		if !n.dead {
+			res.ActiveSec += n.Duty * dt
+		}
+		if got < ec*0.999 && !n.dead {
+			// Storage could not supply the demand: eq. (2) violated.
+			n.dead = true
+			res.Violations++
+		}
+		if n.dead {
+			res.DowntimeSec += dt
+		}
+
+		res.HarvestedJ += eh
+		res.ConsumedJ += got
+		winH += eh
+		winC += got
+		winT += dt
+		ctlH += eh
+		ctlT += dt
+
+		if winT >= window {
+			if winH > 0 {
+				res.Windows = append(res.Windows, math.Abs(winH-winC)/winH)
+			}
+			winH, winC, winT = 0, 0, 0
+		}
+		if n.Controller != nil && t >= nextCtrl {
+			mean := 0.0
+			if ctlT > 0 {
+				mean = ctlH / ctlT
+			}
+			n.Duty = clamp(n.Controller.Adjust(n, t, mean), n.DutyMin, n.DutyMax)
+			res.DutyTrace = append(res.DutyTrace, n.Duty)
+			ctlH, ctlT = 0, 0
+			nextCtrl = t + n.CtrlPeriod
+		}
+	}
+	res.FinalSoC = n.Storage.SoC
+	return res
+}
+
+func clamp(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// KansalController is the adaptive duty-cycling policy of [3]: estimate
+// the mean harvest with an exponentially weighted average, set the duty so
+// that expected consumption matches it, and bias toward the target state
+// of charge so estimation errors do not accumulate in the buffer.
+type KansalController struct {
+	EWMAAlpha float64 // smoothing for the harvest estimate
+	TargetSoC float64 // buffer setpoint
+	SoCGain   float64 // proportional correction strength
+
+	estimateW float64
+}
+
+// NewKansal returns the standard configuration (α=0.3, 60 % SoC target).
+func NewKansal() *KansalController {
+	return &KansalController{EWMAAlpha: 0.3, TargetSoC: 0.6, SoCGain: 1.2}
+}
+
+// Name implements Controller.
+func (k *KansalController) Name() string { return "kansal-adaptive" }
+
+// Adjust implements Controller.
+func (k *KansalController) Adjust(n *Node, _, meanHarvestW float64) float64 {
+	if k.estimateW == 0 {
+		k.estimateW = meanHarvestW
+	} else {
+		k.estimateW = k.EWMAAlpha*meanHarvestW + (1-k.EWMAAlpha)*k.estimateW
+	}
+	// Power budget: the harvest estimate, biased by the SoC error so the
+	// buffer converges to its setpoint.
+	budget := k.estimateW * (1 + k.SoCGain*(n.Storage.SoC-k.TargetSoC))
+	if budget < 0 {
+		budget = 0
+	}
+	if n.PActive <= n.PSleep {
+		return n.DutyMax
+	}
+	return (budget - n.PSleep) / (n.PActive - n.PSleep)
+}
+
+// FixedController is the non-adaptive baseline: a constant duty cycle,
+// designed (or mis-designed) once.
+type FixedController struct {
+	Value float64
+}
+
+// Name implements Controller.
+func (f *FixedController) Name() string { return "fixed-duty" }
+
+// Adjust implements Controller.
+func (f *FixedController) Adjust(*Node, float64, float64) float64 { return f.Value }

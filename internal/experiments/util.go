@@ -1,0 +1,11 @@
+package experiments
+
+import (
+	"repro/internal/isa"
+	"repro/internal/programs"
+)
+
+// asmProgram assembles a workload's source.
+func asmProgram(w *programs.Workload) (*isa.Program, error) {
+	return isa.Assemble(w.Source)
+}

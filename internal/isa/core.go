@@ -1,0 +1,324 @@
+package isa
+
+import "fmt"
+
+// Bus is the memory system the core executes against. The MCU layer
+// implements it with distinct SRAM/FRAM regions, per-access wait states,
+// and energy accounting; tests use a flat RAM.
+type Bus interface {
+	Read8(addr uint16) byte
+	Write8(addr uint16, v byte)
+	Read16(addr uint16) uint16
+	Write16(addr uint16, v uint16)
+	// AccessCycles returns the extra wait-state cycles for one access to
+	// addr (0 for zero-wait memory).
+	AccessCycles(addr uint16, write bool) uint64
+}
+
+// SP is the register index used as the stack pointer by PUSH/POP/CALL/RET.
+const SP = 15
+
+// Core is one EVM-16 hardware thread: the full volatile execution state
+// plus cycle accounting. Everything in Core (and the SRAM behind Bus) is
+// lost on a brown-out unless a transient runtime saves it.
+type Core struct {
+	R      [16]uint16 // general registers; R[15] is the stack pointer
+	PC     uint16
+	HI     uint16 // high word of the last MUL
+	ZF, NF bool   // zero, negative
+	CF     bool   // carry (no-borrow for SUB/CMP)
+	GE     bool   // signed >= from the last CMP/SUB
+
+	Halted bool
+	Cycles uint64 // total cycles retired, including wait states
+
+	Bus Bus
+
+	// Sys, if non-nil, handles SYS traps. The handler may read and write
+	// core and bus state (calling convention: arguments in R1/R2, result
+	// in R1).
+	Sys func(code uint16, c *Core)
+
+	// Checkpoint, if non-nil, is invoked by the CHK instruction after the
+	// PC has advanced past it — the hook Mementos-style runtimes use.
+	Checkpoint func(c *Core)
+}
+
+// Reset returns the core to its power-on state (registers and flags
+// cleared, PC at the reset vector) without touching memory.
+func (c *Core) Reset(resetVector uint16) {
+	c.R = [16]uint16{}
+	c.PC = resetVector
+	c.HI = 0
+	c.ZF, c.NF, c.CF, c.GE = false, false, false, false
+	c.Halted = false
+}
+
+// setZN updates the Z and N flags from a result.
+func (c *Core) setZN(v uint16) {
+	c.ZF = v == 0
+	c.NF = v&0x8000 != 0
+}
+
+// fetch decodes the instruction at PC.
+func (c *Core) fetch() (Instr, error) {
+	var buf [4]byte
+	buf[0] = c.Bus.Read8(c.PC)
+	buf[1] = c.Bus.Read8(c.PC + 1)
+	op := Op(buf[0])
+	if Length(op) == 4 {
+		buf[2] = c.Bus.Read8(c.PC + 2)
+		buf[3] = c.Bus.Read8(c.PC + 3)
+	}
+	return decodeChecked(buf[:], c.PC)
+}
+
+func decodeChecked(buf []byte, addr uint16) (Instr, error) {
+	in, _, err := Decode(buf, addr)
+	return in, err
+}
+
+// Step executes one instruction. It returns the executed instruction and
+// an error for invalid opcodes (which also halt the core). A halted core
+// returns immediately.
+func (c *Core) Step() (Instr, error) {
+	if c.Halted {
+		return Instr{}, nil
+	}
+	in, err := c.fetch()
+	if err != nil {
+		c.Halted = true
+		return in, err
+	}
+	spec, _ := SpecFor(in.Op)
+	c.Cycles += spec.Cycles
+	// Instruction fetch pays the wait states of its own memory region.
+	c.Cycles += c.Bus.AccessCycles(in.Addr, false)
+	next := c.PC + in.Size()
+
+	switch in.Op {
+	case OpNOP:
+	case OpHALT:
+		c.Halted = true
+	case OpMOV:
+		c.R[in.Dst] = c.R[in.Src]
+	case OpMOVI:
+		c.R[in.Dst] = in.Imm
+	case OpLD:
+		addr := c.R[in.Src] + in.Imm
+		c.R[in.Dst] = c.Bus.Read16(addr)
+		c.Cycles += c.Bus.AccessCycles(addr, false)
+	case OpST:
+		addr := c.R[in.Dst] + in.Imm
+		c.Bus.Write16(addr, c.R[in.Src])
+		c.Cycles += c.Bus.AccessCycles(addr, true)
+	case OpLDB:
+		addr := c.R[in.Src] + in.Imm
+		c.R[in.Dst] = uint16(c.Bus.Read8(addr))
+		c.Cycles += c.Bus.AccessCycles(addr, false)
+	case OpSTB:
+		addr := c.R[in.Dst] + in.Imm
+		c.Bus.Write8(addr, byte(c.R[in.Src]))
+		c.Cycles += c.Bus.AccessCycles(addr, true)
+	case OpPUSH:
+		c.R[SP] -= 2
+		c.Bus.Write16(c.R[SP], c.R[in.Dst])
+		c.Cycles += c.Bus.AccessCycles(c.R[SP], true)
+	case OpPOP:
+		c.R[in.Dst] = c.Bus.Read16(c.R[SP])
+		c.Cycles += c.Bus.AccessCycles(c.R[SP], false)
+		c.R[SP] += 2
+	case OpADD:
+		c.add(in.Dst, c.R[in.Src])
+	case OpADDI:
+		c.add(in.Dst, in.Imm)
+	case OpSUB:
+		c.R[in.Dst] = c.sub(c.R[in.Dst], c.R[in.Src])
+	case OpSUBI:
+		c.R[in.Dst] = c.sub(c.R[in.Dst], in.Imm)
+	case OpAND:
+		c.R[in.Dst] &= c.R[in.Src]
+		c.setZN(c.R[in.Dst])
+	case OpOR:
+		c.R[in.Dst] |= c.R[in.Src]
+		c.setZN(c.R[in.Dst])
+	case OpXOR:
+		c.R[in.Dst] ^= c.R[in.Src]
+		c.setZN(c.R[in.Dst])
+	case OpNOT:
+		c.R[in.Dst] = ^c.R[in.Dst]
+		c.setZN(c.R[in.Dst])
+	case OpNEG:
+		c.R[in.Dst] = -c.R[in.Dst]
+		c.setZN(c.R[in.Dst])
+	case OpSHL:
+		n := uint(in.Src)
+		v := c.R[in.Dst]
+		if n > 0 {
+			c.CF = v&(1<<(16-n)) != 0
+		}
+		c.R[in.Dst] = v << n
+		c.setZN(c.R[in.Dst])
+	case OpSHR:
+		n := uint(in.Src)
+		v := c.R[in.Dst]
+		if n > 0 {
+			c.CF = v&(1<<(n-1)) != 0
+		}
+		c.R[in.Dst] = v >> n
+		c.setZN(c.R[in.Dst])
+	case OpSAR:
+		n := uint(in.Src)
+		v := int16(c.R[in.Dst])
+		if n > 0 {
+			c.CF = uint16(v)&(1<<(n-1)) != 0
+		}
+		c.R[in.Dst] = uint16(v >> n)
+		c.setZN(c.R[in.Dst])
+	case OpMUL:
+		prod := int32(int16(c.R[in.Dst])) * int32(int16(c.R[in.Src]))
+		c.R[in.Dst] = uint16(prod)
+		c.HI = uint16(uint32(prod) >> 16)
+		c.setZN(c.R[in.Dst])
+	case OpQMUL:
+		prod := int32(int16(c.R[in.Dst])) * int32(int16(c.R[in.Src]))
+		q := prod >> 15
+		if q > 32767 {
+			q = 32767
+		} else if q < -32768 {
+			q = -32768
+		}
+		c.R[in.Dst] = uint16(int16(q))
+		c.setZN(c.R[in.Dst])
+	case OpCMP:
+		c.sub(c.R[in.Dst], c.R[in.Src])
+	case OpCMPI:
+		c.sub(c.R[in.Dst], in.Imm)
+	case OpJMP:
+		next = in.Imm
+		c.Cycles++
+	case OpJZ:
+		if c.ZF {
+			next = in.Imm
+			c.Cycles++
+		}
+	case OpJNZ:
+		if !c.ZF {
+			next = in.Imm
+			c.Cycles++
+		}
+	case OpJC:
+		if c.CF {
+			next = in.Imm
+			c.Cycles++
+		}
+	case OpJNC:
+		if !c.CF {
+			next = in.Imm
+			c.Cycles++
+		}
+	case OpJN:
+		if c.NF {
+			next = in.Imm
+			c.Cycles++
+		}
+	case OpJGE:
+		if c.GE {
+			next = in.Imm
+			c.Cycles++
+		}
+	case OpJLT:
+		if !c.GE {
+			next = in.Imm
+			c.Cycles++
+		}
+	case OpCALL:
+		c.R[SP] -= 2
+		c.Bus.Write16(c.R[SP], next)
+		c.Cycles += c.Bus.AccessCycles(c.R[SP], true)
+		next = in.Imm
+	case OpRET:
+		next = c.Bus.Read16(c.R[SP])
+		c.Cycles += c.Bus.AccessCycles(c.R[SP], false)
+		c.R[SP] += 2
+	case OpSYS:
+		c.PC = next // handler sees the post-trap PC
+		if c.Sys != nil {
+			c.Sys(in.Imm, c)
+		}
+		return in, nil
+	case OpCHK:
+		c.PC = next // checkpoint captures the resume point past the trap
+		if c.Checkpoint != nil {
+			c.Checkpoint(c)
+		}
+		return in, nil
+	default:
+		c.Halted = true
+		return in, fmt.Errorf("isa: unimplemented opcode %v", in.Op)
+	}
+	c.PC = next
+	return in, nil
+}
+
+// add performs dst += v with flag updates.
+func (c *Core) add(dst uint8, v uint16) {
+	a := c.R[dst]
+	sum := uint32(a) + uint32(v)
+	c.R[dst] = uint16(sum)
+	c.CF = sum > 0xffff
+	c.setZN(c.R[dst])
+	// Signed comparison semantics are defined for SUB/CMP only, but keep
+	// GE coherent for ADD as "result >= 0 signed".
+	c.GE = int16(c.R[dst]) >= 0
+}
+
+// sub computes a - b, sets all flags, and returns the result. CF follows
+// the MSP430 convention: set when no borrow occurred (a >= b unsigned).
+func (c *Core) sub(a, b uint16) uint16 {
+	r := a - b
+	c.CF = a >= b
+	c.setZN(r)
+	c.GE = int16(a) >= int16(b)
+	return r
+}
+
+// Run executes instructions until the core halts, maxSteps is reached, or
+// an error occurs. It returns the number of instructions retired.
+func (c *Core) Run(maxSteps int) (int, error) {
+	for i := 0; i < maxSteps; i++ {
+		if c.Halted {
+			return i, nil
+		}
+		if _, err := c.Step(); err != nil {
+			return i, err
+		}
+	}
+	return maxSteps, nil
+}
+
+// FlatRAM is a simple zero-wait 64 KiB memory, primarily for tests and the
+// standalone assembler tool.
+type FlatRAM struct {
+	Mem [65536]byte
+}
+
+// Read8 implements Bus.
+func (m *FlatRAM) Read8(addr uint16) byte { return m.Mem[addr] }
+
+// Write8 implements Bus.
+func (m *FlatRAM) Write8(addr uint16, v byte) { m.Mem[addr] = v }
+
+// Read16 implements Bus (little endian, unaligned allowed).
+func (m *FlatRAM) Read16(addr uint16) uint16 {
+	return uint16(m.Mem[addr]) | uint16(m.Mem[addr+1])<<8
+}
+
+// Write16 implements Bus.
+func (m *FlatRAM) Write16(addr uint16, v uint16) {
+	m.Mem[addr] = byte(v)
+	m.Mem[addr+1] = byte(v >> 8)
+}
+
+// AccessCycles implements Bus (zero wait states).
+func (m *FlatRAM) AccessCycles(uint16, bool) uint64 { return 0 }

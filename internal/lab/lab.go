@@ -1,0 +1,174 @@
+// Package lab wires a guest workload, a simulated MCU, an optional
+// transient runtime, and an energy source into one experiment and runs it:
+// the shared bench all figure reproductions, tests, and examples drive.
+//
+// The loop alternates rail integration with device ticks at a fixed step,
+// counts workload completions (verifying each result against the
+// workload's host-computed reference), and optionally records V_CC, the
+// DFS frequency, and device mode into a trace recorder.
+package lab
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/circuit"
+	"repro/internal/isa"
+	"repro/internal/mcu"
+	"repro/internal/programs"
+	"repro/internal/source"
+	"repro/internal/trace"
+)
+
+// Setup describes one experiment.
+type Setup struct {
+	Workload *programs.Workload
+	Params   mcu.Params
+
+	// Configure, if non-nil, runs right after the device is built and
+	// before the runtime attaches — the hook for wiring peripherals
+	// (periph.Attach) or tweaking device state.
+	Configure func(d *mcu.Device)
+
+	// MakeRuntime, if non-nil, builds the transient runtime after the
+	// device exists (runtimes often need device parameters and the rail
+	// capacitance for calibration). Return nil for a bare device.
+	MakeRuntime func(d *mcu.Device) mcu.Runtime
+
+	// Exactly one energy source is usually set; both may be set for
+	// hybrid supplies, neither for a dead rail.
+	VSource source.VoltageSource
+	PSource source.PowerSource
+
+	C     float64 // rail storage capacitance, farads
+	V0    float64 // initial rail voltage
+	LeakR float64 // parallel leakage resistance on the rail; 0 = none
+	Dt    float64 // simulation step; default 5 µs
+
+	Duration float64 // simulated seconds
+
+	// Tracing (optional).
+	Recorder       *trace.Recorder
+	RecordInterval float64 // min spacing between recorded samples
+
+	// OnTick, if non-nil, runs after every simulation step — governors
+	// (power-neutral DFS) hook in here.
+	OnTick func(t float64, d *mcu.Device, rail *circuit.Rail)
+}
+
+// Result summarises a run.
+type Result struct {
+	Completions     int       // correct workload iterations finished
+	WrongResults    int       // iterations finishing with a wrong checksum
+	CompletionTimes []float64 // simulated time of each completion
+
+	Stats      mcu.Stats
+	HarvestedJ float64
+	ConsumedJ  float64
+	FinalV     float64
+	RuntimeErr error // guest fault, if any
+
+	FirstCompletion float64 // time of first completion, or -1
+}
+
+// Throughput returns completions per simulated second.
+func (r Result) Throughput(duration float64) float64 {
+	if duration <= 0 {
+		return 0
+	}
+	return float64(r.Completions) / duration
+}
+
+// EnergyPerCompletion returns consumed joules per correct completion
+// (+Inf if none).
+func (r Result) EnergyPerCompletion() float64 {
+	if r.Completions == 0 {
+		return math.Inf(1)
+	}
+	return r.ConsumedJ / float64(r.Completions)
+}
+
+// Run executes the experiment.
+func Run(s Setup) (Result, error) {
+	if s.Workload == nil {
+		return Result{}, fmt.Errorf("lab: no workload")
+	}
+	if s.Dt <= 0 {
+		s.Dt = 5e-6
+	}
+	prog, err := isa.Assemble(s.Workload.Source)
+	if err != nil {
+		return Result{}, fmt.Errorf("lab: assemble %s: %w", s.Workload.Name, err)
+	}
+	d := mcu.New(s.Params, prog)
+
+	var res Result
+	res.FirstCompletion = -1
+	expected := s.Workload.Expected
+	d.SysHandler = func(code uint16, c *isa.Core) {
+		if code != programs.SysDone {
+			return
+		}
+		if c.R[1] == expected {
+			res.Completions++
+			res.CompletionTimes = append(res.CompletionTimes, d.Now())
+			if res.FirstCompletion < 0 {
+				res.FirstCompletion = d.Now()
+			}
+		} else {
+			res.WrongResults++
+		}
+	}
+
+	if s.Configure != nil {
+		s.Configure(d)
+	}
+	if s.MakeRuntime != nil {
+		if rt := s.MakeRuntime(d); rt != nil {
+			d.Attach(rt)
+		}
+	}
+
+	cap := circuit.NewCapacitor(s.C, s.V0)
+	cap.LeakR = s.LeakR
+	rail := circuit.NewRail(cap)
+	rail.VSource = s.VSource
+	rail.PSource = s.PSource
+	rail.AddLoad(d)
+
+	if s.Recorder != nil && s.RecordInterval > 0 {
+		s.Recorder.SetInterval(s.RecordInterval)
+	}
+
+	steps := int(s.Duration / s.Dt)
+	for i := 0; i < steps; i++ {
+		v := rail.Step(s.Dt)
+		t := rail.Now()
+		d.Tick(v, s.Dt)
+		if s.OnTick != nil {
+			s.OnTick(t, d, rail)
+		}
+		if s.Recorder != nil {
+			s.Recorder.Record("vcc", "V", t, v)
+			s.Recorder.Record("freq", "MHz", t, d.Freq()/1e6)
+			s.Recorder.Record("mode", "", t, float64(d.Mode()))
+		}
+	}
+
+	res.Stats = d.Stats
+	res.HarvestedJ = rail.HarvestedJ
+	res.ConsumedJ = rail.ConsumedJ
+	res.FinalV = cap.V
+	res.RuntimeErr = d.Err
+	return res, nil
+}
+
+// MustRun is Run that panics on setup errors — for benchmarks and examples
+// where the setup is statically known to be valid.
+func MustRun(s Setup) Result {
+	r, err := Run(s)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}

@@ -1,0 +1,187 @@
+package lab
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/circuit"
+	"repro/internal/mcu"
+	"repro/internal/programs"
+	"repro/internal/source"
+	"repro/internal/trace"
+)
+
+func TestRunStablePowerCompletes(t *testing.T) {
+	s := Setup{
+		Workload: programs.Fib(24, programs.DefaultLayout()),
+		Params:   mcu.DefaultParams(),
+		VSource:  &source.ConstantVoltage{V: 3.3, Rs: 50},
+		C:        10e-6,
+		Duration: 0.05,
+	}
+	res, err := Run(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Completions == 0 {
+		t.Fatal("no completions under stable power")
+	}
+	if res.WrongResults != 0 {
+		t.Errorf("wrong results: %d", res.WrongResults)
+	}
+	if res.FirstCompletion <= 0 {
+		t.Error("first completion time not recorded")
+	}
+	if len(res.CompletionTimes) != res.Completions {
+		t.Error("completion times length mismatch")
+	}
+	if res.HarvestedJ <= 0 || res.ConsumedJ <= 0 {
+		t.Error("energy accounting missing")
+	}
+	if res.FinalV <= 0 {
+		t.Error("final voltage missing")
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	if _, err := Run(Setup{}); err == nil {
+		t.Error("missing workload should error")
+	}
+	bad := Setup{Workload: &programs.Workload{Name: "x", Source: "FROB"}}
+	if _, err := Run(bad); err == nil || !strings.Contains(err.Error(), "assemble") {
+		t.Errorf("assembly failure should surface: %v", err)
+	}
+}
+
+func TestRunDefaultDt(t *testing.T) {
+	s := Setup{
+		Workload: programs.Fib(5, programs.DefaultLayout()),
+		Params:   mcu.DefaultParams(),
+		VSource:  &source.ConstantVoltage{V: 3.3, Rs: 50},
+		C:        10e-6,
+		Duration: 0.001,
+	}
+	// Dt unset: must default rather than loop forever / divide by zero.
+	if _, err := Run(s); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunRecordsSeries(t *testing.T) {
+	rec := trace.NewRecorder()
+	s := Setup{
+		Workload:       programs.Fib(24, programs.DefaultLayout()),
+		Params:         mcu.DefaultParams(),
+		VSource:        &source.ConstantVoltage{V: 3.3, Rs: 50},
+		C:              10e-6,
+		Duration:       0.01,
+		Recorder:       rec,
+		RecordInterval: 1e-4,
+	}
+	if _, err := Run(s); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"vcc", "freq", "mode"} {
+		sr := rec.Series(name)
+		if sr == nil || sr.Len() == 0 {
+			t.Errorf("series %q not recorded", name)
+		}
+	}
+	// Interval respected: 0.01s / 1e-4 ≈ 100 samples, not 2000.
+	if n := rec.Series("vcc").Len(); n > 150 {
+		t.Errorf("recorder interval ignored: %d samples", n)
+	}
+}
+
+func TestOnTickInvoked(t *testing.T) {
+	ticks := 0
+	s := Setup{
+		Workload: programs.Fib(5, programs.DefaultLayout()),
+		Params:   mcu.DefaultParams(),
+		VSource:  &source.ConstantVoltage{V: 3.3, Rs: 50},
+		C:        10e-6,
+		Duration: 0.001,
+		Dt:       1e-5,
+		OnTick: func(tm float64, d *mcu.Device, rail *circuit.Rail) {
+			ticks++
+			if d == nil || rail == nil {
+				t.Fatal("nil hook arguments")
+			}
+		},
+	}
+	if _, err := Run(s); err != nil {
+		t.Fatal(err)
+	}
+	if ticks != 100 {
+		t.Errorf("OnTick fired %d times, want 100", ticks)
+	}
+}
+
+func TestResultHelpers(t *testing.T) {
+	r := Result{Completions: 4, ConsumedJ: 8e-6}
+	if got := r.Throughput(2); got != 2 {
+		t.Errorf("throughput = %g", got)
+	}
+	if got := r.Throughput(0); got != 0 {
+		t.Errorf("degenerate throughput = %g", got)
+	}
+	if got := r.EnergyPerCompletion(); math.Abs(got-2e-6) > 1e-18 {
+		t.Errorf("energy/op = %g", got)
+	}
+	empty := Result{ConsumedJ: 1}
+	if !math.IsInf(empty.EnergyPerCompletion(), 1) {
+		t.Error("zero completions should be +Inf energy/op")
+	}
+}
+
+func TestMustRunPanicsOnBadSetup(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustRun should panic on invalid setup")
+		}
+	}()
+	MustRun(Setup{})
+}
+
+func TestWrongResultDetection(t *testing.T) {
+	// Deliberately corrupt the expected checksum: every completion must be
+	// counted as wrong, none as correct.
+	w := programs.Fib(10, programs.DefaultLayout())
+	w.Expected++
+	s := Setup{
+		Workload: w,
+		Params:   mcu.DefaultParams(),
+		VSource:  &source.ConstantVoltage{V: 3.3, Rs: 50},
+		C:        10e-6,
+		Duration: 0.01,
+	}
+	res, err := Run(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Completions != 0 {
+		t.Error("corrupted expectation should yield zero correct completions")
+	}
+	if res.WrongResults == 0 {
+		t.Error("wrong results not counted")
+	}
+}
+
+func TestPowerSourceSetup(t *testing.T) {
+	// A power source (rather than voltage source) must also drive the rail.
+	s := Setup{
+		Workload: programs.Fib(24, programs.DefaultLayout()),
+		Params:   mcu.DefaultParams(),
+		PSource:  &source.ConstantPower{P: 20e-3},
+		C:        47e-6,
+		Duration: 0.1,
+	}
+	res, err := Run(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Completions == 0 {
+		t.Error("power-source rail never ran the workload")
+	}
+}

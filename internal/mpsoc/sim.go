@@ -1,0 +1,91 @@
+package mpsoc
+
+import "math"
+
+// SimResult summarises a time-domain power-neutral MPSoC run.
+type SimResult struct {
+	Steps         int
+	Frames        float64 // total frames rendered
+	MeanFPS       float64
+	MeanBudgetW   float64
+	MeanUsedW     float64
+	Utilization   float64 // used power / budget, where a point fit
+	Starved       int     // steps where even the lowest point didn't fit
+	Switches      int     // operating-point changes
+	MaxSustainedW float64 // largest budget observed
+}
+
+// Simulate runs the power-neutral selector against a time-varying power
+// budget for duration seconds at step dt: at every control step the
+// highest-FPS operating point fitting the instantaneous budget is chosen
+// (the runtime policy of [11]). Frames accumulate at the selected point's
+// rate; steps whose budget cannot fit even the cheapest point render
+// nothing (the board must buffer or power down).
+func (s *Selector) Simulate(budget func(t float64) float64, duration, dt float64) SimResult {
+	var res SimResult
+	var sumFPS, sumBudget, sumUsed, sumUtil float64
+	utilSamples := 0
+	lastPoint := -1
+	steps := int(math.Round(duration / dt))
+	for i := 0; i < steps; i++ {
+		t := float64(i) * dt
+		w := budget(t)
+		res.MaxSustainedW = math.Max(res.MaxSustainedW, w)
+		sumBudget += w
+		op, ok := s.Pick(w)
+		if !ok {
+			res.Starved++
+			if lastPoint != -1 {
+				res.Switches++
+				lastPoint = -1
+			}
+			continue
+		}
+		// Identify the frontier index for switch counting.
+		idx := s.frontierIndex(op)
+		if idx != lastPoint {
+			if lastPoint != -2 { // not first step
+				res.Switches++
+			}
+			lastPoint = idx
+		}
+		res.Frames += op.FPS * dt
+		sumFPS += op.FPS
+		sumUsed += op.PowerW
+		sumUtil += op.PowerW / math.Max(w, 1e-9)
+		utilSamples++
+	}
+	res.Steps = steps
+	if steps > 0 {
+		res.MeanFPS = sumFPS / float64(steps)
+		res.MeanBudgetW = sumBudget / float64(steps)
+		res.MeanUsedW = sumUsed / float64(steps)
+	}
+	if utilSamples > 0 {
+		res.Utilization = sumUtil / float64(utilSamples)
+	}
+	if res.Switches > 0 {
+		res.Switches-- // the first selection is not a switch
+	}
+	return res
+}
+
+// frontierIndex locates op in the frontier by power (unique per point).
+func (s *Selector) frontierIndex(op OperatingPoint) int {
+	for i, p := range s.Frontier {
+		if p.PowerW == op.PowerW && p.FPS == op.FPS {
+			return i
+		}
+	}
+	return -1
+}
+
+// SolarBudget returns a day-shaped power budget: base watts overnight,
+// rising to peak at solar noon, over a period of periodSec.
+func SolarBudget(base, peak, periodSec float64) func(t float64) float64 {
+	return func(t float64) float64 {
+		phase := math.Mod(t, periodSec) / periodSec // 0..1
+		s := math.Sin(math.Pi * phase)
+		return base + (peak-base)*s*s
+	}
+}

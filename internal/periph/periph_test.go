@@ -1,0 +1,200 @@
+package periph
+
+import (
+	"testing"
+
+	"repro/internal/lab"
+	"repro/internal/mcu"
+	"repro/internal/programs"
+	"repro/internal/source"
+	"repro/internal/transient"
+)
+
+func TestBankRegisterDefaults(t *testing.T) {
+	b := NewBank()
+	if b.ReadReg(RegADCGain) != 1 {
+		t.Error("default gain should be 1")
+	}
+	if b.ReadReg(RegADCCtrl) != 0 {
+		t.Error("ADC should power on disabled")
+	}
+	// Disabled ADC reads zero and does not advance the sequencer.
+	if b.ReadReg(RegADCData) != 0 || b.SamplesRead != 0 {
+		t.Error("disabled ADC must read 0")
+	}
+}
+
+func TestADCGainAndSequence(t *testing.T) {
+	b := NewBank()
+	b.WriteReg(RegADCCtrl, 1)
+	b.WriteReg(RegADCGain, 3)
+	v0 := b.ReadReg(RegADCData)
+	v1 := b.ReadReg(RegADCData)
+	if v0 != 3*RawSample(0, 0) || v1 != 3*RawSample(0, 1) {
+		t.Errorf("gained samples = %d,%d want %d,%d", v0, v1, 3*RawSample(0, 0), 3*RawSample(0, 1))
+	}
+	// Channel select changes the raw value.
+	b.WriteReg(RegADCChan, 2)
+	if got := b.ReadReg(RegADCData); got != 3*RawSample(2, 2) {
+		t.Errorf("channel sample = %d, want %d", got, 3*RawSample(2, 2))
+	}
+	// Saturation at 255.
+	b.WriteReg(RegADCGain, 255)
+	if got := b.ReadReg(RegADCData); got != 255 {
+		t.Errorf("saturated sample = %d, want 255", got)
+	}
+}
+
+func TestRadioHandshake(t *testing.T) {
+	b := NewBank()
+	b.WriteReg(RegRadTx, 0x42) // unconfigured: dropped
+	if len(b.TxDelivered) != 0 || b.TxDropped != 1 {
+		t.Error("unconfigured radio must drop")
+	}
+	b.WriteReg(RegRadCfg, RadioMagic)
+	b.WriteReg(RegRadTx, 0x42)
+	if len(b.TxDelivered) != 1 || b.TxDelivered[0] != 0x42 {
+		t.Error("configured radio must deliver")
+	}
+}
+
+func TestAuxStateRoundTrip(t *testing.T) {
+	b := NewBank()
+	b.WriteReg(RegADCCtrl, 1)
+	b.WriteReg(RegADCGain, 7)
+	b.WriteReg(RegADCChan, 3)
+	b.WriteReg(RegRadCfg, RadioMagic)
+	b.ReadReg(RegADCData) // advance seq
+	b.ReadReg(RegADCData)
+	snap := b.Capture()
+	b.Reset()
+	if b.ReadReg(RegADCGain) != 1 {
+		t.Fatal("reset did not restore defaults")
+	}
+	b.Restore(snap)
+	if b.ReadReg(RegADCGain) != 7 || b.ReadReg(RegADCChan) != 3 ||
+		b.ReadReg(RegRadCfg) != RadioMagic {
+		t.Error("restore lost register state")
+	}
+	// Sequence continues where it left off.
+	if got := b.ReadReg(RegADCData); got != 7*RawSample(3, 2) {
+		t.Errorf("post-restore sample = %d, want %d", got, 7*RawSample(3, 2))
+	}
+	// Short restores are ignored, not panics.
+	b.Restore([]byte{1, 2})
+}
+
+func TestExpectedSumReference(t *testing.T) {
+	// Hand-check a tiny case: n=2, gain=2, channel 0.
+	want := uint16(2*RawSample(0, 0)) + uint16(2*RawSample(0, 1))
+	if got := ExpectedSum(2, 2, 0); got != want {
+		t.Errorf("ExpectedSum = %d, want %d", got, want)
+	}
+}
+
+func TestSenseWorkloadStablePower(t *testing.T) {
+	// Under stable power the guest must reproduce the host reference sum
+	// and deliver every transmission.
+	var bank *Bank
+	res, err := lab.Run(lab.Setup{
+		Workload:  SenseWorkload(64, 3, programs.DefaultLayout()),
+		Params:    mcu.DefaultParams(),
+		Configure: func(d *mcu.Device) { bank = Attach(d, false) },
+		VSource:   &source.ConstantVoltage{V: 3.3, Rs: 50},
+		C:         10e-6,
+		Duration:  0.05,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Completions == 0 || res.WrongResults != 0 {
+		t.Fatalf("stable run: %d ok, %d wrong", res.Completions, res.WrongResults)
+	}
+	if bank.TxDropped != 0 {
+		t.Errorf("%d transmissions dropped under stable power", bank.TxDropped)
+	}
+	if len(bank.TxDelivered) == 0 {
+		t.Error("no transmissions delivered")
+	}
+}
+
+// periphSetup builds the intermittent-supply scenario for the
+// naive-vs-aware comparison.
+func periphSetup(aware bool, bank **Bank) lab.Setup {
+	return lab.Setup{
+		Workload:  SenseWorkload(64, 3, programs.DefaultLayout()),
+		Params:    mcu.DefaultParams(),
+		Configure: func(d *mcu.Device) { *bank = Attach(d, aware) },
+		MakeRuntime: func(d *mcu.Device) mcu.Runtime {
+			return transient.NewHibernus(d, 10e-6, 1.1, 0.35)
+		},
+		VSource:  &source.SquareWaveVoltage{High: 3.3, OnTime: 0.004, OffTime: 0.150, Rs: 100},
+		C:        10e-6,
+		LeakR:    50e3,
+		Duration: 3.0,
+	}
+}
+
+func TestNaiveCheckpointingCorruptsPeripheralWork(t *testing.T) {
+	// The paper's discussion-gap, demonstrated: hibernus restores CPU and
+	// RAM perfectly, but the restored program believes it already
+	// configured the ADC gain and the radio — which a brown-out silently
+	// reset. Results are wrong and transmissions vanish.
+	var bank *Bank
+	res, err := lab.Run(periphSetup(false, &bank))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.BrownOuts == 0 {
+		t.Fatal("testbed produced no outages")
+	}
+	if res.WrongResults == 0 {
+		t.Error("naive restore should produce wrong results (stale calibration)")
+	}
+	if bank.TxDropped == 0 {
+		t.Error("naive restore should drop transmissions (deaf radio)")
+	}
+}
+
+func TestAwareCheckpointingPreservesPeripheralWork(t *testing.T) {
+	var bank *Bank
+	res, err := lab.Run(periphSetup(true, &bank))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.BrownOuts == 0 {
+		t.Fatal("testbed produced no outages")
+	}
+	if res.Completions == 0 {
+		t.Fatal("aware system made no progress")
+	}
+	if res.WrongResults != 0 {
+		t.Errorf("aware restore still produced %d wrong results", res.WrongResults)
+	}
+	if bank.TxDropped != 0 {
+		t.Errorf("aware restore still dropped %d transmissions", bank.TxDropped)
+	}
+}
+
+func TestAwareSnapshotIsLarger(t *testing.T) {
+	// Peripheral awareness costs snapshot bytes — the trade the paper's
+	// discussion implies. Verify it is visible and bounded.
+	w := SenseWorkload(8, 1, programs.DefaultLayout())
+	mk := func(aware bool) *mcu.Device {
+		p, err := asm(w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d := mcu.New(mcu.DefaultParams(), p)
+		Attach(d, aware)
+		return d
+	}
+	naive := mk(false).SnapshotBytes(mcu.SnapFull)
+	aware := mk(true).SnapshotBytes(mcu.SnapFull)
+	if aware <= naive {
+		t.Errorf("aware snapshot (%d B) should exceed naive (%d B)", aware, naive)
+	}
+	if aware-naive > 64 {
+		t.Errorf("peripheral state added %d B; expected a small register file", aware-naive)
+	}
+}

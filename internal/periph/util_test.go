@@ -1,0 +1,11 @@
+package periph
+
+import (
+	"repro/internal/isa"
+	"repro/internal/programs"
+)
+
+// asm assembles a workload for tests.
+func asm(w *programs.Workload) (*isa.Program, error) {
+	return isa.Assemble(w.Source)
+}

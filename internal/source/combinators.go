@@ -1,0 +1,161 @@
+package source
+
+import "math"
+
+// Rectified wraps a VoltageSource with an ideal-diode rectifier: half-wave
+// (negative half-cycles clipped to zero) or full-wave (absolute value),
+// minus a forward diode drop. This is the "half-wave rectified sine-wave
+// voltage" supply of the paper's Figs. 7 and 8.
+type Rectified struct {
+	Source   VoltageSource
+	FullWave bool
+	DiodeV   float64 // forward drop per conducting diode, volts
+}
+
+// HalfWave returns a half-wave rectified view of src with the given diode
+// drop.
+func HalfWave(src VoltageSource, diodeV float64) *Rectified {
+	return &Rectified{Source: src, DiodeV: diodeV}
+}
+
+// FullWaveRect returns a full-wave (bridge) rectified view of src. A bridge
+// has two conducting diodes in the path, so the drop is applied twice.
+func FullWaveRect(src VoltageSource, diodeV float64) *Rectified {
+	return &Rectified{Source: src, FullWave: true, DiodeV: diodeV}
+}
+
+// Voltage implements VoltageSource.
+func (r *Rectified) Voltage(t float64) float64 {
+	v := r.Source.Voltage(t)
+	if r.FullWave {
+		v = math.Abs(v) - 2*r.DiodeV
+	} else {
+		v -= r.DiodeV
+	}
+	if v < 0 {
+		return 0
+	}
+	return v
+}
+
+// SeriesResistance implements VoltageSource, passing through the wrapped
+// source's resistance.
+func (r *Rectified) SeriesResistance() float64 { return r.Source.SeriesResistance() }
+
+// ScaledVoltage scales a VoltageSource's output by Gain (e.g. a transformer
+// or attenuator) and its resistance by Gain² (impedance transformation).
+type ScaledVoltage struct {
+	Source VoltageSource
+	Gain   float64
+}
+
+// Voltage implements VoltageSource.
+func (s *ScaledVoltage) Voltage(t float64) float64 { return s.Gain * s.Source.Voltage(t) }
+
+// SeriesResistance implements VoltageSource.
+func (s *ScaledVoltage) SeriesResistance() float64 {
+	return s.Gain * s.Gain * s.Source.SeriesResistance()
+}
+
+// ScaledPower scales a PowerSource by a constant efficiency factor.
+type ScaledPower struct {
+	Source PowerSource
+	Gain   float64
+}
+
+// Power implements PowerSource.
+func (s *ScaledPower) Power(t float64) float64 { return s.Gain * s.Source.Power(t) }
+
+// SumPower superimposes several power sources (multi-source harvesting).
+type SumPower struct {
+	Sources []PowerSource
+}
+
+// Power implements PowerSource.
+func (s *SumPower) Power(t float64) float64 {
+	var p float64
+	for _, src := range s.Sources {
+		p += src.Power(t)
+	}
+	return p
+}
+
+// ConstantPower is a fixed available-power supply (the "battery/mains"
+// reference point of the taxonomy: virtually unlimited power until
+// exhausted).
+type ConstantPower struct {
+	P float64
+}
+
+// Power implements PowerSource.
+func (c *ConstantPower) Power(float64) float64 { return c.P }
+
+// ConstantVoltage is a fixed open-circuit voltage with series resistance —
+// a bench supply or an idealised battery terminal.
+type ConstantVoltage struct {
+	V  float64
+	Rs float64
+}
+
+// Voltage implements VoltageSource.
+func (c *ConstantVoltage) Voltage(float64) float64 { return c.V }
+
+// SeriesResistance implements VoltageSource.
+func (c *ConstantVoltage) SeriesResistance() float64 { return c.Rs }
+
+// GatedVoltage turns a VoltageSource on and off according to a schedule of
+// [start, end) windows — used to model supply outages at controlled times
+// (e.g. the eq. 5 crossover sweep drives outages at a set frequency).
+type GatedVoltage struct {
+	Source  VoltageSource
+	Windows [][2]float64 // on-intervals; outside all windows output is 0
+	Invert  bool         // if true, windows are outages instead
+}
+
+// Voltage implements VoltageSource.
+func (g *GatedVoltage) Voltage(t float64) float64 {
+	in := false
+	for _, w := range g.Windows {
+		if t >= w[0] && t < w[1] {
+			in = true
+			break
+		}
+	}
+	if in != g.Invert {
+		return g.Source.Voltage(t)
+	}
+	return 0
+}
+
+// SeriesResistance implements VoltageSource.
+func (g *GatedVoltage) SeriesResistance() float64 { return g.Source.SeriesResistance() }
+
+// SquareWaveVoltage produces a square supply alternating between High for
+// OnTime seconds and 0 for OffTime seconds — the canonical controlled
+// intermittent supply for runtime comparisons (outage frequency
+// = 1/(OnTime+OffTime)).
+type SquareWaveVoltage struct {
+	High    float64
+	OnTime  float64
+	OffTime float64
+	Rs      float64
+}
+
+// Voltage implements VoltageSource.
+func (s *SquareWaveVoltage) Voltage(t float64) float64 {
+	period := s.OnTime + s.OffTime
+	if period <= 0 {
+		return s.High
+	}
+	phase := math.Mod(t, period)
+	if phase < 0 {
+		phase += period
+	}
+	if phase < s.OnTime {
+		return s.High
+	}
+	return 0
+}
+
+// SeriesResistance implements VoltageSource.
+func (s *SquareWaveVoltage) SeriesResistance() float64 { return s.Rs }

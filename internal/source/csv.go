@@ -1,0 +1,66 @@
+package source
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// LoadTraceCSV reads a recorded harvester waveform from CSV into a
+// TraceSource. The expected shape is a header row followed by rows whose
+// first column is the timestamp in seconds and whose valueCol-th column
+// (0-based, so usually 1) is the value — the format written by
+// trace.Recorder.WriteCSV and typical of published harvesting datasets
+// (the paper's experimental data is published at DOI
+// 10.5258/SOTON/404058 in this shape).
+//
+// Rows must be in non-decreasing time order. Blank lines are skipped;
+// a malformed row aborts with an error naming the line.
+func LoadTraceCSV(r io.Reader, valueCol int, loop bool, rs float64) (*TraceSource, error) {
+	if valueCol < 1 {
+		return nil, fmt.Errorf("source: value column must be ≥ 1 (column 0 is time)")
+	}
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = -1
+	rows, err := cr.ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("source: reading trace CSV: %w", err)
+	}
+	ts := &TraceSource{Loop: loop, Rs: rs}
+	for i, row := range rows {
+		if i == 0 && !looksNumeric(row[0]) {
+			continue // header
+		}
+		if len(row) == 0 || (len(row) == 1 && strings.TrimSpace(row[0]) == "") {
+			continue
+		}
+		if len(row) <= valueCol {
+			return nil, fmt.Errorf("source: row %d has %d columns, need ≥ %d", i+1, len(row), valueCol+1)
+		}
+		t, err := strconv.ParseFloat(strings.TrimSpace(row[0]), 64)
+		if err != nil {
+			return nil, fmt.Errorf("source: row %d: bad timestamp %q", i+1, row[0])
+		}
+		v, err := strconv.ParseFloat(strings.TrimSpace(row[valueCol]), 64)
+		if err != nil {
+			return nil, fmt.Errorf("source: row %d: bad value %q", i+1, row[valueCol])
+		}
+		if n := len(ts.Times); n > 0 && t < ts.Times[n-1] {
+			return nil, fmt.Errorf("source: row %d: time %g goes backwards", i+1, t)
+		}
+		ts.Times = append(ts.Times, t)
+		ts.Values = append(ts.Values, v)
+	}
+	if len(ts.Times) == 0 {
+		return nil, fmt.Errorf("source: trace CSV contains no samples")
+	}
+	return ts, nil
+}
+
+// looksNumeric reports whether s parses as a float.
+func looksNumeric(s string) bool {
+	_, err := strconv.ParseFloat(strings.TrimSpace(s), 64)
+	return err == nil
+}

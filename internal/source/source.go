@@ -1,0 +1,367 @@
+// Package source models the energy-harvesting supplies the paper's systems
+// operate from: micro wind turbines, indoor photovoltaic cells, RF and
+// kinetic harvesters, and the laboratory signal generator used to validate
+// hibernus (DC–20 Hz). Sources are pure functions of simulated time so that
+// experiments are deterministic and replayable.
+//
+// Two source abstractions are provided, mirroring how real harvesters are
+// attached to loads:
+//
+//   - VoltageSource: an open-circuit voltage waveform V_oc(t) plus a series
+//     (Thevenin) resistance. Wind turbines and signal generators are voltage
+//     sources; the circuit layer computes the current actually delivered
+//     into the storage node.
+//   - PowerSource: an available-power waveform P_h(t), as produced by a
+//     harvester behind an MPPT converter (the indoor PV cell of Fig. 1(b)
+//     is characterised this way in the paper).
+//
+// The Rectified and Scaled combinators compose sources, and TraceSource
+// replays recorded data.
+package source
+
+import (
+	"math"
+	"math/rand"
+)
+
+// VoltageSource is a supply characterised by its open-circuit voltage over
+// time and a constant series resistance.
+type VoltageSource interface {
+	// Voltage returns the open-circuit output voltage at time t (seconds).
+	Voltage(t float64) float64
+	// SeriesResistance returns the Thevenin source resistance in ohms.
+	SeriesResistance() float64
+}
+
+// PowerSource is a supply characterised by the power available for harvest
+// at time t, e.g. the output of an MPPT stage.
+type PowerSource interface {
+	// Power returns the available harvested power in watts at time t.
+	Power(t float64) float64
+}
+
+// SignalGenerator is the controlled laboratory source used to validate
+// hibernus: a sine (optionally offset) between DC and tens of Hz. At
+// Frequency == 0 it produces a DC level equal to Amplitude + Offset.
+type SignalGenerator struct {
+	Amplitude float64 // peak amplitude in volts
+	Frequency float64 // Hz; 0 means DC
+	Offset    float64 // DC offset in volts
+	Phase     float64 // radians
+	Rs        float64 // series resistance in ohms
+}
+
+// Voltage implements VoltageSource.
+func (g *SignalGenerator) Voltage(t float64) float64 {
+	if g.Frequency == 0 {
+		return g.Amplitude + g.Offset
+	}
+	return g.Offset + g.Amplitude*math.Sin(2*math.Pi*g.Frequency*t+g.Phase)
+}
+
+// SeriesResistance implements VoltageSource.
+func (g *SignalGenerator) SeriesResistance() float64 { return g.Rs }
+
+// WindTurbine models a micro wind turbine producing an AC voltage whose
+// envelope follows wind gusts, as in Fig. 1(a): during a gust the output is
+// a several-Hz AC waveform with a peak of a few volts that grows and decays
+// with the gust envelope.
+type WindTurbine struct {
+	PeakVoltage float64 // envelope peak in volts (≈6 V in Fig. 1(a))
+	ACFrequency float64 // electrical frequency in Hz (many Hz per the paper)
+	GustStart   float64 // gust onset time in seconds
+	GustRise    float64 // envelope rise time constant in seconds
+	GustFall    float64 // envelope decay time constant in seconds
+	GustHold    float64 // duration at full strength in seconds
+	Rs          float64 // series resistance in ohms
+}
+
+// DefaultWindTurbine returns parameters matching Fig. 1(a): a single gust
+// over roughly 8 s, ±6 V peak, AC at a handful of hertz.
+func DefaultWindTurbine() *WindTurbine {
+	return &WindTurbine{
+		PeakVoltage: 6.0,
+		ACFrequency: 4.7,
+		GustStart:   0.5,
+		GustRise:    0.8,
+		GustHold:    3.0,
+		GustFall:    1.5,
+		Rs:          90,
+	}
+}
+
+// Envelope returns the gust envelope (0..1) at time t.
+func (w *WindTurbine) Envelope(t float64) float64 {
+	switch {
+	case t < w.GustStart:
+		return 0
+	case t < w.GustStart+w.GustRise:
+		// Smooth (raised-cosine) rise.
+		x := (t - w.GustStart) / w.GustRise
+		return 0.5 - 0.5*math.Cos(math.Pi*x)
+	case t < w.GustStart+w.GustRise+w.GustHold:
+		return 1
+	default:
+		dt := t - (w.GustStart + w.GustRise + w.GustHold)
+		return math.Exp(-dt / w.GustFall)
+	}
+}
+
+// Voltage implements VoltageSource: AC carrier scaled by the gust envelope.
+func (w *WindTurbine) Voltage(t float64) float64 {
+	return w.PeakVoltage * w.Envelope(t) * math.Sin(2*math.Pi*w.ACFrequency*t)
+}
+
+// SeriesResistance implements VoltageSource.
+func (w *WindTurbine) SeriesResistance() float64 { return w.Rs }
+
+// Photovoltaic models an indoor PV cell's harvested power over the day, as
+// in Fig. 1(b): a baseline harvest (always-on ambient lighting) with a
+// raised daytime plateau, smooth dawn/dusk transitions, and small
+// deterministic flicker. The paper's Fig. 1(b) reports harvested current at
+// a fixed operating voltage; Current() exposes that view directly.
+type Photovoltaic struct {
+	BaseCurrent float64 // overnight harvested current in amperes (≈280 µA)
+	PeakCurrent float64 // midday harvested current in amperes (≈430 µA)
+	OpVoltage   float64 // operating voltage used to convert current→power
+	DawnHour    float64 // local hour lights/sun come up (0–24)
+	DuskHour    float64 // local hour harvest decays (0–24)
+	EdgeHours   float64 // width of the dawn/dusk transition in hours
+	Flicker     float64 // relative amplitude of slow deterministic ripple
+}
+
+// DefaultPhotovoltaic returns parameters matching Fig. 1(b): 280–430 µA
+// over a two-day window with dawn ≈07:00 and dusk ≈19:00.
+func DefaultPhotovoltaic() *Photovoltaic {
+	return &Photovoltaic{
+		BaseCurrent: 280e-6,
+		PeakCurrent: 430e-6,
+		OpVoltage:   2.5,
+		DawnHour:    7,
+		DuskHour:    19,
+		EdgeHours:   1.5,
+		Flicker:     0.02,
+	}
+}
+
+// Current returns the harvested current in amperes at time t seconds from
+// local midnight of day zero.
+func (p *Photovoltaic) Current(t float64) float64 {
+	hour := math.Mod(t/3600.0, 24)
+	if hour < 0 {
+		hour += 24
+	}
+	day := smoothStep(hour, p.DawnHour, p.EdgeHours) *
+		(1 - smoothStep(hour, p.DuskHour, p.EdgeHours))
+	i := p.BaseCurrent + (p.PeakCurrent-p.BaseCurrent)*day
+	if p.Flicker > 0 {
+		// Slow deterministic ripple (occupancy/cloud proxy): two
+		// incommensurate sinusoids.
+		r := math.Sin(2*math.Pi*t/1700) * math.Sin(2*math.Pi*t/4100)
+		i *= 1 + p.Flicker*r*day
+	}
+	return i
+}
+
+// Power implements PowerSource as Current × OpVoltage.
+func (p *Photovoltaic) Power(t float64) float64 {
+	return p.Current(t) * p.OpVoltage
+}
+
+// smoothStep ramps 0→1 around center over width hours (raised cosine).
+func smoothStep(x, center, width float64) float64 {
+	if width <= 0 {
+		if x >= center {
+			return 1
+		}
+		return 0
+	}
+	lo, hi := center-width/2, center+width/2
+	switch {
+	case x <= lo:
+		return 0
+	case x >= hi:
+		return 1
+	default:
+		u := (x - lo) / width
+		return 0.5 - 0.5*math.Cos(math.Pi*u)
+	}
+}
+
+// RFBurst models an RFID/RF-power harvester: power arrives in bursts while
+// the reader illuminates the tag, with silence in between (the WISPCam
+// supply regime).
+type RFBurst struct {
+	BurstPower  float64 // power during illumination in watts
+	Period      float64 // seconds between burst starts
+	Duty        float64 // fraction of the period illuminated (0..1)
+	JitterFrac  float64 // relative jitter on burst start (deterministic hash)
+	IdleLeakage float64 // trickle power between bursts in watts
+}
+
+// Power implements PowerSource.
+func (r *RFBurst) Power(t float64) float64 {
+	if r.Period <= 0 {
+		return r.BurstPower
+	}
+	n := math.Floor(t / r.Period)
+	start := n * r.Period
+	if r.JitterFrac > 0 {
+		start += r.Period * r.JitterFrac * hashUnit(int64(n))
+	}
+	if t >= start && t < start+r.Duty*r.Period {
+		return r.BurstPower
+	}
+	return r.IdleLeakage
+}
+
+// hashUnit maps an integer deterministically to [-0.5, 0.5).
+func hashUnit(n int64) float64 {
+	x := uint64(n)*0x9e3779b97f4a7c15 + 0xbf58476d1ce4e5b9
+	x ^= x >> 31
+	x *= 0x94d049bb133111eb
+	x ^= x >> 29
+	return float64(x%1000000)/1000000 - 0.5
+}
+
+// Kinetic models a motion/vibration harvester as a train of decaying
+// impulses (e.g. heel strikes): each event injects a burst of power that
+// decays exponentially.
+type Kinetic struct {
+	EventEnergy float64 // energy per event in joules
+	EventPeriod float64 // mean seconds between events
+	Decay       float64 // exponential decay time constant in seconds
+	Seed        int64   // deterministic jitter seed
+	jitter      []float64
+}
+
+// eventTime returns the time of the n-th event with deterministic jitter.
+func (k *Kinetic) eventTime(n int) float64 {
+	base := float64(n) * k.EventPeriod
+	return base + 0.2*k.EventPeriod*hashUnit(int64(n)+k.Seed)
+}
+
+// Power implements PowerSource: the superposition of the most recent few
+// impulse decays (earlier ones have decayed to irrelevance).
+func (k *Kinetic) Power(t float64) float64 {
+	if k.EventPeriod <= 0 || k.Decay <= 0 {
+		return 0
+	}
+	peak := k.EventEnergy / k.Decay // so that ∫ P dt = EventEnergy
+	n := int(t / k.EventPeriod)
+	var p float64
+	for i := n - 3; i <= n+1; i++ {
+		if i < 0 {
+			continue
+		}
+		et := k.eventTime(i)
+		if et <= t {
+			p += peak * math.Exp(-(t-et)/k.Decay)
+		}
+	}
+	return p
+}
+
+// MarkovSource is a two-state (on/off) power source driven by a seeded
+// Markov chain sampled on a fixed slot width — a simple model of bursty
+// ambient energy (intermittent machinery, foot traffic).
+type MarkovSource struct {
+	OnPower  float64 // watts while in the on state
+	OffPower float64 // watts while in the off state
+	SlotLen  float64 // seconds per state slot
+	POnToOff float64 // transition probability per slot
+	POffToOn float64
+	Seed     int64
+
+	states []bool // memoised state per slot index
+	rng    *rand.Rand
+}
+
+// state returns the chain state for slot i, extending the memo as needed.
+func (m *MarkovSource) state(i int) bool {
+	if i < 0 {
+		return false
+	}
+	if m.rng == nil {
+		m.rng = rand.New(rand.NewSource(m.Seed))
+		m.states = append(m.states, true) // start on
+	}
+	for len(m.states) <= i {
+		prev := m.states[len(m.states)-1]
+		r := m.rng.Float64()
+		next := prev
+		if prev && r < m.POnToOff {
+			next = false
+		} else if !prev && r < m.POffToOn {
+			next = true
+		}
+		m.states = append(m.states, next)
+	}
+	return m.states[i]
+}
+
+// Power implements PowerSource.
+func (m *MarkovSource) Power(t float64) float64 {
+	if m.SlotLen <= 0 {
+		return m.OffPower
+	}
+	if m.state(int(t / m.SlotLen)) {
+		return m.OnPower
+	}
+	return m.OffPower
+}
+
+// TraceSource replays a recorded waveform with linear interpolation,
+// optionally looping. It can serve as either a VoltageSource or a
+// PowerSource depending on what the samples represent.
+type TraceSource struct {
+	Times  []float64
+	Values []float64
+	Loop   bool
+	Rs     float64
+}
+
+// sample interpolates the trace at time t.
+func (ts *TraceSource) sample(t float64) float64 {
+	n := len(ts.Times)
+	if n == 0 {
+		return 0
+	}
+	if ts.Loop && ts.Times[n-1] > ts.Times[0] {
+		span := ts.Times[n-1] - ts.Times[0]
+		t = ts.Times[0] + math.Mod(t-ts.Times[0], span)
+		if t < ts.Times[0] {
+			t += span
+		}
+	}
+	if t <= ts.Times[0] {
+		return ts.Values[0]
+	}
+	if t >= ts.Times[n-1] {
+		return ts.Values[n-1]
+	}
+	lo, hi := 0, n-1
+	for hi-lo > 1 {
+		mid := (lo + hi) / 2
+		if ts.Times[mid] <= t {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	t0, t1 := ts.Times[lo], ts.Times[hi]
+	v0, v1 := ts.Values[lo], ts.Values[hi]
+	if t1 == t0 {
+		return v1
+	}
+	return v0 + (v1-v0)*(t-t0)/(t1-t0)
+}
+
+// Voltage implements VoltageSource.
+func (ts *TraceSource) Voltage(t float64) float64 { return ts.sample(t) }
+
+// SeriesResistance implements VoltageSource.
+func (ts *TraceSource) SeriesResistance() float64 { return ts.Rs }
+
+// Power implements PowerSource.
+func (ts *TraceSource) Power(t float64) float64 { return ts.sample(t) }

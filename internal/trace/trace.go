@@ -1,0 +1,258 @@
+// Package trace records time series produced by the simulator and renders
+// them as CSV files, terminal sparklines, or multi-row ASCII plots.
+//
+// Every figure reproduced from the paper is ultimately a trace (or a set of
+// traces) captured by this package; the experiment harness serialises them
+// so that downstream plotting tools can regenerate the published artwork.
+package trace
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Point is a single (time, value) sample.
+type Point struct {
+	T float64 // seconds
+	V float64
+}
+
+// Series is an append-only time series with a name and unit annotation.
+type Series struct {
+	Name   string
+	Unit   string
+	Points []Point
+}
+
+// NewSeries returns an empty named series.
+func NewSeries(name, unit string) *Series {
+	return &Series{Name: name, Unit: unit}
+}
+
+// Append adds a sample at time t.
+func (s *Series) Append(t, v float64) {
+	s.Points = append(s.Points, Point{T: t, V: v})
+}
+
+// Len returns the number of samples.
+func (s *Series) Len() int { return len(s.Points) }
+
+// At returns the i-th sample.
+func (s *Series) At(i int) Point { return s.Points[i] }
+
+// Last returns the most recent sample, or a zero Point if empty.
+func (s *Series) Last() Point {
+	if len(s.Points) == 0 {
+		return Point{}
+	}
+	return s.Points[len(s.Points)-1]
+}
+
+// Values returns a copy of the sample values.
+func (s *Series) Values() []float64 {
+	vs := make([]float64, len(s.Points))
+	for i, p := range s.Points {
+		vs[i] = p.V
+	}
+	return vs
+}
+
+// Times returns a copy of the sample timestamps.
+func (s *Series) Times() []float64 {
+	ts := make([]float64, len(s.Points))
+	for i, p := range s.Points {
+		ts[i] = p.T
+	}
+	return ts
+}
+
+// Stats summarises a series.
+type Stats struct {
+	N               int
+	Min, Max        float64
+	Mean, RMS       float64
+	First, Last     float64
+	TMin, TMax      float64 // time range covered
+	MinAt, MaxAt    float64 // timestamps of extrema
+	Integral        float64 // trapezoidal ∫v dt over the series
+	CrossingsRising int     // rising crossings of the mean
+}
+
+// Summarize computes summary statistics. Integral uses the trapezoid rule,
+// so it is exact for piecewise-linear signals.
+func (s *Series) Summarize() Stats {
+	st := Stats{Min: math.Inf(1), Max: math.Inf(-1)}
+	st.N = len(s.Points)
+	if st.N == 0 {
+		st.Min, st.Max = 0, 0
+		return st
+	}
+	var sum, sumSq float64
+	for i, p := range s.Points {
+		if p.V < st.Min {
+			st.Min, st.MinAt = p.V, p.T
+		}
+		if p.V > st.Max {
+			st.Max, st.MaxAt = p.V, p.T
+		}
+		sum += p.V
+		sumSq += p.V * p.V
+		if i > 0 {
+			prev := s.Points[i-1]
+			st.Integral += 0.5 * (p.V + prev.V) * (p.T - prev.T)
+		}
+	}
+	st.Mean = sum / float64(st.N)
+	st.RMS = math.Sqrt(sumSq / float64(st.N))
+	st.First = s.Points[0].V
+	st.Last = s.Points[st.N-1].V
+	st.TMin = s.Points[0].T
+	st.TMax = s.Points[st.N-1].T
+	for i := 1; i < st.N; i++ {
+		if s.Points[i-1].V < st.Mean && s.Points[i].V >= st.Mean {
+			st.CrossingsRising++
+		}
+	}
+	return st
+}
+
+// Sample returns the linearly interpolated value at time t. Outside the
+// covered range it clamps to the first/last sample. An empty series
+// returns 0.
+func (s *Series) Sample(t float64) float64 {
+	n := len(s.Points)
+	if n == 0 {
+		return 0
+	}
+	if t <= s.Points[0].T {
+		return s.Points[0].V
+	}
+	if t >= s.Points[n-1].T {
+		return s.Points[n-1].V
+	}
+	// Binary search for the bracketing interval.
+	i := sort.Search(n, func(i int) bool { return s.Points[i].T > t })
+	a, b := s.Points[i-1], s.Points[i]
+	if b.T == a.T {
+		return b.V
+	}
+	frac := (t - a.T) / (b.T - a.T)
+	return a.V + frac*(b.V-a.V)
+}
+
+// Decimate returns a copy of the series keeping at most n points, chosen by
+// stride. It preserves the first and last samples. If the series already
+// has ≤ n points, the copy is exact.
+func (s *Series) Decimate(n int) *Series {
+	out := NewSeries(s.Name, s.Unit)
+	ln := len(s.Points)
+	if n <= 0 || ln == 0 {
+		return out
+	}
+	if ln <= n {
+		out.Points = append(out.Points, s.Points...)
+		return out
+	}
+	stride := float64(ln-1) / float64(n-1)
+	for i := 0; i < n; i++ {
+		idx := int(math.Round(float64(i) * stride))
+		if idx >= ln {
+			idx = ln - 1
+		}
+		out.Points = append(out.Points, s.Points[idx])
+	}
+	return out
+}
+
+// Recorder collects multiple named series sampled on a shared clock, with a
+// configurable minimum interval between stored samples to bound memory.
+type Recorder struct {
+	series   map[string]*Series
+	order    []string
+	interval float64 // minimum spacing between stored samples; 0 = keep all
+	lastT    map[string]float64
+}
+
+// NewRecorder returns a Recorder storing every sample. Use SetInterval to
+// decimate on the fly.
+func NewRecorder() *Recorder {
+	return &Recorder{
+		series: make(map[string]*Series),
+		lastT:  make(map[string]float64),
+	}
+}
+
+// SetInterval sets the minimum simulated-time spacing between stored
+// samples for all series. Samples arriving sooner are dropped.
+func (r *Recorder) SetInterval(dt float64) { r.interval = dt }
+
+// Record appends a sample to the named series, creating it on first use.
+func (r *Recorder) Record(name, unit string, t, v float64) {
+	s, ok := r.series[name]
+	if !ok {
+		s = NewSeries(name, unit)
+		r.series[name] = s
+		r.order = append(r.order, name)
+		r.lastT[name] = math.Inf(-1)
+	}
+	if r.interval > 0 && t-r.lastT[name] < r.interval && s.Len() > 0 {
+		return
+	}
+	r.lastT[name] = t
+	s.Append(t, v)
+}
+
+// Series returns the named series, or nil if it was never recorded.
+func (r *Recorder) Series(name string) *Series { return r.series[name] }
+
+// Names returns series names in first-recorded order.
+func (r *Recorder) Names() []string {
+	out := make([]string, len(r.order))
+	copy(out, r.order)
+	return out
+}
+
+// WriteCSV writes all series as aligned CSV columns (time, then one column
+// per series, values linearly interpolated onto the union of timestamps of
+// the first series). For experiment output where all series share a clock
+// this is exact.
+func (r *Recorder) WriteCSV(w io.Writer) error {
+	if len(r.order) == 0 {
+		_, err := fmt.Fprintln(w, "t")
+		return err
+	}
+	header := []string{"t"}
+	for _, name := range r.order {
+		s := r.series[name]
+		col := name
+		if s.Unit != "" {
+			col = fmt.Sprintf("%s(%s)", name, s.Unit)
+		}
+		header = append(header, col)
+	}
+	if _, err := fmt.Fprintln(w, strings.Join(header, ",")); err != nil {
+		return err
+	}
+	base := r.series[r.order[0]]
+	for _, p := range base.Points {
+		row := make([]string, 0, len(r.order)+1)
+		row = append(row, formatFloat(p.T))
+		for _, name := range r.order {
+			row = append(row, formatFloat(r.series[name].Sample(p.T)))
+		}
+		if _, err := fmt.Fprintln(w, strings.Join(row, ",")); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func formatFloat(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return fmt.Sprintf("%.0f", v)
+	}
+	return fmt.Sprintf("%.9g", v)
+}

@@ -1,0 +1,138 @@
+package transient
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/lab"
+	"repro/internal/mcu"
+	"repro/internal/programs"
+	"repro/internal/source"
+)
+
+// randomOutageSupply builds a seeded supply with irregular on/off windows:
+// on-times 2–20 ms, off-times 20–250 ms — a hostile, unpredictable energy
+// environment.
+func randomOutageSupply(seed int64, duration float64) source.VoltageSource {
+	rng := rand.New(rand.NewSource(seed))
+	g := &source.GatedVoltage{Source: &source.ConstantVoltage{V: 3.3, Rs: 100}}
+	t := 0.0
+	for t < duration {
+		on := 0.002 + rng.Float64()*0.018
+		off := 0.020 + rng.Float64()*0.230
+		g.Windows = append(g.Windows, [2]float64{t, t + on})
+		t += on + off
+	}
+	return g
+}
+
+// TestOutageFuzzNeverCorrupts is the headline correctness property of the
+// whole stack: across randomized outage schedules, every runtime either
+// completes iterations with the exact reference checksum or makes no
+// progress — a wrong result is never acceptable. This exercises arbitrary
+// interleavings of snapshot, abort, brown-out, restore and cold start.
+func TestOutageFuzzNeverCorrupts(t *testing.T) {
+	workloads := []func() *lab.Setup{
+		func() *lab.Setup {
+			return &lab.Setup{Workload: programs.Sieve(3000, programs.DefaultLayout()),
+				Params: mcu.DefaultParams()}
+		},
+		func() *lab.Setup {
+			return &lab.Setup{Workload: programs.FFT(128, programs.DefaultLayout()),
+				Params: mcu.DefaultParams()}
+		},
+		func() *lab.Setup {
+			return &lab.Setup{Workload: programs.MatMul(8, programs.DefaultLayout()),
+				Params: mcu.DefaultParams()}
+		},
+	}
+	runtimes := map[string]func(d *mcu.Device) mcu.Runtime{
+		"hibernus":   func(d *mcu.Device) mcu.Runtime { return NewHibernus(d, 10e-6, 1.1, 0.35) },
+		"hibernus++": func(d *mcu.Device) mcu.Runtime { return NewHibernusPP(d) },
+		"mementos":   func(d *mcu.Device) mcu.Runtime { return NewMementos(d, 2.2) },
+	}
+	totalCompletions := 0
+	for seed := int64(1); seed <= 4; seed++ {
+		for wi, mkSetup := range workloads {
+			for name, mk := range runtimes {
+				s := mkSetup()
+				s.MakeRuntime = mk
+				s.VSource = randomOutageSupply(seed*100+int64(wi), 2.0)
+				s.C = 10e-6
+				s.LeakR = 50e3
+				s.Duration = 2.0
+				res, err := lab.Run(*s)
+				if err != nil {
+					t.Fatalf("seed %d %s/%s: %v", seed, s.Workload.Name, name, err)
+				}
+				if res.WrongResults != 0 {
+					t.Errorf("seed %d %s/%s: %d WRONG results — state corruption",
+						seed, s.Workload.Name, name, res.WrongResults)
+				}
+				if res.RuntimeErr != nil {
+					t.Errorf("seed %d %s/%s: guest fault %v",
+						seed, s.Workload.Name, name, res.RuntimeErr)
+				}
+				totalCompletions += res.Completions
+			}
+		}
+	}
+	// The fuzz must also demonstrate actual progress somewhere, or the
+	// zero-wrong-results property is vacuous.
+	if totalCompletions < 20 {
+		t.Errorf("only %d completions across the whole fuzz — too weak to be meaningful", totalCompletions)
+	}
+}
+
+// TestQuickRecallOutageFuzz runs the unified-FRAM configuration through
+// the same gauntlet.
+func TestQuickRecallOutageFuzz(t *testing.T) {
+	for seed := int64(1); seed <= 4; seed++ {
+		s := lab.Setup{
+			Workload: programs.FFT(128, programs.UnifiedNVLayout()),
+			Params:   mcu.UnifiedNVParams(),
+			MakeRuntime: func(d *mcu.Device) mcu.Runtime {
+				return NewQuickRecall(d, 10e-6, 1.1, 0.35)
+			},
+			VSource:  randomOutageSupply(seed, 2.0),
+			C:        10e-6,
+			LeakR:    50e3,
+			Duration: 2.0,
+		}
+		res, err := lab.Run(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.WrongResults != 0 {
+			t.Errorf("seed %d: %d wrong results under unified NV", seed, res.WrongResults)
+		}
+	}
+}
+
+// TestFuzzDeterminism re-runs one fuzz case and demands identical results:
+// the randomness lives entirely in the seeded supply schedule.
+func TestFuzzDeterminism(t *testing.T) {
+	run := func() string {
+		s := lab.Setup{
+			Workload: programs.Sieve(3000, programs.DefaultLayout()),
+			Params:   mcu.DefaultParams(),
+			MakeRuntime: func(d *mcu.Device) mcu.Runtime {
+				return NewHibernus(d, 10e-6, 1.1, 0.35)
+			},
+			VSource:  randomOutageSupply(7, 2.0),
+			C:        10e-6,
+			LeakR:    50e3,
+			Duration: 2.0,
+		}
+		res, err := lab.Run(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return fmt.Sprintf("%d/%d/%d/%d", res.Completions, res.Stats.SavesDone,
+			res.Stats.BrownOuts, res.Stats.Restores)
+	}
+	if a, b := run(), run(); a != b {
+		t.Errorf("fuzz case not deterministic: %s vs %s", a, b)
+	}
+}

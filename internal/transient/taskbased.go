@@ -1,0 +1,81 @@
+package transient
+
+import "repro/internal/mcu"
+
+// TaskBased is the Gomez/Monjolo-style policy (§II.B's task-based
+// adaptation arc) running on the full MCU substrate: sleep until the rail
+// has buffered enough energy for one complete task (voltage reaches
+// VFire), execute, and — when the task boundary is reached (signalled by
+// the application through NotifyTaskDone, typically wired to SysDone) —
+// go back to sleep and let the capacitor recharge.
+//
+// Unlike the checkpointing runtimes, TaskBased never snapshots: it relies
+// on tasks being atomic and restartable. A brown-out mid-task simply means
+// the task re-runs from scratch next charge cycle — acceptable by design
+// for idempotent tasks (take a photo, sample and transmit), which is
+// exactly the application class the paper assigns to this arc.
+type TaskBased struct {
+	VFire  float64 // start a task when V_CC reaches this
+	VAbort float64 // optional early-sleep threshold mid-task; 0 disables
+
+	TasksStarted  int
+	TasksFinished int
+
+	running  bool
+	doneFlag bool
+}
+
+// NewTaskBased returns a task-based runtime firing at vFire.
+func NewTaskBased(vFire float64) *TaskBased {
+	return &TaskBased{VFire: vFire}
+}
+
+// Name implements mcu.Runtime.
+func (tb *TaskBased) Name() string { return "task-based" }
+
+// NotifyTaskDone marks the current task complete; call it from the
+// device's SysHandler on the workload's completion trap.
+func (tb *TaskBased) NotifyTaskDone() {
+	if tb.running {
+		tb.doneFlag = true
+	}
+}
+
+// OnPowerOn implements mcu.Runtime: always a cold start (there is nothing
+// to restore), gated on the firing threshold.
+func (tb *TaskBased) OnPowerOn(d *mcu.Device) {
+	tb.running = false
+	tb.doneFlag = false
+	d.Sleep()
+}
+
+// OnTick implements mcu.Runtime.
+func (tb *TaskBased) OnTick(d *mcu.Device, v float64) {
+	switch d.Mode() {
+	case mcu.ModeSleep:
+		if !tb.running && v >= tb.VFire {
+			tb.running = true
+			tb.doneFlag = false
+			tb.TasksStarted++
+			d.ColdStart() // each task restarts the (idempotent) guest
+		}
+	case mcu.ModeActive:
+		if tb.doneFlag {
+			tb.doneFlag = false
+			tb.running = false
+			tb.TasksFinished++
+			d.Sleep()
+			return
+		}
+		if tb.VAbort > 0 && v < tb.VAbort {
+			// Energy ran out mid-task: abandon it and wait for the next
+			// charge cycle (the task will re-run in full).
+			tb.running = false
+			d.Sleep()
+		}
+	}
+}
+
+// OnCheckpointTrap implements mcu.Runtime: task-based systems do not
+// checkpoint.
+func (tb *TaskBased) OnCheckpointTrap(*mcu.Device) {}

@@ -1,0 +1,128 @@
+package transient
+
+import (
+	"testing"
+
+	"repro/internal/isa"
+	"repro/internal/lab"
+	"repro/internal/mcu"
+	"repro/internal/programs"
+	"repro/internal/source"
+)
+
+// runTaskBased wires the TaskBased runtime's completion notification to
+// the workload's SysDone through the lab's device hook.
+func runTaskBased(t *testing.T, vFire float64, supply source.VoltageSource,
+	c, duration float64) (lab.Result, *TaskBased) {
+	t.Helper()
+	var tb *TaskBased
+	s := lab.Setup{
+		Workload: programs.FFT(64, programs.DefaultLayout()),
+		Params:   mcu.DefaultParams(),
+		Configure: func(d *mcu.Device) {
+			tb = NewTaskBased(vFire)
+			prev := d.SysHandler
+			d.SysHandler = func(code uint16, core *isa.Core) {
+				if prev != nil {
+					prev(code, core)
+				}
+				if code == programs.SysDone {
+					tb.NotifyTaskDone()
+				}
+			}
+		},
+		MakeRuntime: func(d *mcu.Device) mcu.Runtime { return tb },
+		VSource:     supply,
+		C:           c,
+		Duration:    duration,
+	}
+	res, err := lab.Run(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res, tb
+}
+
+func TestTaskBasedChargeFireCycle(t *testing.T) {
+	// A weak DC supply charges a large capacitor; each firing runs one
+	// full FFT from the buffered energy and the node then sleeps to
+	// recharge — the Monjolo/Gomez/WISPCam pattern on the real MCU.
+	weak := &source.ConstantVoltage{V: 4.2, Rs: 4000}
+	res, tb := runTaskBased(t, 4.0, weak, 220e-6, 3.0)
+	if tb.TasksFinished < 2 {
+		t.Fatalf("tasks finished = %d, want ≥2 charge-fire cycles", tb.TasksFinished)
+	}
+	if res.WrongResults != 0 {
+		t.Errorf("task-based run produced %d wrong results", res.WrongResults)
+	}
+	if res.Completions < tb.TasksFinished {
+		t.Errorf("completions %d < finished tasks %d", res.Completions, tb.TasksFinished)
+	}
+	// The node must actually duty-cycle: sleep time dominates.
+	if res.Stats.SleepSec < res.Stats.ActiveSec {
+		t.Errorf("expected charge-dominated duty cycle: active %.3fs, sleep %.3fs",
+			res.Stats.ActiveSec, res.Stats.SleepSec)
+	}
+}
+
+func TestTaskBasedRateTracksSupplyStrength(t *testing.T) {
+	// Stronger harvest ⇒ faster recharge ⇒ higher task rate (the Monjolo
+	// metering principle, here on the MCU substrate).
+	weak, _ := runTaskBased(t, 4.0, &source.ConstantVoltage{V: 4.2, Rs: 6000}, 220e-6, 3.0)
+	strong, _ := runTaskBased(t, 4.0, &source.ConstantVoltage{V: 4.2, Rs: 2000}, 220e-6, 3.0)
+	if strong.Completions <= weak.Completions {
+		t.Errorf("stronger supply should fire more tasks: %d vs %d",
+			strong.Completions, weak.Completions)
+	}
+}
+
+func TestTaskBasedUndersizedStorageNeverCompletes(t *testing.T) {
+	// The storage buffers less energy than one task needs: every attempt
+	// runs out mid-task (V_abort), the node recharges and tries again,
+	// forever. This is the §II.B sizing constraint — a task-based system
+	// must buffer a FULL task's energy — demonstrated as the failure mode
+	// taskburst.NewNode's sizing check exists to prevent. Crucially, the
+	// doomed retries still never emit a wrong result.
+	var tb *TaskBased
+	s := lab.Setup{
+		Workload: programs.FFT(256, programs.DefaultLayout()),
+		Params:   mcu.DefaultParams(),
+		Configure: func(d *mcu.Device) {
+			tb = NewTaskBased(2.6)
+			tb.VAbort = 2.1
+			prev := d.SysHandler
+			d.SysHandler = func(code uint16, core *isa.Core) {
+				if prev != nil {
+					prev(code, core)
+				}
+				if code == programs.SysDone {
+					tb.NotifyTaskDone()
+				}
+			}
+		},
+		MakeRuntime: func(d *mcu.Device) mcu.Runtime { return tb },
+		VSource:     &source.ConstantVoltage{V: 3.0, Rs: 2500},
+		C:           22e-6,
+		Duration:    3.0,
+	}
+	res, err := lab.Run(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tb.TasksStarted < 3 {
+		t.Fatalf("expected repeated attempts, got %d", tb.TasksStarted)
+	}
+	if tb.TasksFinished != 0 || res.Completions != 0 {
+		t.Errorf("undersized storage should never complete a task: finished %d, completions %d",
+			tb.TasksFinished, res.Completions)
+	}
+	if res.WrongResults != 0 {
+		t.Errorf("aborted attempts produced %d wrong results", res.WrongResults)
+	}
+}
+
+func TestTaskBasedName(t *testing.T) {
+	if NewTaskBased(3).Name() != "task-based" {
+		t.Error("name")
+	}
+}

@@ -20,6 +20,7 @@ import (
 	"repro/internal/powerneutral"
 	"repro/internal/programs"
 	"repro/internal/source"
+	"repro/internal/sweep"
 	"repro/internal/taskburst"
 	"repro/internal/transient"
 	"repro/internal/units"
@@ -173,18 +174,26 @@ func BenchmarkEq5Crossover(b *testing.B) {
 }
 
 // measureCrossover finds the first outage frequency where QuickRecall's
-// energy per completion beats hibernus'.
+// energy per completion beats hibernus'. The 5×2 frequency × memory-system
+// grid fans out over the sweep engine; results come back in row-major
+// order, so runs[2i]/runs[2i+1] are the hibernus/QuickRecall pair at
+// frequency i.
 func measureCrossover(b *testing.B) float64 {
 	b.Helper()
-	run := func(f float64, unified bool) lab.Result {
-		period := 1.0 / f
+	freqs := []float64{2, 5, 10, 20, 40}
+	grid := sweep.NewGrid().
+		Floats("freq", freqs...).
+		Bools("unified", false, true)
+	runs, err := sweep.MapGrid(nil, grid, func(c sweep.Case) (lab.Result, error) {
+		unified := c.Bool("unified")
+		period := 1.0 / c.Float("freq")
 		layout := programs.DefaultLayout()
 		params := mcu.DefaultParams()
 		if unified {
 			layout = programs.UnifiedNVLayout()
 			params = mcu.UnifiedNVParams()
 		}
-		return lab.MustRun(lab.Setup{
+		return lab.Run(lab.Setup{
 			Workload: programs.FFT(64, layout),
 			Params:   params,
 			MakeRuntime: func(d *mcu.Device) mcu.Runtime {
@@ -199,10 +208,12 @@ func measureCrossover(b *testing.B) float64 {
 			C:        10e-6,
 			Duration: 4.0,
 		})
+	})
+	if err != nil {
+		b.Fatal(err)
 	}
-	for _, f := range []float64{2, 5, 10, 20, 40} {
-		h := run(f, false)
-		q := run(f, true)
+	for i, f := range freqs {
+		h, q := runs[2*i], runs[2*i+1]
 		if q.EnergyPerCompletion() < h.EnergyPerCompletion() {
 			return f
 		}
@@ -381,6 +392,50 @@ func BenchmarkAblationFRAMWaitStates(b *testing.B) {
 			}
 			b.ReportMetric(tput, "ffts/s")
 		})
+	}
+}
+
+// BenchmarkFastForward measures the lab's analytic idle-skip against full
+// integration on the standard intermittent testbed (150 ms dark windows):
+// the sub-benchmarks' ns/op ratio is the single-core speedup, and the
+// "completions" metric demonstrates the skipped run computes the same run.
+func BenchmarkFastForward(b *testing.B) {
+	for _, tag := range []struct {
+		name string
+		ff   bool
+	}{{"integrated", false}, {"fast-forward", true}} {
+		b.Run(tag.name, func(b *testing.B) {
+			var done int
+			for i := 0; i < b.N; i++ {
+				s := intermittent(func(d *mcu.Device) mcu.Runtime {
+					return transient.NewHibernus(d, 10e-6, 1.1, 0.35)
+				}, 10e-6)
+				s.FastForward = tag.ff
+				done = lab.MustRun(s).Completions
+			}
+			b.ReportMetric(float64(done), "completions")
+		})
+	}
+}
+
+// BenchmarkSweepStorageAxis runs the taxonomy storage-axis sweep through
+// the parallel engine — on a multi-core host its ns/op drops roughly with
+// the worker count relative to BenchmarkAblationStorageSweep's serial sum.
+func BenchmarkSweepStorageAxis(b *testing.B) {
+	caps := []float64{4.7e-6, 10e-6, 47e-6, 470e-6}
+	for i := 0; i < b.N; i++ {
+		res, err := sweep.Labs(nil, len(caps), func(c sweep.Case) lab.Setup {
+			cap := caps[c.Index]
+			return intermittent(func(d *mcu.Device) mcu.Runtime {
+				return transient.NewHibernus(d, cap, 1.1, 0.35)
+			}, cap)
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res) != len(caps) {
+			b.Fatal("missing results")
+		}
 	}
 }
 

@@ -1,7 +1,14 @@
-// Command ehsim runs a single transiently-powered scenario from the
-// command line: pick a workload, a supply, a runtime, and a storage size;
-// get completions, snapshot counts, energy figures and (optionally) a CSV
+// Command ehsim runs transiently-powered scenarios from the command line:
+// pick a workload, a supply, a runtime, and a storage size; get
+// completions, snapshot counts, energy figures and (optionally) a CSV
 // trace of V_CC.
+//
+// The -c flag accepts a comma-separated list of capacitances; with more
+// than one, ehsim becomes a storage-axis sweep: every case runs in
+// parallel on the sweep engine and the results are printed as one table,
+// in flag order. -ff enables the lab's analytic fast-forward through idle
+// decay, which speeds up sparse supplies (long outages) several-fold at
+// tolerance-level accuracy cost.
 //
 // Usage:
 //
@@ -12,6 +19,7 @@
 //	ehsim -workload sieve3000 -supply square -runtime none
 //	ehsim -workload fft64 -supply wind -runtime hibernus-pn -c 330u
 //	ehsim -workload crc256 -supply sine20 -runtime quickrecall -trace vcc.csv
+//	ehsim -workload sieve3000 -supply square -c 4.7u,10u,47u,470u -ff
 package main
 
 import (
@@ -26,6 +34,7 @@ import (
 	"repro/internal/powerneutral"
 	"repro/internal/programs"
 	"repro/internal/source"
+	"repro/internal/sweep"
 	"repro/internal/trace"
 	"repro/internal/transient"
 	"repro/internal/units"
@@ -35,14 +44,20 @@ func main() {
 	workload := flag.String("workload", "fft64", "fft64|fft256|crc256|sieve3000|fib24")
 	supply := flag.String("supply", "square", "square|sine20|wind|solar|rf|dc")
 	runtimeName := flag.String("runtime", "hibernus", "none|hibernus|hibernus++|mementos|quickrecall|hibernus-pn")
-	capFlag := flag.String("c", "10u", "rail capacitance, e.g. 10u, 470u, 6m")
+	capFlag := flag.String("c", "10u", "rail capacitance(s), e.g. 10u or 4.7u,10u,47u")
 	duration := flag.Float64("dur", 3.0, "simulated seconds")
 	tracePath := flag.String("trace", "", "write a V_CC/freq/mode CSV trace to this file")
+	ff := flag.Bool("ff", false, "fast-forward idle decay analytically (faster, tolerance-level accuracy)")
+	workers := flag.Int("workers", 0, "sweep parallelism (0 = one per core)")
 	flag.Parse()
 
-	c, err := parseCap(*capFlag)
-	if err != nil {
-		fail(err)
+	var caps []float64
+	for _, part := range strings.Split(*capFlag, ",") {
+		c, err := parseCap(strings.TrimSpace(part))
+		if err != nil {
+			fail(err)
+		}
+		caps = append(caps, c)
 	}
 
 	unified := *runtimeName == "quickrecall"
@@ -57,24 +72,38 @@ func main() {
 	if err != nil {
 		fail(err)
 	}
-	vs, err := pickSupply(*supply)
-	if err != nil {
-		fail(err)
-	}
-	mk, err := pickRuntime(*runtimeName, c)
-	if err != nil {
+	if _, err := pickSupply(*supply); err != nil {
 		fail(err)
 	}
 
-	s := lab.Setup{
-		Workload:    w,
-		Params:      params,
-		MakeRuntime: mk,
-		VSource:     vs,
-		C:           c,
-		LeakR:       50e3,
-		Duration:    *duration,
+	setup := func(c float64) lab.Setup {
+		vs, _ := pickSupply(*supply) // validated above; fresh per case
+		mk, err := pickRuntime(*runtimeName, c)
+		if err != nil {
+			fail(err)
+		}
+		return lab.Setup{
+			Workload:    w,
+			Params:      params,
+			MakeRuntime: mk,
+			VSource:     vs,
+			C:           c,
+			LeakR:       50e3,
+			Duration:    *duration,
+			FastForward: *ff,
+		}
 	}
+
+	if len(caps) > 1 {
+		if *tracePath != "" {
+			fmt.Fprintln(os.Stderr, "ehsim: -trace applies to single runs only; ignoring it for the sweep")
+		}
+		sweepCaps(caps, setup, *workload, *supply, *runtimeName, *workers)
+		return
+	}
+
+	c := caps[0]
+	s := setup(c)
 	var rec *trace.Recorder
 	if *tracePath != "" {
 		rec = trace.NewRecorder()
@@ -124,6 +153,31 @@ func main() {
 func fail(err error) {
 	fmt.Fprintf(os.Stderr, "ehsim: %v\n", err)
 	os.Exit(1)
+}
+
+// sweepCaps fans one run per capacitance out over the sweep engine and
+// prints a storage-axis comparison table in flag order.
+func sweepCaps(caps []float64, setup func(c float64) lab.Setup,
+	workload, supply, runtimeName string, workers int) {
+	results, err := sweep.Labs(&sweep.Runner{Workers: workers}, len(caps),
+		func(c sweep.Case) lab.Setup { return setup(caps[c.Index]) })
+	if err != nil {
+		fail(err)
+	}
+	fmt.Printf("storage sweep: %s on %s, runtime=%s, %d cases\n",
+		workload, supply, runtimeName, len(caps))
+	fmt.Printf("%-10s %-12s %-8s %-10s %-10s %-12s %-12s\n",
+		"C", "completions", "wrong", "snapshots", "brownouts", "energy/op", "harvested")
+	for i, res := range results {
+		eop := "∞"
+		if res.Completions > 0 {
+			eop = units.Format(res.EnergyPerCompletion(), "J")
+		}
+		fmt.Printf("%-10s %-12d %-8d %-10d %-10d %-12s %-12s\n",
+			units.Format(caps[i], "F"), res.Completions, res.WrongResults,
+			res.Stats.SavesStarted, res.Stats.BrownOuts, eop,
+			units.Format(res.HarvestedJ, "J"))
+	}
 }
 
 // parseCap parses values like "10u", "470u", "6m", "0.01".

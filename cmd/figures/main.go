@@ -3,9 +3,14 @@
 // and (with -out) writes the recorded time series as CSV files suitable
 // for external plotting.
 //
+// Experiments are independent, so they are fanned out over the sweep
+// engine's worker pool (one worker per core by default; -workers to
+// override) and reported in registration order — the output is
+// byte-identical to a serial run.
+//
 // Usage:
 //
-//	figures [-out DIR] [-only ID]
+//	figures [-out DIR] [-only ID] [-workers N]
 //
 // With no flags it runs everything and prints to stdout.
 package main
@@ -17,11 +22,13 @@ import (
 	"path/filepath"
 
 	"repro/internal/experiments"
+	"repro/internal/sweep"
 )
 
 func main() {
 	outDir := flag.String("out", "", "directory to write CSV traces and reports into")
 	only := flag.String("only", "", "run a single experiment by ID (e.g. fig7)")
+	workers := flag.Int("workers", 0, "experiment-level parallelism (0 = one per core)")
 	flag.Parse()
 
 	exps := experiments.All()
@@ -44,10 +51,30 @@ func main() {
 		}
 	}
 
+	// Fan the experiments out; a failure in one must not abort the rest,
+	// so errors are carried per case instead of through the sweep error.
+	type ran struct {
+		out *experiments.Output
+		err error
+	}
+	// Live progress goes to stderr so stdout stays byte-identical to a
+	// serial run.
+	runner := &sweep.Runner{Workers: *workers}
+	if len(exps) > 1 {
+		runner.OnProgress = func(done, total int) {
+			fmt.Fprintf(os.Stderr, "figures: %d/%d experiments done\n", done, total)
+		}
+	}
+	runs, _ := sweep.Map(runner, len(exps),
+		func(c sweep.Case) (ran, error) {
+			out, err := exps[c.Index].Run()
+			return ran{out: out, err: err}, nil
+		})
+
 	failed := 0
-	for _, e := range exps {
+	for i, e := range exps {
 		fmt.Printf("running %s: %s\n", e.ID, e.Title)
-		out, err := e.Run()
+		out, err := runs[i].out, runs[i].err
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "figures: %s failed: %v\n", e.ID, err)
 			failed++

@@ -200,6 +200,137 @@ func (r *Rail) Step(dt float64) float64 {
 	return r.Cap.V
 }
 
+// idleSeries evaluates n steps of the affine recurrence V' = a·V + b (the
+// discrete form Step integrates when the source is blocked and the load
+// draws a constant current), clamping at zero exactly like Capacitor.Step.
+// It returns the final voltage and the sum of the n pre-step voltages
+// (what Step's load-energy telemetry integrates over).
+func idleSeries(v0, a, b float64, n int) (vEnd, sumV float64) {
+	if n <= 0 {
+		return v0, 0
+	}
+	if b >= 0 && a >= 1 { // non-decaying: degenerate, nothing to solve
+		return v0, v0 * float64(n)
+	}
+	if a <= 0 {
+		// dt is not small against the leak RC constant: the closed form
+		// (and forward Euler itself) is outside its stable regime, so just
+		// iterate the recurrence exactly.
+		v := v0
+		for k := 0; k < n; k++ {
+			sumV += v
+			v = a*v + b
+			if v < 0 {
+				v = 0
+			}
+		}
+		return v, sumV
+	}
+	if v0 <= 0 && b <= 0 {
+		return 0, 0
+	}
+	// Find the first step index at which the voltage would clamp to zero;
+	// beyond it the node sits at 0 V and contributes nothing.
+	m := n // steps evaluated before the clamp
+	if a == 1 {
+		// No leak: linear discharge V_k = v0 + k·b.
+		if b < 0 {
+			k := int(math.Ceil(-v0 / b))
+			if k < m {
+				m = k
+			}
+		}
+		vEnd = v0 + float64(n)*b
+		if n > m {
+			vEnd = 0
+		}
+		sumV = float64(m)*v0 + b*float64(m)*float64(m-1)/2
+		if vEnd < 0 {
+			vEnd = 0
+		}
+		return vEnd, sumV
+	}
+	// Leaky decay toward the fixed point V* = b/(1−a): V_k = (v0−V*)·a^k + V*.
+	vStar := b / (1 - a)
+	if vStar < 0 && v0 > 0 {
+		// The trajectory crosses zero where a^k = −V*/(v0−V*).
+		ratio := -vStar / (v0 - vStar)
+		k := int(math.Ceil(math.Log(ratio) / math.Log(a)))
+		if k >= 0 && k < m {
+			m = k
+		}
+	}
+	am := math.Pow(a, float64(m))
+	sumV = (v0-vStar)*(1-am)/(1-a) + float64(m)*vStar
+	if m < n {
+		vEnd = 0
+	} else {
+		vEnd = (v0-vStar)*am + vStar
+		if vEnd < 0 {
+			vEnd = 0
+		}
+	}
+	if sumV < 0 {
+		sumV = 0
+	}
+	return vEnd, sumV
+}
+
+// idleCoeffs returns the recurrence coefficients a, b for an idle step of
+// dt with constant load iLoad on this rail's capacitor.
+func (r *Rail) idleCoeffs(dt, iLoad float64) (a, b float64) {
+	a = 1.0
+	if r.Cap.LeakR > 0 {
+		a = 1 - dt/(r.Cap.LeakR*r.Cap.C)
+	}
+	b = -iLoad * dt / r.Cap.C
+	return a, b
+}
+
+// PeekIdle predicts, without mutating any state, the rail voltage after n
+// idle steps of dt — the source diode blocked, a constant load current
+// iLoad. Used to decide whether a fast-forward skip is safe.
+func (r *Rail) PeekIdle(n int, dt, iLoad float64) float64 {
+	if r.Cap.C <= 0 {
+		return r.Cap.V
+	}
+	a, b := r.idleCoeffs(dt, iLoad)
+	vEnd, _ := idleSeries(r.Cap.V, a, b, n)
+	return vEnd
+}
+
+// AdvanceIdle advances the rail by n steps of dt in closed form, under the
+// caller-guaranteed assumptions that the source is not conducting (diode
+// blocked, or no source at all) and the attached loads draw a constant
+// current iLoad throughout. It is the analytic equivalent of n calls to
+// Step — same forward-Euler recurrence, same telemetry integral, same
+// zero clamp — accurate to floating-point evaluation of the geometric
+// series rather than bit-identical iteration.
+//
+// Comparators observe only the final voltage: a decaying pass through a
+// threshold still fires its falling edge, but timed at the skip boundary
+// rather than the exact crossing step. Callers that need exact crossing
+// times must keep stepping instead.
+func (r *Rail) AdvanceIdle(n int, dt, iLoad float64) float64 {
+	if n <= 0 || dt <= 0 {
+		return r.Cap.V
+	}
+	if r.Cap.C <= 0 {
+		r.now += float64(n) * dt
+		return r.Cap.V
+	}
+	a, b := r.idleCoeffs(dt, iLoad)
+	vEnd, sumV := idleSeries(r.Cap.V, a, b, n)
+	r.Cap.V = vEnd
+	r.ConsumedJ += iLoad * sumV * dt
+	r.LastSourceI, r.LastLoadI = 0, iLoad
+	r.now += float64(n) * dt
+	for _, c := range r.Comps {
+		c.Observe(r.Cap.V, r.now)
+	}
+	return r.Cap.V
+}
+
 // Run steps the rail until time end, invoking observe (if non-nil) after
 // every step. The step count is computed up front so accumulated floating-
 // point drift in the clock cannot add or drop a step.

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"repro/internal/source"
+	"repro/internal/sweep"
 	"repro/internal/units"
 )
 
@@ -60,17 +61,28 @@ func TestOverAggressiveFixedDutyViolatesEq2(t *testing.T) {
 
 func TestConservativeFixedDutyWastesHarvest(t *testing.T) {
 	// The opposite mis-design: a tiny fixed duty survives but does far
-	// less work than the adaptive node on the same energy input.
-	mk := func(ctl Controller, duty float64) Result {
+	// less work than the adaptive node on the same energy input. The two
+	// four-day simulations are independent, so they run as a sweep.
+	variants := []struct {
+		ctl  func() Controller
+		duty float64
+	}{
+		{func() Controller { return NewKansal() }, 0.2},
+		{func() Controller { return &FixedController{Value: 0.02} }, 0.02},
+	}
+	outs, err := sweep.Map(nil, len(variants), func(c sweep.Case) (Result, error) {
+		v := variants[c.Index]
 		n := NewNode(20, 0.6, solarHarvest())
 		n.PActive = 3e-3
 		n.PSleep = 3e-6
-		n.Duty = duty
-		n.Controller = ctl
-		return n.Simulate(4*units.Day, 10, units.Day)
+		n.Duty = v.duty
+		n.Controller = v.ctl()
+		return n.Simulate(4*units.Day, 10, units.Day), nil
+	})
+	if err != nil {
+		t.Fatal(err)
 	}
-	adaptive := mk(NewKansal(), 0.2)
-	timid := mk(&FixedController{Value: 0.02}, 0.02)
+	adaptive, timid := outs[0], outs[1]
 	if timid.Violations != 0 {
 		t.Fatal("timid duty should at least survive")
 	}

@@ -11,6 +11,7 @@ import (
 	"repro/internal/powerneutral"
 	"repro/internal/programs"
 	"repro/internal/source"
+	"repro/internal/sweep"
 	"repro/internal/transient"
 	"repro/internal/units"
 )
@@ -46,17 +47,27 @@ func init() {
 // runEq1 pits the Kansal-adaptive node against fixed-duty baselines over
 // four solar days.
 func runEq1() (*Output, error) {
-	mk := func(ctl eneutral.Controller, duty float64) eneutral.Result {
+	variants := []struct {
+		ctl  func() eneutral.Controller
+		duty float64
+	}{
+		{func() eneutral.Controller { return eneutral.NewKansal() }, 0.2},
+		{func() eneutral.Controller { return &eneutral.FixedController{Value: 0.8} }, 0.8},
+		{func() eneutral.Controller { return &eneutral.FixedController{Value: 0.02} }, 0.02},
+	}
+	results, err := sweep.Map(nil, len(variants), func(c sweep.Case) (eneutral.Result, error) {
+		v := variants[c.Index]
 		n := eneutral.NewNode(20, 0.6, source.DefaultPhotovoltaic())
 		n.PActive = 3e-3
 		n.PSleep = 3e-6
-		n.Duty = duty
-		n.Controller = ctl
-		return n.Simulate(4*units.Day, 10, units.Day)
+		n.Duty = v.duty
+		n.Controller = v.ctl()
+		return n.Simulate(4*units.Day, 10, units.Day), nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	adaptive := mk(eneutral.NewKansal(), 0.2)
-	greedy := mk(&eneutral.FixedController{Value: 0.8}, 0.8)
-	timid := mk(&eneutral.FixedController{Value: 0.02}, 0.02)
+	adaptive, greedy, timid := results[0], results[1], results[2]
 
 	row := func(name string, r eneutral.Result) []string {
 		return []string{
@@ -106,8 +117,11 @@ func runEq3() (*Output, error) {
 		Title:   "Governed MCU on a 20 Hz rectified supply, V target 3.0 V",
 		Columns: []string{"C", "windowed eq.(3) error", "V_CC excursion", "brown-outs", "completions"},
 	}
-	var errs []float64
-	for _, c := range caps {
+	type eq3Out struct {
+		res lab.Result
+		st  powerneutral.TrackingStats
+	}
+	outs, err := sweep.Map(nil, len(caps), func(c sweep.Case) (eq3Out, error) {
 		gov := powerneutral.NewGovernor(3.0)
 		gov.Hysteresis = 0.25
 		tr := powerneutral.NewTracker()
@@ -116,7 +130,7 @@ func runEq3() (*Output, error) {
 			Workload: programs.FFT(64, programs.DefaultLayout()),
 			Params:   mcu.DefaultParams(),
 			VSource:  source.HalfWave(gen, 0.2),
-			C:        c,
+			C:        caps[c.Index],
 			V0:       3.0,
 			Duration: 2.0,
 			Dt:       5e-6,
@@ -127,16 +141,22 @@ func runEq3() (*Output, error) {
 		}
 		res, err := lab.Run(s)
 		if err != nil {
-			return nil, err
+			return eq3Out{}, err
 		}
-		st := tr.Stats()
-		errs = append(errs, st.RelativeError())
+		return eq3Out{res: res, st: tr.Stats()}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var errs []float64
+	for i, o := range outs {
+		errs = append(errs, o.st.RelativeError())
 		tbl.Rows = append(tbl.Rows, []string{
-			units.Format(c, "F"),
-			fmt.Sprintf("%.3f", st.RelativeError()),
-			fmt.Sprintf("%.2f V", st.VRange()),
-			fmt.Sprintf("%d", res.Stats.BrownOuts),
-			fmt.Sprintf("%d", res.Completions),
+			units.Format(caps[i], "F"),
+			fmt.Sprintf("%.3f", o.st.RelativeError()),
+			fmt.Sprintf("%.2f V", o.st.VRange()),
+			fmt.Sprintf("%d", o.res.Stats.BrownOuts),
+			fmt.Sprintf("%d", o.res.Completions),
 		})
 	}
 	out := &Output{
@@ -158,14 +178,17 @@ func runEq4() (*Output, error) {
 		Title:   "hibernus V_H margin sweep (10 µF rail, square-wave outages)",
 		Columns: []string{"margin on eq.(4) V_H", "V_H", "saves started", "saves aborted", "completions"},
 	}
-	var failBelow, okAbove bool
-	for _, m := range margins {
+	type eq4Out struct {
+		res lab.Result
+		vh  float64
+	}
+	outs, err := sweep.Map(nil, len(margins), func(c sweep.Case) (eq4Out, error) {
 		var h *transient.Hibernus
 		s := lab.Setup{
 			Workload: programs.Sieve(3000, programs.DefaultLayout()),
 			Params:   mcu.DefaultParams(),
 			MakeRuntime: func(d *mcu.Device) mcu.Runtime {
-				h = transient.NewHibernus(d, 10e-6, m, 0.35)
+				h = transient.NewHibernus(d, 10e-6, margins[c.Index], 0.35)
 				return h
 			},
 			VSource:  &source.SquareWaveVoltage{High: 3.3, OnTime: 0.004, OffTime: 0.150, Rs: 100},
@@ -175,11 +198,19 @@ func runEq4() (*Output, error) {
 		}
 		res, err := lab.Run(s)
 		if err != nil {
-			return nil, err
+			return eq4Out{}, err
 		}
+		return eq4Out{res: res, vh: h.VH}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var failBelow, okAbove bool
+	for i, o := range outs {
+		m, res := margins[i], o.res
 		tbl.Rows = append(tbl.Rows, []string{
 			fmt.Sprintf("%.2f", m),
-			fmt.Sprintf("%.2f V", h.VH),
+			fmt.Sprintf("%.2f V", o.vh),
 			fmt.Sprintf("%d", res.Stats.SavesStarted),
 			fmt.Sprintf("%d", res.Stats.SavesAborted),
 			fmt.Sprintf("%d", res.Completions),
@@ -214,8 +245,15 @@ func runEq5() (*Output, error) {
 		Title:   "Energy per completed FFT-64 vs outage frequency",
 		Columns: []string{"outage freq", "hibernus (µJ/op)", "quickrecall (µJ/op)", "winner"},
 	}
-	run := func(f float64, unified bool) (lab.Result, error) {
-		period := 1.0 / f
+	// The full comparison is a 5×2 grid — outage frequency × memory system —
+	// of independent six-second runs: exactly the shape the sweep engine
+	// fans out. Row-major order means results arrive [f0/hib, f0/qr, f1/hib, ...].
+	grid := sweep.NewGrid().
+		Floats("freq", freqs...).
+		Bools("unified", false, true)
+	runs, err := sweep.MapGrid(nil, grid, func(c sweep.Case) (lab.Result, error) {
+		unified := c.Bool("unified")
+		period := 1.0 / c.Float("freq")
 		layout := programs.DefaultLayout()
 		params := mcu.DefaultParams()
 		if unified {
@@ -238,18 +276,14 @@ func runEq5() (*Output, error) {
 			Duration: 6.0,
 		}
 		return lab.Run(s)
+	})
+	if err != nil {
+		return nil, err
 	}
 
 	var hibE, qrE []float64
-	for _, f := range freqs {
-		h, err := run(f, false)
-		if err != nil {
-			return nil, err
-		}
-		q, err := run(f, true)
-		if err != nil {
-			return nil, err
-		}
+	for i, f := range freqs {
+		h, q := runs[2*i], runs[2*i+1]
 		he := h.EnergyPerCompletion() * 1e6
 		qe := q.EnergyPerCompletion() * 1e6
 		hibE = append(hibE, he)
@@ -343,15 +377,15 @@ func runRuntimes() (*Output, error) {
 		ID:          "runtimes",
 		Description: "comparative behaviour of the surveyed transient runtimes",
 	}
-	results := map[string]lab.Result{}
-	for _, e := range entries {
+	runs, err := sweep.Labs(nil, len(entries), func(c sweep.Case) lab.Setup {
+		e := entries[c.Index]
 		layout := programs.DefaultLayout()
 		params := mcu.DefaultParams()
 		if e.uni {
 			layout = programs.UnifiedNVLayout()
 			params = mcu.UnifiedNVParams()
 		}
-		s := lab.Setup{
+		return lab.Setup{
 			Workload:    programs.Sieve(3000, layout),
 			Params:      params,
 			MakeRuntime: e.mk,
@@ -360,10 +394,13 @@ func runRuntimes() (*Output, error) {
 			LeakR:       50e3,
 			Duration:    3.0,
 		}
-		res, err := lab.Run(s)
-		if err != nil {
-			return nil, err
-		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	results := map[string]lab.Result{}
+	for i, e := range entries {
+		res := runs[i]
 		results[e.name] = res
 		eop := "∞"
 		if res.Completions > 0 {

@@ -10,6 +10,7 @@ import (
 	"repro/internal/powerneutral"
 	"repro/internal/programs"
 	"repro/internal/source"
+	"repro/internal/sweep"
 	"repro/internal/trace"
 	"repro/internal/transient"
 )
@@ -171,14 +172,15 @@ func runFig8() (*Output, error) {
 		return runOut{res: res, stretch: longest, rec: rec}, err
 	}
 
-	pn, err := run(true)
+	// The PN system and its static baseline share nothing but the supply —
+	// run them as a two-case sweep.
+	outs, err := sweep.Map(nil, 2, func(c sweep.Case) (runOut, error) {
+		return run(c.Index == 0)
+	})
 	if err != nil {
 		return nil, err
 	}
-	plain, err := run(false)
-	if err != nil {
-		return nil, err
-	}
+	pn, plain := outs[0], outs[1]
 
 	out := &Output{
 		ID:          "fig8",

@@ -8,6 +8,7 @@ import (
 	"repro/internal/periph"
 	"repro/internal/programs"
 	"repro/internal/source"
+	"repro/internal/sweep"
 	"repro/internal/transient"
 )
 
@@ -44,14 +45,13 @@ func runPeriph() (*Output, error) {
 		})
 		return outcome{res: res, bank: bank}, err
 	}
-	naive, err := run(false)
+	outs, err := sweep.Map(nil, 2, func(c sweep.Case) (outcome, error) {
+		return run(c.Index == 1)
+	})
 	if err != nil {
 		return nil, err
 	}
-	aware, err := run(true)
-	if err != nil {
-		return nil, err
-	}
+	naive, aware := outs[0], outs[1]
 
 	row := func(name string, o outcome) []string {
 		return []string{

@@ -1,0 +1,141 @@
+package lab
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/mcu"
+	"repro/internal/programs"
+	"repro/internal/source"
+	"repro/internal/transient"
+)
+
+// intermittentSetup is the standard square-wave outage testbed: 4 ms of
+// supply followed by 150 ms of darkness, during which the device browns
+// out and the rail decays — exactly the stretch fast-forward skips.
+func intermittentSetup(ff bool) Setup {
+	return Setup{
+		Workload: programs.Sieve(3000, programs.DefaultLayout()),
+		Params:   mcu.DefaultParams(),
+		MakeRuntime: func(d *mcu.Device) mcu.Runtime {
+			return transient.NewHibernus(d, 10e-6, 1.1, 0.35)
+		},
+		VSource:     &source.SquareWaveVoltage{High: 3.3, OnTime: 0.004, OffTime: 0.150, Rs: 100},
+		C:           10e-6,
+		LeakR:       50e3,
+		Duration:    3.0,
+		FastForward: ff,
+	}
+}
+
+// TestFastForwardMatchesFullIntegration is the fast-forward regression
+// gate: a skipped run must reproduce the fully-integrated run's discrete
+// outcomes exactly and its continuous outcomes within tight tolerance.
+func TestFastForwardMatchesFullIntegration(t *testing.T) {
+	full, err := Run(intermittentSetup(false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ff, err := Run(intermittentSetup(true))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Discrete event counts must agree exactly: the skip may only cover
+	// intervals where nothing can happen.
+	if ff.Completions != full.Completions || ff.WrongResults != full.WrongResults {
+		t.Errorf("completions %d/%d wrong %d/%d (ff/full)",
+			ff.Completions, full.Completions, ff.WrongResults, full.WrongResults)
+	}
+	if ff.Stats.BrownOuts != full.Stats.BrownOuts ||
+		ff.Stats.SavesDone != full.Stats.SavesDone ||
+		ff.Stats.Restores != full.Stats.Restores ||
+		ff.Stats.PowerOns != full.Stats.PowerOns {
+		t.Errorf("event counts diverged:\n  ff   %+v\n  full %+v", ff.Stats, full.Stats)
+	}
+
+	relClose := func(name string, a, b, tol float64) {
+		t.Helper()
+		denom := math.Max(math.Abs(b), 1e-12)
+		if math.Abs(a-b)/denom > tol {
+			t.Errorf("%s: ff %.9g vs full %.9g (rel err %.3g > %g)",
+				name, a, b, math.Abs(a-b)/denom, tol)
+		}
+	}
+	relClose("ConsumedJ", ff.ConsumedJ, full.ConsumedJ, 1e-4)
+	relClose("HarvestedJ", ff.HarvestedJ, full.HarvestedJ, 1e-4)
+	// Active (and save/restore) intervals are never skipped, but the
+	// closed-form decay differs from iterated Euler in the last float
+	// digits, so a threshold crossing (V_On, V_R) can land one 5 µs step
+	// early or late per outage. The sleep→off split inside a dark window
+	// may additionally shift by up to one chunk per outage.
+	relClose("ActiveSec", ff.Stats.ActiveSec, full.Stats.ActiveSec, 1e-3)
+	relClose("idleSec", ff.Stats.OffSec+ff.Stats.SleepSec,
+		full.Stats.OffSec+full.Stats.SleepSec, 1e-3)
+	chunkSec := ffChunk * 5e-6
+	if d := math.Abs(ff.Stats.OffSec - full.Stats.OffSec); d > float64(full.Stats.BrownOuts+1)*chunkSec {
+		t.Errorf("OffSec shifted %.4f s, beyond one chunk per outage", d)
+	}
+	if math.Abs(ff.FinalV-full.FinalV) > 1e-6 {
+		t.Errorf("FinalV: ff %.9f vs full %.9f", ff.FinalV, full.FinalV)
+	}
+	// Completion timestamps shift by at most one skip chunk (0.5 ms).
+	if len(ff.CompletionTimes) == len(full.CompletionTimes) {
+		for i := range ff.CompletionTimes {
+			if d := math.Abs(ff.CompletionTimes[i] - full.CompletionTimes[i]); d > ffChunk*5e-6 {
+				t.Errorf("completion %d shifted by %.3g s", i, d)
+			}
+		}
+	}
+}
+
+// TestFastForwardNoopOnContinuousSupply: with a supply that never blocks
+// the diode the device never idles, so fast-forward must change nothing.
+func TestFastForwardNoopOnContinuousSupply(t *testing.T) {
+	mk := func(ff bool) Setup {
+		return Setup{
+			Workload:    programs.Fib(24, programs.DefaultLayout()),
+			Params:      mcu.DefaultParams(),
+			VSource:     &source.ConstantVoltage{V: 3.3, Rs: 50},
+			C:           10e-6,
+			Duration:    0.05,
+			FastForward: ff,
+		}
+	}
+	full, err := Run(mk(false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ff, err := Run(mk(true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ff.Completions != full.Completions || ff.ConsumedJ != full.ConsumedJ ||
+		ff.FinalV != full.FinalV {
+		t.Errorf("continuous supply runs diverged: ff %+v full %+v", ff, full)
+	}
+}
+
+// TestFastForwardDeadRail: no source at all — the whole decay collapses
+// into analytic skips and the device simply never powers on.
+func TestFastForwardDeadRail(t *testing.T) {
+	s := Setup{
+		Workload:    programs.Fib(10, programs.DefaultLayout()),
+		Params:      mcu.DefaultParams(),
+		C:           10e-6,
+		V0:          1.0, // below V_On: the device stays off throughout
+		LeakR:       50e3,
+		Duration:    1.0,
+		FastForward: true,
+	}
+	res, err := Run(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Completions != 0 || res.Stats.PowerOns != 0 {
+		t.Errorf("dead rail ran the device: %+v", res)
+	}
+	if res.Stats.OffSec < 0.999 {
+		t.Errorf("OffSec = %.3f, want the full second accounted", res.Stats.OffSec)
+	}
+}

@@ -54,7 +54,27 @@ type Setup struct {
 	// OnTick, if non-nil, runs after every simulation step — governors
 	// (power-neutral DFS) hook in here.
 	OnTick func(t float64, d *mcu.Device, rail *circuit.Rail)
+
+	// FastForward lets the stepping loop skip idle stretches analytically
+	// instead of integrating them at Dt: while the device is off (or
+	// sleeping with no runtime attached) and the source diode is blocked,
+	// the rail is a pure RC decay with a constant micro-amp load, which has
+	// a closed form. The skip proceeds in bounded chunks, probing the
+	// source at each boundary and falling back to per-step integration the
+	// moment it might conduct, so supply features longer than a chunk
+	// (ffChunk·Dt, 0.5 ms at the default step) are never missed.
+	//
+	// Results agree with full integration to floating-point evaluation of
+	// the decay series, not bit-exactly; OnTick and the Recorder observe
+	// chunk boundaries rather than every skipped step. Leave it false
+	// (the default) where byte-identical output matters.
+	FastForward bool
 }
+
+// ffChunk is the fast-forward skip granularity in steps: the longest
+// stretch skipped between source probes. 100 steps at the default 5 µs
+// step is 0.5 ms — far below any supply feature in the source library.
+const ffChunk = 100
 
 // Result summarises a run.
 type Result struct {
@@ -141,7 +161,13 @@ func Run(s Setup) (Result, error) {
 	}
 
 	steps := int(s.Duration / s.Dt)
-	for i := 0; i < steps; i++ {
+	for i := 0; i < steps; {
+		if s.FastForward {
+			if n := s.tryFastForward(d, rail, steps-i); n > 0 {
+				i += n
+				continue
+			}
+		}
 		v := rail.Step(s.Dt)
 		t := rail.Now()
 		d.Tick(v, s.Dt)
@@ -153,6 +179,7 @@ func Run(s Setup) (Result, error) {
 			s.Recorder.Record("freq", "MHz", t, d.Freq()/1e6)
 			s.Recorder.Record("mode", "", t, float64(d.Mode()))
 		}
+		i++
 	}
 
 	res.Stats = d.Stats
@@ -161,6 +188,75 @@ func Run(s Setup) (Result, error) {
 	res.FinalV = cap.V
 	res.RuntimeErr = d.Err
 	return res, nil
+}
+
+// tryFastForward attempts to consume up to ffChunk simulation steps
+// analytically. It returns the number of steps skipped, or 0 when the
+// coming interval must be integrated stepwise (device runnable, source
+// conducting or about to, or too few steps left to be worth it).
+func (s *Setup) tryFastForward(d *mcu.Device, rail *circuit.Rail, remaining int) int {
+	// Only a device that cannot change its own state is skippable: off, or
+	// in retention sleep with either no runtime or one that declares (via
+	// mcu.SleepWaker) that it only waits for a wake voltage the decaying
+	// rail cannot reach. Power sources charge unconditionally, so only
+	// diode-gated voltage supplies qualify.
+	switch d.Mode() {
+	case mcu.ModeOff:
+		if rail.V() >= d.P.VOn {
+			return 0 // about to power on; let the stepwise path take it
+		}
+	case mcu.ModeSleep:
+		if rt := d.Runtime(); rt != nil {
+			sw, ok := rt.(mcu.SleepWaker)
+			if !ok || rail.V() >= sw.WakeThreshold() {
+				return 0
+			}
+		}
+	default:
+		return 0
+	}
+	if s.PSource != nil {
+		return 0
+	}
+	n := ffChunk
+	if n > remaining {
+		n = remaining
+	}
+	if n < 2 {
+		return 0
+	}
+
+	t0 := rail.Now()
+	v0 := rail.V()
+	iLoad := d.Current(v0, t0) // constant while off/asleep
+	if s.VSource != nil {
+		// Cheapest refusal first: the source is conducting right now.
+		if s.VSource.Voltage(t0) > v0 {
+			return 0
+		}
+		// The rail only decays across the chunk, so its minimum is the
+		// predicted end voltage; if the source could exceed that anywhere
+		// we probe (start, midpoint, end), integrate stepwise instead —
+		// the diode may start conducting mid-chunk.
+		vEnd := rail.PeekIdle(n, s.Dt, iLoad)
+		span := float64(n) * s.Dt
+		if s.VSource.Voltage(t0+span/2) > vEnd || s.VSource.Voltage(t0+span) > vEnd {
+			return 0
+		}
+	}
+
+	v := rail.AdvanceIdle(n, s.Dt, iLoad)
+	d.Tick(v, float64(n)*s.Dt) // aggregates off/sleep time; v < VOn, so no power-on
+	if s.OnTick != nil {
+		s.OnTick(rail.Now(), d, rail)
+	}
+	if s.Recorder != nil {
+		t := rail.Now()
+		s.Recorder.Record("vcc", "V", t, v)
+		s.Recorder.Record("freq", "MHz", t, d.Freq()/1e6)
+		s.Recorder.Record("mode", "", t, float64(d.Mode()))
+	}
+	return n
 }
 
 // MustRun is Run that panics on setup errors — for benchmarks and examples

@@ -150,6 +150,18 @@ type Runtime interface {
 	OnCheckpointTrap(d *Device)
 }
 
+// SleepWaker is optionally implemented by runtimes whose OnTick is a
+// guaranteed no-op while the device sleeps below a wake threshold: the
+// runtime is only waiting for V_CC to rise to that level (hibernus waiting
+// for V_R, for example). Simulation harnesses use it to fast-forward
+// sleeping stretches analytically — a runtime that does work while the
+// device sleeps must not implement it.
+type SleepWaker interface {
+	// WakeThreshold returns the voltage below which a sleeping device's
+	// OnTick does nothing (+Inf if OnTick never acts on a sleeping device).
+	WakeThreshold() float64
+}
+
 // Device is the simulated MCU.
 type Device struct {
 	P    Params

@@ -132,6 +132,14 @@ func (p *HibernusPN) OnTick(d *mcu.Device, v float64) {
 	p.Hibernus.OnTick(d, v)
 }
 
+// WakeThreshold shadows the promoted hibernus implementation to opt OUT of
+// mcu.SleepWaker fast-forwarding: unlike plain hibernus, HibernusPN's
+// OnTick is not a no-op while the device sleeps — the governor's control
+// clock (Act's period bookkeeping) advances on every tick, so skipping
+// sleep ticks would shift post-wake DFS decisions. Returning -Inf tells
+// the lab there is no voltage below which ticks can be elided.
+func (p *HibernusPN) WakeThreshold() float64 { return math.Inf(-1) }
+
 // TrackingStats measures how well eq. (3) held over a run. Because an
 // instantaneous P_h(t) = P_c(t) is unattainable for pulsed sources (the
 // paper itself relaxes T to "a sufficiently small period"), the metric is

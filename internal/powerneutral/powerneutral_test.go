@@ -9,6 +9,7 @@ import (
 	"repro/internal/mcu"
 	"repro/internal/programs"
 	"repro/internal/source"
+	"repro/internal/sweep"
 	"repro/internal/transient"
 )
 
@@ -79,10 +80,21 @@ func TestGovernorStabilisesVoltageVsStatic(t *testing.T) {
 		harvested float64
 		done      int
 	}
-	run := func(governed bool, staticIdx int) outcome {
+	// Three independent 3-second runs — governed, static-low, static-high —
+	// fan out over the sweep engine.
+	variants := []struct {
+		governed  bool
+		staticIdx int
+	}{
+		{true, 0},
+		{false, 0}, // 1 MHz: underdraws, wastes harvest
+		{false, 5}, // 24 MHz: overdraws, rides near collapse
+	}
+	outs, err := sweep.Map(nil, len(variants), func(c sweep.Case) (outcome, error) {
+		v := variants[c.Index]
 		s, gov, tr := governedSetup(HillClimb)
-		if !governed {
-			s.Params.FreqIndex = staticIdx
+		if !v.governed {
+			s.Params.FreqIndex = v.staticIdx
 			s.OnTick = func(tm float64, d *mcu.Device, rail *circuit.Rail) {
 				tr.Observe(rail, rail.V(), s.Dt)
 			}
@@ -90,14 +102,15 @@ func TestGovernorStabilisesVoltageVsStatic(t *testing.T) {
 		_ = gov
 		res, err := lab.Run(s)
 		if err != nil {
-			t.Fatal(err)
+			return outcome{}, err
 		}
 		return outcome{stats: tr.Stats(), brownOuts: res.Stats.BrownOuts,
-			harvested: res.HarvestedJ, done: res.Completions}
+			harvested: res.HarvestedJ, done: res.Completions}, nil
+	})
+	if err != nil {
+		t.Fatal(err)
 	}
-	gv := run(true, 0)
-	low := run(false, 0)  // 1 MHz: underdraws, wastes harvest
-	high := run(false, 5) // 24 MHz: overdraws, rides near collapse
+	gv, low, high := outs[0], outs[1], outs[2]
 	if gv.brownOuts != 0 {
 		t.Errorf("governed run browned out %d times", gv.brownOuts)
 	}
@@ -236,6 +249,18 @@ func TestHibernusPNSurvivesGustTrough(t *testing.T) {
 	}
 	if res.RuntimeErr != nil {
 		t.Errorf("guest fault: %v", res.RuntimeErr)
+	}
+}
+
+func TestHibernusPNOptsOutOfSleepFastForward(t *testing.T) {
+	// Embedding Hibernus would promote its WakeThreshold and silently make
+	// the PN runtime eligible for sleep fast-forwarding — but the governor
+	// does bookkeeping on every tick, so PN must shadow the method with an
+	// always-ineligible threshold.
+	var pn HibernusPN
+	if !math.IsInf(mcu.SleepWaker(&pn).WakeThreshold(), -1) {
+		t.Errorf("HibernusPN.WakeThreshold() = %v, want -Inf (opt-out)",
+			pn.WakeThreshold())
 	}
 }
 

@@ -1,0 +1,126 @@
+package sweep
+
+import (
+	"fmt"
+	"strings"
+)
+
+// axis is one named dimension of a Grid.
+type axis struct {
+	name   string
+	values []any
+	labels []string
+}
+
+// Grid is a declarative cross product over named parameter axes. Axes
+// expand row-major: the first axis added varies slowest, the last varies
+// fastest, so
+//
+//	NewGrid().Floats("c", 10e-6, 47e-6).Bools("unified", false, true)
+//
+// yields cases (10µ,false), (10µ,true), (47µ,false), (47µ,true) — a fixed
+// order the collection side can rely on when rebuilding tables.
+type Grid struct {
+	axes []axis
+}
+
+// NewGrid returns an empty grid.
+func NewGrid() *Grid { return &Grid{} }
+
+// Axis adds a dimension with arbitrary values (runtime constructors,
+// workloads, configs...). Labels default to %v of each value.
+func (g *Grid) Axis(name string, values ...any) *Grid {
+	labels := make([]string, len(values))
+	for i, v := range values {
+		labels[i] = fmt.Sprintf("%v", v)
+	}
+	g.axes = append(g.axes, axis{name: name, values: values, labels: labels})
+	return g
+}
+
+// Labels overrides the display labels of the most recently added axis
+// (len(labels) must match that axis's value count).
+func (g *Grid) Labels(labels ...string) *Grid {
+	if len(g.axes) == 0 {
+		panic("sweep: Labels before any Axis")
+	}
+	last := &g.axes[len(g.axes)-1]
+	if len(labels) != len(last.values) {
+		panic(fmt.Sprintf("sweep: axis %q has %d values, got %d labels",
+			last.name, len(last.values), len(labels)))
+	}
+	last.labels = labels
+	return g
+}
+
+// Floats adds a float64-valued dimension.
+func (g *Grid) Floats(name string, values ...float64) *Grid {
+	vs := make([]any, len(values))
+	for i, v := range values {
+		vs[i] = v
+	}
+	return g.Axis(name, vs...)
+}
+
+// Ints adds an int-valued dimension.
+func (g *Grid) Ints(name string, values ...int) *Grid {
+	vs := make([]any, len(values))
+	for i, v := range values {
+		vs[i] = v
+	}
+	return g.Axis(name, vs...)
+}
+
+// Bools adds a bool-valued dimension.
+func (g *Grid) Bools(name string, values ...bool) *Grid {
+	vs := make([]any, len(values))
+	for i, v := range values {
+		vs[i] = v
+	}
+	return g.Axis(name, vs...)
+}
+
+// Size returns the number of cases the cross product expands to.
+func (g *Grid) Size() int {
+	n := 1
+	for _, a := range g.axes {
+		n *= len(a.values)
+	}
+	if len(g.axes) == 0 {
+		return 0
+	}
+	return n
+}
+
+// Cases expands the cross product into cases (seeds derived from base 0).
+// MapGrid does this internally; Cases is exported for callers that want to
+// inspect or schedule the expansion themselves.
+func (g *Grid) Cases() []Case { return g.cases(0) }
+
+// cases expands the grid with per-case seeds derived from base.
+func (g *Grid) cases(base int64) []Case {
+	n := g.Size()
+	out := make([]Case, 0, n)
+	for i := 0; i < n; i++ {
+		vals := make(map[string]any, len(g.axes))
+		var name strings.Builder
+		rem := i
+		// Row-major: decode from the fastest (last) axis upward, then
+		// render the name in declaration order.
+		idx := make([]int, len(g.axes))
+		for a := len(g.axes) - 1; a >= 0; a-- {
+			k := len(g.axes[a].values)
+			idx[a] = rem % k
+			rem /= k
+		}
+		for a, ax := range g.axes {
+			vals[ax.name] = ax.values[idx[a]]
+			if a > 0 {
+				name.WriteByte('/')
+			}
+			fmt.Fprintf(&name, "%s=%s", ax.name, ax.labels[idx[a]])
+		}
+		out = append(out, Case{Index: i, Name: name.String(), Seed: caseSeed(base, i), Values: vals})
+	}
+	return out
+}

@@ -1,0 +1,219 @@
+// Package sweep is the lab's parallel experiment engine: it fans a set of
+// independent simulation cases out over a worker pool and collects their
+// results deterministically — ordered by case index, independent of
+// goroutine scheduling or GOMAXPROCS.
+//
+// Every reproduction in this repo is a sweep of some parameter — storage
+// capacitance (eq. 3), threshold margin (eq. 4), outage frequency (eq. 5),
+// runtime policy, duty cycle — and every case is an isolated, deterministic
+// simulation, so the whole experiment suite is embarrassingly parallel.
+// The engine has three pieces:
+//
+//   - Case: one unit of work, carrying its index, a human-readable name,
+//     a derived per-case seed, and (for grid sweeps) its parameter values.
+//   - Grid: a declarative cross product over named parameter axes that
+//     expands into cases in a fixed row-major order.
+//   - Runner: the worker pool. Map, Setups, Labs and MapGrid drive a
+//     Runner over cases and return results indexed exactly like the input.
+//
+// Determinism contract: fn is called once per case, cases may run in any
+// order and concurrently, but results[i] always holds case i's output, and
+// the error returned is always the error of the lowest-indexed failing
+// case. A sweep therefore produces byte-identical output whether it runs
+// on one worker or sixteen.
+package sweep
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/lab"
+)
+
+// Case identifies one unit of work in a sweep.
+type Case struct {
+	Index int    // position in the sweep, 0-based; results[Index] is this case's slot
+	Name  string // human-readable label, e.g. "C=47µF/margin=1.10"
+	Seed  int64  // per-case deterministic seed, derived from Runner.BaseSeed and Index
+
+	// Values holds the grid coordinates when the case was expanded from a
+	// Grid (nil for plain Map/Labs cases). Use Float/Int/Bool/Val to read.
+	Values map[string]any
+}
+
+// Val returns the named grid value (nil if absent).
+func (c Case) Val(name string) any { return c.Values[name] }
+
+// Float returns the named grid value as a float64 (0 if absent or not a
+// float64).
+func (c Case) Float(name string) float64 {
+	v, _ := c.Values[name].(float64)
+	return v
+}
+
+// Int returns the named grid value as an int (0 if absent or not an int).
+func (c Case) Int(name string) int {
+	v, _ := c.Values[name].(int)
+	return v
+}
+
+// Bool returns the named grid value as a bool (false if absent or not a
+// bool).
+func (c Case) Bool(name string) bool {
+	v, _ := c.Values[name].(bool)
+	return v
+}
+
+// Runner is a worker pool configuration for sweeps. The zero value (and a
+// nil *Runner) is ready to use: one worker per CPU, no progress reporting,
+// base seed 0.
+type Runner struct {
+	// Workers is the pool size; ≤0 means GOMAXPROCS.
+	Workers int
+
+	// BaseSeed parameterises the per-case seeds: each case receives a
+	// seed mixed from BaseSeed and its index, so two sweeps with the same
+	// BaseSeed see identical per-case seeds regardless of worker count.
+	BaseSeed int64
+
+	// OnProgress, if non-nil, is called after each case completes with the
+	// number done so far and the total. Calls are serialised and done is
+	// strictly increasing, but the order in which specific cases finish is
+	// scheduling-dependent — use it for progress bars, not bookkeeping.
+	OnProgress func(done, total int)
+}
+
+// workers resolves the pool size.
+func (r *Runner) workers(n int) int {
+	w := 0
+	if r != nil {
+		w = r.Workers
+	}
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > n {
+		w = n
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// caseSeed derives a per-case seed from the base seed and case index with
+// a splitmix64-style mix, so neighbouring indices get uncorrelated seeds.
+func caseSeed(base int64, index int) int64 {
+	z := uint64(base) + 0x9e3779b97f4a7c15*uint64(index+1)
+	z ^= z >> 30
+	z *= 0xbf58476d1ce4e5b9
+	z ^= z >> 27
+	z *= 0x94d049bb133111eb
+	z ^= z >> 31
+	return int64(z)
+}
+
+// Map runs fn over n cases on the runner's worker pool and returns the
+// results in case-index order. r may be nil for defaults.
+//
+// If any case fails, Map waits for in-flight cases, skips cases not yet
+// started, and returns a nil slice and the error of the lowest-indexed
+// failing case (which is deterministic: cases are claimed in index order,
+// so the lowest-indexed failure always runs to completion).
+func Map[T any](r *Runner, n int, fn func(c Case) (T, error)) ([]T, error) {
+	cases := make([]Case, n)
+	base := int64(0)
+	if r != nil {
+		base = r.BaseSeed
+	}
+	for i := range cases {
+		cases[i] = Case{Index: i, Name: fmt.Sprintf("case %d", i), Seed: caseSeed(base, i)}
+	}
+	return mapCases(r, cases, fn)
+}
+
+// MapGrid expands the grid into its cross-product cases and runs fn over
+// them; results are ordered row-major (first axis slowest, last fastest).
+func MapGrid[T any](r *Runner, g *Grid, fn func(c Case) (T, error)) ([]T, error) {
+	base := int64(0)
+	if r != nil {
+		base = r.BaseSeed
+	}
+	return mapCases(r, g.cases(base), fn)
+}
+
+// Setups runs lab.Run over each setup in parallel. results[i] corresponds
+// to setups[i].
+func Setups(r *Runner, setups []lab.Setup) ([]lab.Result, error) {
+	return Map(r, len(setups), func(c Case) (lab.Result, error) {
+		return lab.Run(setups[c.Index])
+	})
+}
+
+// Labs builds one lab.Setup per case and runs them all in parallel — the
+// shape of most figure reproductions: a builder closure over the swept
+// parameter.
+func Labs(r *Runner, n int, build func(c Case) lab.Setup) ([]lab.Result, error) {
+	return Map(r, n, func(c Case) (lab.Result, error) {
+		return lab.Run(build(c))
+	})
+}
+
+// mapCases is the engine core: an index-claiming worker pool with
+// index-ordered collection and lowest-index error selection.
+func mapCases[T any](r *Runner, cases []Case, fn func(c Case) (T, error)) ([]T, error) {
+	n := len(cases)
+	results := make([]T, n)
+	if n == 0 {
+		return results, nil
+	}
+	errs := make([]error, n)
+
+	var (
+		next    atomic.Int64 // next unclaimed case index
+		failed  atomic.Bool  // set on first failure: stop claiming new cases
+		mu      sync.Mutex   // serialises OnProgress
+		done    int
+		wg      sync.WaitGroup
+		workers = r.workers(n)
+	)
+	report := func() {
+		if r == nil || r.OnProgress == nil {
+			return
+		}
+		mu.Lock()
+		done++
+		r.OnProgress(done, n)
+		mu.Unlock()
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n || failed.Load() {
+					return
+				}
+				out, err := fn(cases[i])
+				if err != nil {
+					errs[i] = err
+					failed.Store(true)
+				} else {
+					results[i] = out
+				}
+				report()
+			}
+		}()
+	}
+	wg.Wait()
+
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("sweep: %s: %w", cases[i].Name, err)
+		}
+	}
+	return results, nil
+}

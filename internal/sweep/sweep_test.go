@@ -1,0 +1,271 @@
+package sweep
+
+import (
+	"errors"
+	"fmt"
+	"reflect"
+	"runtime"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/lab"
+	"repro/internal/mcu"
+	"repro/internal/programs"
+	"repro/internal/source"
+)
+
+// smallSetup is a cheap but real lab scenario (a few ms of simulated time)
+// whose result depends visibly on the swept capacitance.
+func smallSetup(c float64) lab.Setup {
+	return lab.Setup{
+		Workload: programs.Fib(10, programs.DefaultLayout()),
+		Params:   mcu.DefaultParams(),
+		VSource:  &source.ConstantVoltage{V: 3.3, Rs: 50},
+		C:        c,
+		Duration: 0.02,
+	}
+}
+
+func TestMapOrdersResultsByIndex(t *testing.T) {
+	out, err := Map(&Runner{Workers: 4}, 16, func(c Case) (int, error) {
+		return c.Index * c.Index, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range out {
+		if v != i*i {
+			t.Fatalf("results[%d] = %d, want %d", i, v, i*i)
+		}
+	}
+}
+
+// TestDeterminismAcrossWorkerCounts is the engine's core contract: the same
+// sweep must produce identical results on one worker and on many,
+// regardless of GOMAXPROCS.
+func TestDeterminismAcrossWorkerCounts(t *testing.T) {
+	caps := []float64{2e-6, 4.7e-6, 10e-6, 22e-6, 47e-6, 100e-6}
+	run := func(workers, procs int) []lab.Result {
+		defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(procs))
+		res, err := Labs(&Runner{Workers: workers}, len(caps), func(c Case) lab.Setup {
+			return smallSetup(caps[c.Index])
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	serial := run(1, 1)
+	for _, cfg := range []struct{ workers, procs int }{{2, 2}, {8, 4}, {6, 8}} {
+		parallel := run(cfg.workers, cfg.procs)
+		if len(parallel) != len(serial) {
+			t.Fatalf("workers=%d: %d results, want %d", cfg.workers, len(parallel), len(serial))
+		}
+		for i := range serial {
+			a, b := serial[i], parallel[i]
+			// CompletionTimes is a slice; compare it and the scalar fields
+			// exactly — bit-identical floats, not approximately equal.
+			if a.Completions != b.Completions || a.ConsumedJ != b.ConsumedJ ||
+				a.HarvestedJ != b.HarvestedJ || a.FinalV != b.FinalV ||
+				!reflect.DeepEqual(a.CompletionTimes, b.CompletionTimes) ||
+				a.Stats != b.Stats {
+				t.Errorf("workers=%d procs=%d: case %d diverged from serial run",
+					cfg.workers, cfg.procs, i)
+			}
+		}
+	}
+}
+
+func TestSeedsDeterministicAndDistinct(t *testing.T) {
+	collect := func(workers int) []int64 {
+		seeds := make([]int64, 32)
+		_, err := Map(&Runner{Workers: workers, BaseSeed: 42}, 32, func(c Case) (int, error) {
+			seeds[c.Index] = c.Seed
+			return 0, nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return seeds
+	}
+	a, b := collect(1), collect(8)
+	if !reflect.DeepEqual(a, b) {
+		t.Error("per-case seeds depend on worker count")
+	}
+	seen := map[int64]bool{}
+	for _, s := range a {
+		if seen[s] {
+			t.Errorf("duplicate seed %d", s)
+		}
+		seen[s] = true
+	}
+	// A different base seed must give different per-case seeds.
+	other := make([]int64, 32)
+	if _, err := Map(&Runner{BaseSeed: 43}, 32, func(c Case) (int, error) {
+		other[c.Index] = c.Seed
+		return 0, nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if reflect.DeepEqual(a, other) {
+		t.Error("base seed has no effect on case seeds")
+	}
+}
+
+func TestErrorPropagatesLowestIndex(t *testing.T) {
+	boom := errors.New("boom")
+	for _, workers := range []int{1, 4} {
+		out, err := Map(&Runner{Workers: workers}, 64, func(c Case) (int, error) {
+			if c.Index == 7 || c.Index == 40 {
+				return 0, fmt.Errorf("case %d: %w", c.Index, boom)
+			}
+			return c.Index, nil
+		})
+		if out != nil {
+			t.Errorf("workers=%d: results must be nil on error", workers)
+		}
+		if !errors.Is(err, boom) {
+			t.Fatalf("workers=%d: error chain lost: %v", workers, err)
+		}
+		// The reported failure must be the lowest-indexed one — case 7 —
+		// no matter how the pool scheduled case 40.
+		if !strings.Contains(err.Error(), "case 7") {
+			t.Errorf("workers=%d: err = %v, want the case-7 failure", workers, err)
+		}
+	}
+}
+
+func TestErrorStopsClaimingNewCases(t *testing.T) {
+	var ran atomic.Int64
+	_, err := Map(&Runner{Workers: 1}, 1000, func(c Case) (int, error) {
+		ran.Add(1)
+		if c.Index == 3 {
+			return 0, errors.New("fail fast")
+		}
+		return 0, nil
+	})
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	if n := ran.Load(); n > 10 {
+		t.Errorf("ran %d cases after the failure; claiming should stop", n)
+	}
+}
+
+func TestProgressReporting(t *testing.T) {
+	var calls []int
+	last := 0
+	_, err := Map(&Runner{Workers: 4, OnProgress: func(done, total int) {
+		if total != 20 {
+			t.Errorf("total = %d, want 20", total)
+		}
+		if done != last+1 {
+			t.Errorf("done jumped %d → %d; must be strictly increasing by 1", last, done)
+		}
+		last = done
+		calls = append(calls, done)
+	}}, 20, func(c Case) (int, error) { return 0, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(calls) != 20 {
+		t.Errorf("OnProgress called %d times, want 20", len(calls))
+	}
+}
+
+func TestNilRunnerAndZeroCases(t *testing.T) {
+	out, err := Map[int](nil, 0, func(c Case) (int, error) { return 0, nil })
+	if err != nil || len(out) != 0 {
+		t.Fatalf("empty sweep: out=%v err=%v", out, err)
+	}
+	got, err := Map(nil, 3, func(c Case) (int, error) { return c.Index + 1, nil })
+	if err != nil || !reflect.DeepEqual(got, []int{1, 2, 3}) {
+		t.Fatalf("nil runner: out=%v err=%v", got, err)
+	}
+}
+
+func TestGridCrossProduct(t *testing.T) {
+	g := NewGrid().
+		Floats("c", 10e-6, 47e-6, 100e-6).
+		Bools("unified", false, true)
+	if g.Size() != 6 {
+		t.Fatalf("size = %d, want 6", g.Size())
+	}
+	cases := g.Cases()
+	// Row-major: first axis slowest, last fastest.
+	want := []struct {
+		c   float64
+		uni bool
+	}{
+		{10e-6, false}, {10e-6, true},
+		{47e-6, false}, {47e-6, true},
+		{100e-6, false}, {100e-6, true},
+	}
+	for i, w := range want {
+		if cases[i].Float("c") != w.c || cases[i].Bool("unified") != w.uni {
+			t.Errorf("case %d = %v, want c=%g unified=%v", i, cases[i].Values, w.c, w.uni)
+		}
+		if cases[i].Index != i {
+			t.Errorf("case %d has Index %d", i, cases[i].Index)
+		}
+		if !strings.Contains(cases[i].Name, "c=") || !strings.Contains(cases[i].Name, "unified=") {
+			t.Errorf("case %d name %q missing axis labels", i, cases[i].Name)
+		}
+	}
+}
+
+func TestGridLabelsAndAccessors(t *testing.T) {
+	g := NewGrid().
+		Floats("c", 10e-6, 330e-6).Labels("10µF", "330µF").
+		Ints("freq", 2, 5).
+		Axis("policy", "hillclimb", "proportional")
+	cases := g.Cases()
+	if len(cases) != 8 {
+		t.Fatalf("size = %d, want 8", len(cases))
+	}
+	first := cases[0]
+	if !strings.Contains(first.Name, "c=10µF") {
+		t.Errorf("label override not applied: %q", first.Name)
+	}
+	if first.Int("freq") != 2 {
+		t.Errorf("Int accessor = %d", first.Int("freq"))
+	}
+	if first.Val("policy").(string) != "hillclimb" {
+		t.Errorf("Val accessor = %v", first.Val("policy"))
+	}
+	// Missing / mistyped lookups degrade to zero values.
+	if first.Float("nope") != 0 || first.Int("policy") != 0 || first.Bool("c") {
+		t.Error("typed accessors should zero-value on miss")
+	}
+}
+
+func TestMapGridRunsEveryCell(t *testing.T) {
+	g := NewGrid().Ints("a", 0, 1, 2).Ints("b", 0, 1)
+	out, err := MapGrid(&Runner{Workers: 3}, g, func(c Case) (string, error) {
+		return fmt.Sprintf("%d%d", c.Int("a"), c.Int("b")), nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"00", "01", "10", "11", "20", "21"}
+	if !reflect.DeepEqual(out, want) {
+		t.Fatalf("grid order = %v, want %v", out, want)
+	}
+}
+
+func TestSetups(t *testing.T) {
+	setups := []lab.Setup{smallSetup(10e-6), smallSetup(47e-6)}
+	res, err := Setups(nil, setups)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 2 {
+		t.Fatalf("got %d results", len(res))
+	}
+	for i, r := range res {
+		if r.Completions == 0 {
+			t.Errorf("setup %d made no progress", i)
+		}
+	}
+}

@@ -114,6 +114,10 @@ func (h *Hibernus) OnTick(d *mcu.Device, v float64) {
 // checkpoint sites.
 func (h *Hibernus) OnCheckpointTrap(*mcu.Device) {}
 
+// WakeThreshold implements mcu.SleepWaker: below V_R a sleeping hibernus
+// only waits, so idle decay can be fast-forwarded.
+func (h *Hibernus) WakeThreshold() float64 { return h.VR }
+
 // QuickRecall [8] is the unified-FRAM variant: program and data memory are
 // non-volatile, so a snapshot covers CPU registers only — tiny and fast —
 // at the price of FRAM's higher quiescent/active power (the device must be
@@ -197,6 +201,10 @@ func (m *Mementos) OnPowerOn(d *mcu.Device) {
 // OnTick implements mcu.Runtime: Mementos is oblivious to V_CC between
 // checkpoints.
 func (m *Mementos) OnTick(*mcu.Device, float64) {}
+
+// WakeThreshold implements mcu.SleepWaker: Mementos' OnTick never acts at
+// all, so any sleeping stretch may be fast-forwarded.
+func (m *Mementos) WakeThreshold() float64 { return math.Inf(1) }
 
 // OnCheckpointTrap implements mcu.Runtime: the compiled-in trampoline.
 func (m *Mementos) OnCheckpointTrap(d *mcu.Device) {
@@ -385,6 +393,11 @@ func (h *HibernusPP) OnTick(d *mcu.Device, v float64) {
 
 // OnCheckpointTrap implements mcu.Runtime.
 func (h *HibernusPP) OnCheckpointTrap(*mcu.Device) {}
+
+// WakeThreshold implements mcu.SleepWaker: like hibernus, a sleeping
+// hibernus++ only waits for V_CC ≥ V_R. V_R moves between stints, but
+// never while the device sleeps, so the threshold is stable across a dip.
+func (h *HibernusPP) WakeThreshold() float64 { return h.VR }
 
 // CrossoverFrequency evaluates the paper's eq. (5): the supply-interruption
 // frequency above which a unified-FRAM (QuickRecall) system beats a

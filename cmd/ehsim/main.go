@@ -1,7 +1,12 @@
 // Command ehsim runs transiently-powered scenarios from the command line:
-// pick a workload, a supply, a runtime, and a storage size; get
-// completions, snapshot counts, energy figures and (optionally) a CSV
-// trace of V_CC.
+// pick a workload, a supply, a runtime, and a storage size — or hand it a
+// declarative scenario spec — and get completions, snapshot counts,
+// energy figures and (optionally) a CSV trace of V_CC.
+//
+// All names resolve through the layer registries (internal/programs,
+// internal/source, internal/transient, internal/powerneutral); -list
+// enumerates everything they export, with per-entry tunables and
+// defaults.
 //
 // The -c flag accepts a comma-separated list of capacitances; with more
 // than one, ehsim becomes a storage-axis sweep: every case runs in
@@ -10,29 +15,39 @@
 // decay, which speeds up sparse supplies (long outages) several-fold at
 // tolerance-level accuracy cost.
 //
+// With -scenario the run is defined entirely by a JSON spec
+// (internal/scenario): a single run when the spec has no sweep axes, a
+// grid sweep otherwise. -workers, -ff and (single runs) -trace compose
+// with it.
+//
 // Usage:
 //
 //	ehsim -workload fft64 -supply square -runtime hibernus -c 10u -dur 3
+//	ehsim -scenario examples/scenarios/fig7-rectified-sine-hibernus.json
 //
 // Examples:
 //
+//	ehsim -list
 //	ehsim -workload sieve3000 -supply square -runtime none
 //	ehsim -workload fft64 -supply wind -runtime hibernus-pn -c 330u
 //	ehsim -workload crc256 -supply sine20 -runtime quickrecall -trace vcc.csv
 //	ehsim -workload sieve3000 -supply square -c 4.7u,10u,47u,470u -ff
+//	ehsim -scenario examples/scenarios/transient-fram-vs-sram.json -workers 4
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
-	"strconv"
 	"strings"
 
 	"repro/internal/lab"
 	"repro/internal/mcu"
 	"repro/internal/powerneutral"
 	"repro/internal/programs"
+	"repro/internal/registry"
+	"repro/internal/scenario"
 	"repro/internal/source"
 	"repro/internal/sweep"
 	"repro/internal/trace"
@@ -41,71 +56,127 @@ import (
 )
 
 func main() {
-	workload := flag.String("workload", "fft64", "fft64|fft256|crc256|sieve3000|fib24")
-	supply := flag.String("supply", "square", "square|sine20|wind|solar|rf|dc")
-	runtimeName := flag.String("runtime", "hibernus", "none|hibernus|hibernus++|mementos|quickrecall|hibernus-pn")
-	capFlag := flag.String("c", "10u", "rail capacitance(s), e.g. 10u or 4.7u,10u,47u")
-	duration := flag.Float64("dur", 3.0, "simulated seconds")
-	tracePath := flag.String("trace", "", "write a V_CC/freq/mode CSV trace to this file")
-	ff := flag.Bool("ff", false, "fast-forward idle decay analytically (faster, tolerance-level accuracy)")
-	workers := flag.Int("workers", 0, "sweep parallelism (0 = one per core)")
-	flag.Parse()
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
 
+// supplyAliases maps legacy -supply flag names onto registry names so
+// existing invocations keep working.
+var supplyAliases = map[string]string{"sine20": "rectified-sine"}
+
+// run is the testable entry point: it parses args, executes, and returns
+// the process exit code.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("ehsim", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	workload := fs.String("workload", "fft64", "workload name (see -list)")
+	supply := fs.String("supply", "square", "supply name (see -list)")
+	runtimeName := fs.String("runtime", "hibernus", "runtime name (see -list)")
+	capFlag := fs.String("c", "10u", "rail capacitance(s), e.g. 10u or 4.7u,10u,47u")
+	duration := fs.Float64("dur", 3.0, "simulated seconds")
+	tracePath := fs.String("trace", "", "write a V_CC/freq/mode CSV trace to this file")
+	ff := fs.Bool("ff", false, "fast-forward idle decay analytically (faster, tolerance-level accuracy)")
+	workers := fs.Int("workers", 0, "sweep parallelism (0 = one per core)")
+	scenarioPath := fs.String("scenario", "", "run a declarative scenario spec (JSON) instead of flags")
+	list := fs.Bool("list", false, "list every registered workload, source, runtime and governor")
+	if err := fs.Parse(args); err != nil {
+		if err == flag.ErrHelp {
+			return 0
+		}
+		return 2
+	}
+
+	if *list {
+		printList(stdout)
+		return 0
+	}
+	if *scenarioPath != "" {
+		if err := runScenario(*scenarioPath, *tracePath, *ff, *workers, stdout, stderr); err != nil {
+			fmt.Fprintf(stderr, "ehsim: %v\n", err)
+			return 1
+		}
+		return 0
+	}
+	if err := runFlags(*workload, *supply, *runtimeName, *capFlag, *duration,
+		*tracePath, *ff, *workers, stdout, stderr); err != nil {
+		fmt.Fprintf(stderr, "ehsim: %v\n", err)
+		return 1
+	}
+	return 0
+}
+
+// runFlags is the classic flag-driven path, now resolving every name
+// through the registries.
+func runFlags(workload, supply, runtimeName, capFlag string, duration float64,
+	tracePath string, ff bool, workers int, stdout, stderr io.Writer) error {
 	var caps []float64
-	for _, part := range strings.Split(*capFlag, ",") {
+	for _, part := range strings.Split(capFlag, ",") {
 		c, err := parseCap(strings.TrimSpace(part))
 		if err != nil {
-			fail(err)
+			return err
 		}
 		caps = append(caps, c)
 	}
 
-	unified := *runtimeName == "quickrecall"
+	supplyLabel := supply // headers show the name as the user gave it
+	if alias, ok := supplyAliases[supply]; ok {
+		supply = alias
+	}
+	entry, err := transient.LookupRuntime(runtimeName)
+	if err != nil {
+		return err
+	}
 	layout := programs.DefaultLayout()
 	params := mcu.DefaultParams()
-	if unified {
+	if entry.UnifiedNV {
 		layout = programs.UnifiedNVLayout()
 		params = mcu.UnifiedNVParams()
 	}
-
-	w, err := pickWorkload(*workload, layout)
+	w, err := programs.Build(workload, layout)
 	if err != nil {
-		fail(err)
+		return err
 	}
-	if _, err := pickSupply(*supply); err != nil {
-		fail(err)
+	if _, err := source.Build(supply, nil); err != nil {
+		return err
 	}
 
 	setup := func(c float64) lab.Setup {
-		vs, _ := pickSupply(*supply) // validated above; fresh per case
-		mk, err := pickRuntime(*runtimeName, c)
+		built, _ := source.Build(supply, nil) // validated above; fresh per case
+		mk, _, err := transient.RuntimeFactory(runtimeName, c, nil)
 		if err != nil {
-			fail(err)
+			panic(err) // unreachable: the name resolved above
 		}
 		return lab.Setup{
 			Workload:    w,
 			Params:      params,
 			MakeRuntime: mk,
-			VSource:     vs,
+			VSource:     built.V,
+			PSource:     built.P,
 			C:           c,
 			LeakR:       50e3,
-			Duration:    *duration,
-			FastForward: *ff,
+			Duration:    duration,
+			FastForward: ff,
 		}
 	}
 
 	if len(caps) > 1 {
-		if *tracePath != "" {
-			fmt.Fprintln(os.Stderr, "ehsim: -trace applies to single runs only; ignoring it for the sweep")
+		if tracePath != "" {
+			fmt.Fprintln(stderr, "ehsim: -trace applies to single runs only; ignoring it for the sweep")
 		}
-		sweepCaps(caps, setup, *workload, *supply, *runtimeName, *workers)
-		return
+		return sweepCaps(caps, setup, workload, supplyLabel, runtimeName, workers, stdout)
 	}
 
 	c := caps[0]
 	s := setup(c)
+	title := fmt.Sprintf("scenario: %s on %s, runtime=%s, C=%s, %gs",
+		w.Name, supplyLabel, runtimeName, units.Format(c, "F"), duration)
+	return runSingle(s, title, tracePath, stdout)
+}
+
+// runSingle executes one setup, printing the summary (and a CSV trace if
+// requested).
+func runSingle(s lab.Setup, title, tracePath string, stdout io.Writer) error {
 	var rec *trace.Recorder
-	if *tracePath != "" {
+	if tracePath != "" {
 		rec = trace.NewRecorder()
 		s.Recorder = rec
 		s.RecordInterval = 1e-3
@@ -113,164 +184,195 @@ func main() {
 
 	res, err := lab.Run(s)
 	if err != nil {
-		fail(err)
+		return err
 	}
 
-	fmt.Printf("scenario: %s on %s, runtime=%s, C=%s, %gs\n",
-		w.Name, *supply, *runtimeName, units.Format(c, "F"), *duration)
-	fmt.Printf("  completions:        %d (wrong: %d)\n", res.Completions, res.WrongResults)
-	fmt.Printf("  throughput:         %.2f ops/s\n", res.Throughput(*duration))
-	if res.Completions > 0 {
-		fmt.Printf("  energy/completion:  %s\n", units.Format(res.EnergyPerCompletion(), "J"))
-		fmt.Printf("  first completion:   %s\n", units.FormatSeconds(res.FirstCompletion))
-	}
-	st := res.Stats
-	fmt.Printf("  snapshots:          %d started, %d done, %d aborted\n",
-		st.SavesStarted, st.SavesDone, st.SavesAborted)
-	fmt.Printf("  restores/wakes:     %d / %d\n", st.Restores, st.WakeNoRestore)
-	fmt.Printf("  power cycles:       %d brown-outs, %d cold starts\n", st.BrownOuts, st.ColdStarts)
-	fmt.Printf("  time split:         active %.2fs, sleep %.2fs, save %.2fs, off %.2fs\n",
-		st.ActiveSec, st.SleepSec, st.SaveSec, st.OffSec)
-	fmt.Printf("  energy:             harvested %s, consumed %s\n",
-		units.Format(res.HarvestedJ, "J"), units.Format(res.ConsumedJ, "J"))
-	if res.RuntimeErr != nil {
-		fmt.Printf("  guest fault:        %v\n", res.RuntimeErr)
-	}
+	fmt.Fprintln(stdout, title)
+	printSummary(stdout, res, s.Duration)
 
 	if rec != nil {
-		f, err := os.Create(*tracePath)
+		f, err := os.Create(tracePath)
 		if err != nil {
-			fail(err)
+			return err
 		}
 		defer f.Close()
 		if err := rec.WriteCSV(f); err != nil {
-			fail(err)
+			return err
 		}
-		fmt.Printf("  trace written to %s\n", *tracePath)
+		fmt.Fprintf(stdout, "  trace written to %s\n", tracePath)
+	}
+	return nil
+}
+
+// printSummary renders one run's result block.
+func printSummary(w io.Writer, res lab.Result, duration float64) {
+	fmt.Fprintf(w, "  completions:        %d (wrong: %d)\n", res.Completions, res.WrongResults)
+	fmt.Fprintf(w, "  throughput:         %.2f ops/s\n", res.Throughput(duration))
+	if res.Completions > 0 {
+		fmt.Fprintf(w, "  energy/completion:  %s\n", units.Format(res.EnergyPerCompletion(), "J"))
+		fmt.Fprintf(w, "  first completion:   %s\n", units.FormatSeconds(res.FirstCompletion))
+	}
+	st := res.Stats
+	fmt.Fprintf(w, "  snapshots:          %d started, %d done, %d aborted\n",
+		st.SavesStarted, st.SavesDone, st.SavesAborted)
+	fmt.Fprintf(w, "  restores/wakes:     %d / %d\n", st.Restores, st.WakeNoRestore)
+	fmt.Fprintf(w, "  power cycles:       %d brown-outs, %d cold starts\n", st.BrownOuts, st.ColdStarts)
+	fmt.Fprintf(w, "  time split:         active %.2fs, sleep %.2fs, save %.2fs, off %.2fs\n",
+		st.ActiveSec, st.SleepSec, st.SaveSec, st.OffSec)
+	fmt.Fprintf(w, "  energy:             harvested %s, consumed %s\n",
+		units.Format(res.HarvestedJ, "J"), units.Format(res.ConsumedJ, "J"))
+	if res.RuntimeErr != nil {
+		fmt.Fprintf(w, "  guest fault:        %v\n", res.RuntimeErr)
 	}
 }
 
-func fail(err error) {
-	fmt.Fprintf(os.Stderr, "ehsim: %v\n", err)
-	os.Exit(1)
+// runScenario executes a declarative spec: a single run without sweep
+// axes, a grid sweep with them.
+func runScenario(path, tracePath string, ff bool, workers int, stdout, stderr io.Writer) error {
+	sp, err := scenario.Load(path)
+	if err != nil {
+		return err
+	}
+	if ff {
+		sp.FastForward = true
+	}
+
+	if !sp.HasSweep() {
+		s, err := sp.Setup()
+		if err != nil {
+			return err
+		}
+		title := fmt.Sprintf("scenario %s: %s on %s, runtime=%s, C=%s, %gs",
+			sp.Name, sp.Workload, sp.Source.Name, runtimeLabel(sp),
+			units.Format(float64(sp.Storage.C), "F"), float64(sp.Duration))
+		return runSingle(s, title, tracePath, stdout)
+	}
+
+	if tracePath != "" {
+		fmt.Fprintln(stderr, "ehsim: -trace applies to single runs only; ignoring it for the sweep")
+	}
+	grid := sp.Grid()
+	cases := grid.Cases()
+	results, err := sweep.MapGrid(&sweep.Runner{Workers: workers}, grid,
+		func(c sweep.Case) (lab.Result, error) {
+			s, err := sp.SetupAt(c)
+			if err != nil {
+				return lab.Result{}, err
+			}
+			return lab.Run(s)
+		})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "scenario %s: sweep over %s, %d cases\n",
+		sp.Name, sweepAxesLabel(sp), len(cases))
+	fmt.Fprintf(stdout, "%-32s %-12s %-8s %-10s %-10s %-12s %-12s\n",
+		"case", "completions", "wrong", "snapshots", "brownouts", "energy/op", "harvested")
+	for i, res := range results {
+		eop := "∞"
+		if res.Completions > 0 {
+			eop = units.Format(res.EnergyPerCompletion(), "J")
+		}
+		fmt.Fprintf(stdout, "%-32s %-12d %-8d %-10d %-10d %-12s %-12s\n",
+			cases[i].Name, res.Completions, res.WrongResults,
+			res.Stats.SavesStarted, res.Stats.BrownOuts, eop,
+			units.Format(res.HarvestedJ, "J"))
+	}
+	return nil
+}
+
+// runtimeLabel names the spec's runtime for the report header.
+func runtimeLabel(sp *scenario.Spec) string {
+	if sp.Runtime.Name == "" {
+		return "none"
+	}
+	return sp.Runtime.Name
+}
+
+// sweepAxesLabel joins the sweep axis names.
+func sweepAxesLabel(sp *scenario.Spec) string {
+	names := make([]string, len(sp.Sweep))
+	for i, ax := range sp.Sweep {
+		names[i] = ax.Param
+	}
+	return strings.Join(names, " × ")
 }
 
 // sweepCaps fans one run per capacitance out over the sweep engine and
 // prints a storage-axis comparison table in flag order.
 func sweepCaps(caps []float64, setup func(c float64) lab.Setup,
-	workload, supply, runtimeName string, workers int) {
+	workload, supply, runtimeName string, workers int, stdout io.Writer) error {
 	results, err := sweep.Labs(&sweep.Runner{Workers: workers}, len(caps),
 		func(c sweep.Case) lab.Setup { return setup(caps[c.Index]) })
 	if err != nil {
-		fail(err)
+		return err
 	}
-	fmt.Printf("storage sweep: %s on %s, runtime=%s, %d cases\n",
+	fmt.Fprintf(stdout, "storage sweep: %s on %s, runtime=%s, %d cases\n",
 		workload, supply, runtimeName, len(caps))
-	fmt.Printf("%-10s %-12s %-8s %-10s %-10s %-12s %-12s\n",
+	fmt.Fprintf(stdout, "%-10s %-12s %-8s %-10s %-10s %-12s %-12s\n",
 		"C", "completions", "wrong", "snapshots", "brownouts", "energy/op", "harvested")
 	for i, res := range results {
 		eop := "∞"
 		if res.Completions > 0 {
 			eop = units.Format(res.EnergyPerCompletion(), "J")
 		}
-		fmt.Printf("%-10s %-12d %-8d %-10d %-10d %-12s %-12s\n",
+		fmt.Fprintf(stdout, "%-10s %-12d %-8d %-10d %-10d %-12s %-12s\n",
 			units.Format(caps[i], "F"), res.Completions, res.WrongResults,
 			res.Stats.SavesStarted, res.Stats.BrownOuts, eop,
 			units.Format(res.HarvestedJ, "J"))
+	}
+	return nil
+}
+
+// printList enumerates every registry the scenario layer resolves names
+// through, with each entry's tunables and defaults.
+func printList(w io.Writer) {
+	docs := func(ps []registry.ParamDoc) string {
+		if len(ps) == 0 {
+			return ""
+		}
+		parts := make([]string, len(ps))
+		for i, p := range ps {
+			parts[i] = fmt.Sprintf("%s=%g", p.Key, p.Default)
+		}
+		return "  [" + strings.Join(parts, " ") + "]"
+	}
+
+	fmt.Fprintln(w, "workloads:")
+	for _, n := range programs.Names() {
+		f, _ := programs.Lookup(n)
+		fmt.Fprintf(w, "  %-16s %s\n", n, f.Desc)
+	}
+	fmt.Fprintln(w, "sources:")
+	for _, n := range source.Names() {
+		e, _ := source.Lookup(n)
+		kind := "voltage"
+		if e.Power {
+			kind = "power"
+		}
+		fmt.Fprintf(w, "  %-16s %s (%s)%s\n", n, e.Desc, kind, docs(e.Params))
+	}
+	fmt.Fprintln(w, "runtimes:")
+	for _, n := range transient.RuntimeNames() {
+		e, _ := transient.LookupRuntime(n)
+		note := ""
+		if e.UnifiedNV {
+			note = " (unified-NV device)"
+		}
+		fmt.Fprintf(w, "  %-16s %s%s%s\n", n, e.Desc, note, docs(e.Params))
+	}
+	fmt.Fprintln(w, "governors:")
+	for _, n := range powerneutral.GovernorNames() {
+		e, _ := powerneutral.LookupGovernor(n)
+		fmt.Fprintf(w, "  %-16s %s%s\n", n, e.Desc, docs(e.Params))
 	}
 }
 
 // parseCap parses values like "10u", "470u", "6m", "0.01".
 func parseCap(s string) (float64, error) {
-	mult := 1.0
-	switch {
-	case strings.HasSuffix(s, "u"):
-		mult, s = 1e-6, strings.TrimSuffix(s, "u")
-	case strings.HasSuffix(s, "m"):
-		mult, s = 1e-3, strings.TrimSuffix(s, "m")
-	case strings.HasSuffix(s, "n"):
-		mult, s = 1e-9, strings.TrimSuffix(s, "n")
-	}
-	v, err := strconv.ParseFloat(s, 64)
+	v, err := units.ParseSI(s)
 	if err != nil || v <= 0 {
 		return 0, fmt.Errorf("invalid capacitance %q", s)
 	}
-	return v * mult, nil
-}
-
-func pickWorkload(name string, l programs.Layout) (*programs.Workload, error) {
-	switch name {
-	case "fft64":
-		return programs.FFT(64, l), nil
-	case "fft256":
-		return programs.FFT(256, l), nil
-	case "crc256":
-		return programs.CRC16(256, l), nil
-	case "sieve3000":
-		return programs.Sieve(3000, l), nil
-	case "fib24":
-		return programs.Fib(24, l), nil
-	default:
-		return nil, fmt.Errorf("unknown workload %q", name)
-	}
-}
-
-func pickSupply(name string) (source.VoltageSource, error) {
-	switch name {
-	case "square":
-		return &source.SquareWaveVoltage{High: 3.3, OnTime: 0.004, OffTime: 0.150, Rs: 100}, nil
-	case "sine20":
-		return source.HalfWave(&source.SignalGenerator{Amplitude: 4.5, Frequency: 20, Rs: 100}, 0.2), nil
-	case "wind":
-		t := &source.WindTurbine{PeakVoltage: 4.5, ACFrequency: 8, GustStart: 0.3,
-			GustRise: 0.5, GustHold: 2.2, GustFall: 0.8, Rs: 150}
-		return source.HalfWave(t, 0.2), nil
-	case "dc":
-		return &source.ConstantVoltage{V: 3.3, Rs: 100}, nil
-	case "solar":
-		// Indoor PV behind a boost converter: present the power source as
-		// a soft voltage source via Thevenin equivalent at ~1 mW.
-		return &source.ConstantVoltage{V: 3.0, Rs: 3000}, nil
-	case "rf":
-		gated := &source.GatedVoltage{
-			Source:  &source.ConstantVoltage{V: 3.3, Rs: 400},
-			Windows: [][2]float64{},
-		}
-		// RF illumination: 300 ms bursts every second.
-		for t := 0.0; t < 3600; t += 1.0 {
-			gated.Windows = append(gated.Windows, [2]float64{t, t + 0.3})
-		}
-		return gated, nil
-	default:
-		return nil, fmt.Errorf("unknown supply %q", name)
-	}
-}
-
-func pickRuntime(name string, c float64) (func(d *mcu.Device) mcu.Runtime, error) {
-	switch name {
-	case "none":
-		return nil, nil
-	case "hibernus":
-		return func(d *mcu.Device) mcu.Runtime {
-			return transient.NewHibernus(d, c, 1.1, 0.35)
-		}, nil
-	case "hibernus++":
-		return func(d *mcu.Device) mcu.Runtime {
-			return transient.NewHibernusPP(d)
-		}, nil
-	case "mementos":
-		return func(d *mcu.Device) mcu.Runtime {
-			return transient.NewMementos(d, 2.2)
-		}, nil
-	case "quickrecall":
-		return func(d *mcu.Device) mcu.Runtime {
-			return transient.NewQuickRecall(d, c, 1.1, 0.35)
-		}, nil
-	case "hibernus-pn":
-		return func(d *mcu.Device) mcu.Runtime {
-			return powerneutral.NewHibernusPN(d, c, 1.1, 0.35, 3.0)
-		}, nil
-	default:
-		return nil, fmt.Errorf("unknown runtime %q", name)
-	}
+	return v, nil
 }

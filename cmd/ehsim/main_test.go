@@ -1,0 +1,144 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// runCLI invokes the command's entry point with captured output.
+func runCLI(t *testing.T, args ...string) (code int, stdout, stderr string) {
+	t.Helper()
+	var out, errb bytes.Buffer
+	code = run(args, &out, &errb)
+	return code, out.String(), errb.String()
+}
+
+func TestListEnumeratesRegistries(t *testing.T) {
+	code, out, _ := runCLI(t, "-list")
+	if code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	for _, frag := range []string{
+		"workloads:", "sources:", "runtimes:", "governors:",
+		"fft64", "wind", "hibernus-pn", "hillclimb", "margin=1.1",
+	} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("-list output missing %q", frag)
+		}
+	}
+}
+
+func TestScenarioSingleRunSmoke(t *testing.T) {
+	spec := `{
+		"name": "cli-smoke",
+		"workload": "fib24",
+		"storage": {"c": "10u"},
+		"source": {"name": "dc"},
+		"duration": 0.002
+	}`
+	path := filepath.Join(t.TempDir(), "smoke.json")
+	if err := os.WriteFile(path, []byte(spec), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	code, out, errb := runCLI(t, "-scenario", path)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errb)
+	}
+	if !strings.Contains(out, "scenario cli-smoke") || !strings.Contains(out, "completions:") {
+		t.Errorf("unexpected output:\n%s", out)
+	}
+	if strings.Contains(out, "completions:        0 ") {
+		t.Errorf("smoke scenario should complete at least once:\n%s", out)
+	}
+}
+
+func TestScenarioSweepRunSmoke(t *testing.T) {
+	spec := `{
+		"name": "cli-sweep-smoke",
+		"workload": "fib24",
+		"storage": {"c": "10u"},
+		"source": {"name": "dc"},
+		"duration": 0.002,
+		"sweep": [{"param": "c", "values": ["4.7u", "10u"]}]
+	}`
+	path := filepath.Join(t.TempDir(), "sweep.json")
+	if err := os.WriteFile(path, []byte(spec), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	code, out, errb := runCLI(t, "-scenario", path, "-workers", "2")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errb)
+	}
+	for _, frag := range []string{"sweep over c, 2 cases", "c=4.7µF", "c=10µF"} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("sweep output missing %q:\n%s", frag, out)
+		}
+	}
+}
+
+func TestScenarioErrorsAreActionable(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bad.json")
+	spec := `{"name":"bad","workload":"nope","storage":{"c":"10u"},
+		"source":{"name":"dc"},"duration":1}`
+	if err := os.WriteFile(path, []byte(spec), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	code, _, errb := runCLI(t, "-scenario", path)
+	if code == 0 {
+		t.Fatal("expected failure")
+	}
+	if !strings.Contains(errb, `unknown workload "nope"`) || !strings.Contains(errb, "fib24") {
+		t.Errorf("stderr should carry the registry's actionable message, got: %s", errb)
+	}
+	code, _, errb = runCLI(t, "-scenario", filepath.Join(t.TempDir(), "missing.json"))
+	if code == 0 || !strings.Contains(errb, "missing.json") {
+		t.Errorf("missing file: code=%d stderr=%s", code, errb)
+	}
+}
+
+func TestExampleSpecsParseAndRunHeadless(t *testing.T) {
+	// Every shipped example spec must at least load and compile; the two
+	// fast ones are executed end to end (CI runs the full matrix).
+	matches, err := filepath.Glob("../../examples/scenarios/*.json")
+	if err != nil || len(matches) < 4 {
+		t.Fatalf("expected ≥4 example specs, got %d (%v)", len(matches), err)
+	}
+	for _, m := range matches {
+		name := filepath.Base(m)
+		if name != "fig7-rectified-sine-hibernus.json" && name != "eneutral-duty-cycle.json" {
+			continue
+		}
+		code, out, errb := runCLI(t, "-scenario", m)
+		if code != 0 {
+			t.Errorf("%s: exit %d, stderr: %s", name, code, errb)
+			continue
+		}
+		if len(strings.TrimSpace(out)) == 0 {
+			t.Errorf("%s: empty output", name)
+		}
+	}
+}
+
+func TestLegacyFlagPathStillWorks(t *testing.T) {
+	code, out, errb := runCLI(t,
+		"-workload", "fib24", "-supply", "dc", "-runtime", "none", "-dur", "0.002")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errb)
+	}
+	if !strings.Contains(out, "scenario: fib-24 on dc, runtime=none") {
+		t.Errorf("legacy header changed:\n%s", out)
+	}
+}
+
+func TestHelpExitsZero(t *testing.T) {
+	code, _, errb := runCLI(t, "-h")
+	if code != 0 {
+		t.Errorf("-h exited %d, want 0", code)
+	}
+	if !strings.Contains(errb, "-scenario") {
+		t.Errorf("usage should mention -scenario, got: %s", errb)
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"repro/internal/mcu"
 	"repro/internal/powerneutral"
 	"repro/internal/programs"
+	"repro/internal/scenario"
 	"repro/internal/source"
 	"repro/internal/sweep"
 	"repro/internal/transient"
@@ -169,11 +170,38 @@ func runEq3() (*Output, error) {
 	return out, nil
 }
 
+// Eq4Spec is the declarative form of the eq. (4) margin sweep: the
+// standard square-wave testbed with a sweep axis over the hibernus guard
+// margin — the spec-driven twin of runEq4's hand-built grid.
+func Eq4Spec() *scenario.Spec {
+	return &scenario.Spec{
+		Name:        "eq4-margin-sweep",
+		Description: "hibernus V_H margin sweep on the square-wave testbed: under-margined eq. (4) thresholds abort snapshots",
+		Paper:       "conf_date_MerrettA17 §II.B, eq. (4)",
+		Workload:    "sieve3000",
+		Storage:     scenario.StorageSpec{C: 10e-6, LeakR: 50e3},
+		Source:      scenario.SourceSpec{Name: "square"},
+		Runtime: scenario.RuntimeSpec{
+			Name:   "hibernus",
+			Params: map[string]scenario.Value{"vrheadroom": 0.35},
+		},
+		Duration: 3.0,
+		Sweep: []scenario.Axis{
+			{Param: "runtime.margin", Values: []scenario.Value{0.80, 0.90, 0.95, 1.00, 1.10, 1.25}},
+		},
+	}
+}
+
 // runEq4 sweeps the guard margin on the eq. (4) threshold. Below 1.0 the
 // snapshot energy budget is violated and saves are cut off; at and above
-// 1.0 every save survives.
+// 1.0 every save survives. Cases come from Eq4Spec's sweep axis; the
+// harness wraps each compiled Setup only to capture the calibrated V_H.
 func runEq4() (*Output, error) {
-	margins := []float64{0.80, 0.90, 0.95, 1.00, 1.10, 1.25}
+	sp := Eq4Spec()
+	var margins []float64
+	for _, v := range sp.Sweep[0].Values {
+		margins = append(margins, float64(v))
+	}
 	tbl := Table{
 		Title:   "hibernus V_H margin sweep (10 µF rail, square-wave outages)",
 		Columns: []string{"margin on eq.(4) V_H", "V_H", "saves started", "saves aborted", "completions"},
@@ -182,19 +210,17 @@ func runEq4() (*Output, error) {
 		res lab.Result
 		vh  float64
 	}
-	outs, err := sweep.Map(nil, len(margins), func(c sweep.Case) (eq4Out, error) {
+	outs, err := sweep.MapGrid(nil, sp.Grid(), func(c sweep.Case) (eq4Out, error) {
+		s, err := sp.SetupAt(c)
+		if err != nil {
+			return eq4Out{}, err
+		}
 		var h *transient.Hibernus
-		s := lab.Setup{
-			Workload: programs.Sieve(3000, programs.DefaultLayout()),
-			Params:   mcu.DefaultParams(),
-			MakeRuntime: func(d *mcu.Device) mcu.Runtime {
-				h = transient.NewHibernus(d, 10e-6, margins[c.Index], 0.35)
-				return h
-			},
-			VSource:  &source.SquareWaveVoltage{High: 3.3, OnTime: 0.004, OffTime: 0.150, Rs: 100},
-			C:        10e-6,
-			LeakR:    50e3,
-			Duration: 3.0,
+		makeRuntime := s.MakeRuntime
+		s.MakeRuntime = func(d *mcu.Device) mcu.Runtime {
+			rt := makeRuntime(d)
+			h = rt.(*transient.Hibernus)
+			return rt
 		}
 		res, err := lab.Run(s)
 		if err != nil {

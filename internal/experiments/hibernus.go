@@ -9,6 +9,7 @@ import (
 	"repro/internal/mcu"
 	"repro/internal/powerneutral"
 	"repro/internal/programs"
+	"repro/internal/scenario"
 	"repro/internal/source"
 	"repro/internal/sweep"
 	"repro/internal/trace"
@@ -34,41 +35,66 @@ func init() {
 // the third supply cycle.
 const fig7SupplyHz = 20.0
 
+// Fig7Spec is the declarative form of the Fig. 7 reproduction — the same
+// values as examples/scenarios/fig7-rectified-sine-hibernus.json (a test
+// pins the two together), so `ehsim -scenario` on that file reproduces
+// this harness's numbers exactly.
+func Fig7Spec() *scenario.Spec {
+	return &scenario.Spec{
+		Name:        "fig7-rectified-sine-hibernus",
+		Description: "Hibernus executing a 128-point FFT across a 20 Hz half-wave rectified sine supply: one snapshot per dip at V_H, restore/wake at V_R, completion a few supply cycles after the start. This file is the declarative twin of the registered fig7 experiment (cmd/figures -only fig7); a test pins the two together.",
+		Paper:       "conf_date_MerrettA17 §III, Fig. 7",
+		Workload:    "fft128",
+		Device:      scenario.DeviceSpec{FreqIndex: scenario.IntPtr(1)}, // 2 MHz: the FFT spans several supply cycles
+		Storage:     scenario.StorageSpec{C: 10e-6},
+		Source: scenario.SourceSpec{
+			Name: "rectified-sine",
+			Params: map[string]scenario.Value{
+				"amplitude": 3.6, "freq": fig7SupplyHz, "rs": 150, "diodev": 0.2,
+			},
+		},
+		Runtime: scenario.RuntimeSpec{
+			Name:   "hibernus",
+			Params: map[string]scenario.Value{"margin": 1.05, "vrheadroom": 0.3},
+		},
+		Duration: 0.5,
+	}
+}
+
 // runFig7 reproduces the hibernus waveform: V_CC riding the rectified
 // supply, a single snapshot per dip at V_H, a restore/wake at V_R, and the
-// FFT completing a few supply cycles after it started.
+// FFT completing a few supply cycles after it started. The Setup is
+// compiled from Fig7Spec — the declarative round trip — with the
+// harness-only observers (recorder, event timestamps, runtime capture)
+// layered on after compilation.
 func runFig7() (*Output, error) {
-	gen := &source.SignalGenerator{Amplitude: 3.6, Frequency: fig7SupplyHz, Rs: 150}
 	rec := trace.NewRecorder()
 	rec.SetInterval(0.5e-3)
 
+	s, err := Fig7Spec().Setup()
+	if err != nil {
+		return nil, err
+	}
 	var h *transient.Hibernus
-	params := mcu.DefaultParams()
-	params.FreqIndex = 1 // 2 MHz: the FFT spans several supply cycles
+	makeRuntime := s.MakeRuntime
+	s.MakeRuntime = func(d *mcu.Device) mcu.Runtime {
+		rt := makeRuntime(d)
+		h = rt.(*transient.Hibernus)
+		return rt
+	}
 
 	var snapshotTimes, wakeTimes []float64
 	var lastSaves, lastWakes int
-	s := lab.Setup{
-		Workload: programs.FFT(128, programs.DefaultLayout()),
-		Params:   params,
-		MakeRuntime: func(d *mcu.Device) mcu.Runtime {
-			h = transient.NewHibernus(d, 10e-6, 1.05, 0.3)
-			return h
-		},
-		VSource:  source.HalfWave(gen, 0.2),
-		C:        10e-6,
-		Duration: 0.5,
-		Recorder: rec,
-		OnTick: func(t float64, d *mcu.Device, rail *circuit.Rail) {
-			if d.Stats.SavesDone > lastSaves {
-				lastSaves = d.Stats.SavesDone
-				snapshotTimes = append(snapshotTimes, t)
-			}
-			if w := d.Stats.WakeNoRestore + d.Stats.Restores; w > lastWakes {
-				lastWakes = w
-				wakeTimes = append(wakeTimes, t)
-			}
-		},
+	s.Recorder = rec
+	s.OnTick = func(t float64, d *mcu.Device, rail *circuit.Rail) {
+		if d.Stats.SavesDone > lastSaves {
+			lastSaves = d.Stats.SavesDone
+			snapshotTimes = append(snapshotTimes, t)
+		}
+		if w := d.Stats.WakeNoRestore + d.Stats.Restores; w > lastWakes {
+			lastWakes = w
+			wakeTimes = append(wakeTimes, t)
+		}
 	}
 	res, err := lab.Run(s)
 	if err != nil {

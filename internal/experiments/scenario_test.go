@@ -1,0 +1,43 @@
+package experiments
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/scenario"
+)
+
+// TestFig7SpecMatchesExampleFile pins the acceptance contract: the spec
+// the registered fig7 harness compiles its Setup from and the curated
+// example file are the same scenario, so `ehsim -scenario` on the file
+// reproduces the harness's numbers exactly.
+func TestFig7SpecMatchesExampleFile(t *testing.T) {
+	fromFile, err := scenario.Load("../../examples/scenarios/fig7-rectified-sine-hibernus.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(fromFile, Fig7Spec()) {
+		t.Errorf("example file and Fig7Spec diverged:\nfile: %+v\ncode: %+v", fromFile, Fig7Spec())
+	}
+}
+
+// TestPortedSpecsCompile keeps the spec-driven experiments compiling
+// through the scenario layer.
+func TestPortedSpecsCompile(t *testing.T) {
+	if _, err := Fig7Spec().Setup(); err != nil {
+		t.Errorf("Fig7Spec: %v", err)
+	}
+	sp := Eq4Spec()
+	if err := sp.Validate(); err != nil {
+		t.Fatalf("Eq4Spec: %v", err)
+	}
+	grid := sp.Grid()
+	if grid.Size() != 6 {
+		t.Errorf("Eq4Spec grid size = %d, want 6", grid.Size())
+	}
+	for _, c := range grid.Cases() {
+		if _, err := sp.SetupAt(c); err != nil {
+			t.Errorf("Eq4Spec case %s: %v", c.Name, err)
+		}
+	}
+}

@@ -160,7 +160,7 @@ func Run(s Setup) (Result, error) {
 		s.Recorder.SetInterval(s.RecordInterval)
 	}
 
-	steps := int(s.Duration / s.Dt)
+	steps := stepCount(s.Duration, s.Dt)
 	for i := 0; i < steps; {
 		if s.FastForward {
 			if n := s.tryFastForward(d, rail, steps-i); n > 0 {
@@ -169,16 +169,8 @@ func Run(s Setup) (Result, error) {
 			}
 		}
 		v := rail.Step(s.Dt)
-		t := rail.Now()
 		d.Tick(v, s.Dt)
-		if s.OnTick != nil {
-			s.OnTick(t, d, rail)
-		}
-		if s.Recorder != nil {
-			s.Recorder.Record("vcc", "V", t, v)
-			s.Recorder.Record("freq", "MHz", t, d.Freq()/1e6)
-			s.Recorder.Record("mode", "", t, float64(d.Mode()))
-		}
+		s.observe(rail.Now(), v, d, rail)
 		i++
 	}
 
@@ -247,16 +239,40 @@ func (s *Setup) tryFastForward(d *mcu.Device, rail *circuit.Rail, remaining int)
 
 	v := rail.AdvanceIdle(n, s.Dt, iLoad)
 	d.Tick(v, float64(n)*s.Dt) // aggregates off/sleep time; v < VOn, so no power-on
+	s.observe(rail.Now(), v, d, rail)
+	return n
+}
+
+// observe runs the per-step observers: the OnTick hook, then the trace
+// triple (V_CC, DFS frequency, mode) when a recorder is attached. Both
+// the stepwise loop and the fast-forward path end every advance here.
+func (s *Setup) observe(t, v float64, d *mcu.Device, rail *circuit.Rail) {
 	if s.OnTick != nil {
-		s.OnTick(rail.Now(), d, rail)
+		s.OnTick(t, d, rail)
 	}
 	if s.Recorder != nil {
-		t := rail.Now()
 		s.Recorder.Record("vcc", "V", t, v)
 		s.Recorder.Record("freq", "MHz", t, d.Freq()/1e6)
 		s.Recorder.Record("mode", "", t, float64(d.Mode()))
 	}
-	return n
+}
+
+// stepCount returns how many Dt steps cover Duration. Durations that are
+// an exact multiple of Dt (up to float-division noise) round to the
+// nearest count — int truncation used to lose a step whenever the
+// quotient landed just under the integer, silently shortening e.g. a
+// 2.0 s run at 5 µs by one step. A genuinely fractional quotient rounds
+// up, so the tail of Duration=1.0, Dt=3e-6 is simulated rather than
+// dropped.
+func stepCount(duration, dt float64) int {
+	if duration <= 0 || dt <= 0 {
+		return 0
+	}
+	n := duration / dt
+	if r := math.Round(n); math.Abs(n-r) <= 1e-9*r {
+		return int(r)
+	}
+	return int(math.Ceil(n))
 }
 
 // MustRun is Run that panics on setup errors — for benchmarks and examples

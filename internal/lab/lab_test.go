@@ -185,3 +185,71 @@ func TestPowerSourceSetup(t *testing.T) {
 		t.Error("power-source rail never ran the workload")
 	}
 }
+
+func TestStepCountExactMultiples(t *testing.T) {
+	// Quotients that land an ulp under the integer must not lose a step:
+	// int(2.0/5e-6) is 399999, the silent tail-drop stepCount fixes.
+	cases := []struct {
+		duration, dt float64
+		want         int
+	}{
+		{2.0, 5e-6, 400000},
+		{0.5, 5e-6, 100000},
+		{3.0, 5e-6, 600000},
+		{5.0, 5e-6, 1000000},
+		{1.0, 1e-5, 100000},
+		{0.001, 5e-6, 200},
+	}
+	for _, tc := range cases {
+		if got := stepCount(tc.duration, tc.dt); got != tc.want {
+			t.Errorf("stepCount(%g, %g) = %d, want %d", tc.duration, tc.dt, got, tc.want)
+		}
+	}
+}
+
+func TestStepCountCoversFractionalTail(t *testing.T) {
+	// 1.0/3e-6 is not an integer: the fractional tail must round up so
+	// the simulated span covers the requested duration.
+	got := stepCount(1.0, 3e-6)
+	if got != 333334 {
+		t.Errorf("stepCount(1.0, 3e-6) = %d, want 333334", got)
+	}
+	if span := float64(got) * 3e-6; span < 1.0 {
+		t.Errorf("covered span %g < duration 1.0", span)
+	}
+	if got := stepCount(0, 5e-6); got != 0 {
+		t.Errorf("stepCount(0, dt) = %d, want 0", got)
+	}
+	if got := stepCount(1, 0); got != 0 {
+		t.Errorf("stepCount(d, 0) = %d, want 0", got)
+	}
+}
+
+func TestObserveFeedsOnTickAndRecorder(t *testing.T) {
+	// The shared observe helper must drive both hooks on the stepwise
+	// path: OnTick every step, the trace triple at the recorder's cadence.
+	rec := trace.NewRecorder()
+	ticks := 0
+	s := Setup{
+		Workload: programs.Fib(8, programs.DefaultLayout()),
+		Params:   mcu.DefaultParams(),
+		VSource:  &source.ConstantVoltage{V: 3.3, Rs: 100},
+		C:        10e-6,
+		Duration: 0.001,
+		Recorder: rec,
+		OnTick:   func(t float64, d *mcu.Device, rail *circuit.Rail) { ticks++ },
+	}
+	if _, err := Run(s); err != nil {
+		t.Fatal(err)
+	}
+	steps := stepCount(s.Duration, 5e-6)
+	if ticks != steps {
+		t.Errorf("OnTick ran %d times, want %d", ticks, steps)
+	}
+	for _, name := range []string{"vcc", "freq", "mode"} {
+		series := rec.Series(name)
+		if series == nil || len(series.Points) == 0 {
+			t.Errorf("series %q not recorded", name)
+		}
+	}
+}

@@ -1,0 +1,87 @@
+// Registries for the power-neutral layer: DFS governors by policy name,
+// plus registration of the combined hibernus-PN runtime into the shared
+// transient runtime namespace — the cross-package half of the registry
+// contract (the runtime table is open; policy packages extend it).
+package powerneutral
+
+import (
+	"repro/internal/mcu"
+	"repro/internal/registry"
+	"repro/internal/transient"
+)
+
+// GovernorEntry describes one registered governor policy.
+type GovernorEntry struct {
+	Desc   string
+	Params []registry.ParamDoc
+	Make   func(p registry.Params) *Governor
+}
+
+var governors = registry.New[GovernorEntry]("governor")
+
+// RegisterGovernor adds a governor policy under name (panics on
+// duplicates).
+func RegisterGovernor(name string, e GovernorEntry) { governors.Register(name, e) }
+
+// GovernorNames returns every registered governor name, sorted.
+func GovernorNames() []string { return governors.Names() }
+
+// LookupGovernor returns the entry for name, or an error listing the
+// known names.
+func LookupGovernor(name string) (GovernorEntry, error) { return governors.Get(name) }
+
+// BuildGovernor constructs the named governor, validating params against
+// the entry's docs. Governors are stateful; build a fresh one per run.
+func BuildGovernor(name string, p registry.Params) (*Governor, error) {
+	e, err := governors.Get(name)
+	if err != nil {
+		return nil, err
+	}
+	full, err := registry.Resolve("governor", name, e.Params, p)
+	if err != nil {
+		return nil, err
+	}
+	return e.Make(full), nil
+}
+
+// governorParams is the tunable set both policies share.
+var governorParams = []registry.ParamDoc{
+	{Key: "vtarget", Default: 3.0, Desc: "V_CC setpoint (V)"},
+	{Key: "hysteresis", Default: 0.08, Desc: "dead-band half-width (V)"},
+	{Key: "period", Default: 2e-3, Desc: "control period (s)"},
+}
+
+// makeGovernor builds a governor with the shared tunables and the given
+// policy.
+func makeGovernor(p registry.Params, policy Policy) *Governor {
+	g := NewGovernor(p["vtarget"])
+	g.Hysteresis = p["hysteresis"]
+	g.Period = p["period"]
+	g.Policy = policy
+	return g
+}
+
+func init() {
+	RegisterGovernor("hillclimb", GovernorEntry{
+		Desc:   "step DFS up/down when V_CC leaves the hysteresis band",
+		Params: governorParams,
+		Make:   func(p registry.Params) *Governor { return makeGovernor(p, HillClimb) },
+	})
+	RegisterGovernor("proportional", GovernorEntry{
+		Desc:   "map the V_CC error directly onto the DFS range",
+		Params: governorParams,
+		Make:   func(p registry.Params) *Governor { return makeGovernor(p, Proportional) },
+	})
+
+	transient.RegisterRuntime("hibernus-pn", transient.RuntimeEntry{
+		Desc: "hibernus plus a power-neutral DFS governor (the Fig. 8 system)",
+		Params: []registry.ParamDoc{
+			{Key: "margin", Default: 1.1, Desc: "guard margin on the eq. (4) V_H"},
+			{Key: "vrheadroom", Default: 0.35, Desc: "V_R − V_H headroom (V)"},
+			{Key: "vtarget", Default: 3.0, Desc: "governor V_CC setpoint (V)"},
+		},
+		Make: func(d *mcu.Device, c float64, p registry.Params) mcu.Runtime {
+			return NewHibernusPN(d, c, p["margin"], p["vrheadroom"], p["vtarget"])
+		},
+	})
+}

@@ -1,0 +1,66 @@
+package powerneutral
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/registry"
+	"repro/internal/transient"
+)
+
+func TestGovernorRegistryBuildsEveryPolicy(t *testing.T) {
+	names := GovernorNames()
+	if len(names) == 0 {
+		t.Fatal("no registered governors")
+	}
+	for _, n := range names {
+		g, err := BuildGovernor(n, nil)
+		if err != nil {
+			t.Errorf("BuildGovernor(%q): %v", n, err)
+			continue
+		}
+		if g.VTarget != 3.0 || g.Period != 2e-3 {
+			t.Errorf("BuildGovernor(%q) defaults drifted: %+v", n, g)
+		}
+	}
+}
+
+func TestGovernorRegistryParamsAndPolicy(t *testing.T) {
+	g, err := BuildGovernor("proportional", registry.Params{"vtarget": 2.5, "period": 1e-3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Policy != Proportional || g.VTarget != 2.5 || g.Period != 1e-3 {
+		t.Errorf("governor params not applied: %+v", g)
+	}
+}
+
+func TestGovernorRegistryErrors(t *testing.T) {
+	if _, err := BuildGovernor("hillclimber", nil); err == nil ||
+		!strings.Contains(err.Error(), "unknown governor") {
+		t.Errorf("unknown name: got %v", err)
+	}
+	if _, err := BuildGovernor("hillclimb", registry.Params{"target": 3}); err == nil ||
+		!strings.Contains(err.Error(), `"target"`) {
+		t.Errorf("unknown param: got %v", err)
+	}
+}
+
+// TestHibernusPNRegisteredCrossPackage pins the open-registry contract:
+// importing powerneutral extends the transient runtime namespace.
+func TestHibernusPNRegisteredCrossPackage(t *testing.T) {
+	e, err := transient.LookupRuntime("hibernus-pn")
+	if err != nil {
+		t.Fatalf("hibernus-pn not registered: %v", err)
+	}
+	if e.UnifiedNV {
+		t.Error("hibernus-pn should use the split-memory device")
+	}
+	mk, _, err := transient.RuntimeFactory("hibernus-pn", 330e-6, registry.Params{"vtarget": 2.8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mk == nil {
+		t.Fatal("nil factory")
+	}
+}

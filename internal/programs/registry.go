@@ -1,0 +1,73 @@
+// Registry of workloads by name: the guest programs experiments can name
+// from a scenario spec or the ehsim CLI. Each factory takes the memory
+// layout at build time because the same workload must be regenerated for
+// split-SRAM and unified-FRAM systems — name resolution and placement
+// are orthogonal.
+package programs
+
+import "repro/internal/registry"
+
+// Factory builds one named workload for a given memory layout.
+type Factory struct {
+	Desc  string
+	Build func(l Layout) *Workload
+}
+
+var workloads = registry.New[Factory]("workload")
+
+// Register adds a workload factory under name (panics on duplicates).
+func Register(name string, f Factory) { workloads.Register(name, f) }
+
+// Names returns every registered workload name, sorted.
+func Names() []string { return workloads.Names() }
+
+// Lookup returns the factory for name, or an error listing known names.
+func Lookup(name string) (Factory, error) { return workloads.Get(name) }
+
+// Build generates the named workload for layout l.
+func Build(name string, l Layout) (*Workload, error) {
+	f, err := workloads.Get(name)
+	if err != nil {
+		return nil, err
+	}
+	return f.Build(l), nil
+}
+
+func init() {
+	Register("fft64", Factory{
+		Desc:  "64-point Q15 FFT over a two-tone input (Fig. 7 workload, small)",
+		Build: func(l Layout) *Workload { return FFT(64, l) },
+	})
+	Register("fft128", Factory{
+		Desc:  "128-point Q15 FFT (the Fig. 7 reproduction size)",
+		Build: func(l Layout) *Workload { return FFT(128, l) },
+	})
+	Register("fft256", Factory{
+		Desc:  "256-point Q15 FFT (largest supported)",
+		Build: func(l Layout) *Workload { return FFT(256, l) },
+	})
+	Register("crc64", Factory{
+		Desc:  "CRC-16/CCITT over a 64-byte non-volatile block",
+		Build: func(l Layout) *Workload { return CRC16(64, l) },
+	})
+	Register("crc256", Factory{
+		Desc:  "CRC-16/CCITT over a 256-byte non-volatile block",
+		Build: func(l Layout) *Workload { return CRC16(256, l) },
+	})
+	Register("sieve1000", Factory{
+		Desc:  "prime count below 1000 (byte-flag sieve in working RAM)",
+		Build: func(l Layout) *Workload { return Sieve(1000, l) },
+	})
+	Register("sieve3000", Factory{
+		Desc:  "prime count below 3000 (the standard intermittent testbed)",
+		Build: func(l Layout) *Workload { return Sieve(3000, l) },
+	})
+	Register("fib24", Factory{
+		Desc:  "fib(24) mod 2^16 — the smallest useful smoke workload",
+		Build: func(l Layout) *Workload { return Fib(24, l) },
+	})
+	Register("matmul8", Factory{
+		Desc:  "8×8 Q15 matrix product with XOR-fold checksum",
+		Build: func(l Layout) *Workload { return MatMul(8, l) },
+	})
+}

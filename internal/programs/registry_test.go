@@ -1,0 +1,39 @@
+package programs
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestWorkloadRegistryBuildsEveryName(t *testing.T) {
+	names := Names()
+	if len(names) == 0 {
+		t.Fatal("no registered workloads")
+	}
+	for _, n := range names {
+		for _, l := range []Layout{DefaultLayout(), UnifiedNVLayout()} {
+			w, err := Build(n, l)
+			if err != nil {
+				t.Errorf("Build(%q): %v", n, err)
+				continue
+			}
+			if w.Source == "" {
+				t.Errorf("Build(%q): empty source", n)
+			}
+			if w.NVBase != l.NVBase || w.RAMBase != l.RAMBase {
+				t.Errorf("Build(%q): layout not applied: %+v", n, w)
+			}
+		}
+	}
+}
+
+func TestWorkloadRegistryUnknownName(t *testing.T) {
+	_, err := Build("ffft64", DefaultLayout())
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	if !strings.Contains(err.Error(), `unknown workload "ffft64"`) ||
+		!strings.Contains(err.Error(), "fft64") {
+		t.Errorf("error %q should name the kind and list known names", err)
+	}
+}

@@ -1,0 +1,213 @@
+package scenario
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/circuit"
+	"repro/internal/lab"
+	"repro/internal/mcu"
+	"repro/internal/powerneutral"
+	"repro/internal/programs"
+	"repro/internal/source"
+	"repro/internal/sweep"
+	"repro/internal/transient"
+	"repro/internal/units"
+)
+
+// Setup compiles the spec (ignoring any sweep axes) into a runnable
+// lab.Setup. Each call builds fresh source, runtime-factory, and
+// governor state, so the returned Setup is safe to run once; call Setup
+// again for another run.
+func (s *Spec) Setup() (lab.Setup, error) {
+	if err := s.Validate(); err != nil {
+		return lab.Setup{}, err
+	}
+
+	mk, entry, err := transient.RuntimeFactory(s.runtimeName(), float64(s.Storage.C), toParams(s.Runtime.Params))
+	if err != nil {
+		return lab.Setup{}, s.errf("%v", err)
+	}
+
+	unified := entry.UnifiedNV
+	switch s.Device.Profile {
+	case "default":
+		unified = false
+	case "unified-nv":
+		unified = true
+	}
+	layout, params := programs.DefaultLayout(), mcu.DefaultParams()
+	if unified {
+		layout, params = programs.UnifiedNVLayout(), mcu.UnifiedNVParams()
+	}
+	if s.Device.FreqIndex != nil {
+		params.FreqIndex = *s.Device.FreqIndex
+	}
+
+	w, err := programs.Build(s.Workload, layout)
+	if err != nil {
+		return lab.Setup{}, s.errf("%v", err)
+	}
+	built, err := source.Build(s.Source.Name, toParams(s.Source.Params))
+	if err != nil {
+		return lab.Setup{}, s.errf("%v", err)
+	}
+
+	st := lab.Setup{
+		Workload:    w,
+		Params:      params,
+		MakeRuntime: mk,
+		VSource:     built.V,
+		PSource:     built.P,
+		C:           float64(s.Storage.C),
+		V0:          float64(s.Storage.V0),
+		LeakR:       float64(s.Storage.LeakR),
+		Dt:          float64(s.Dt),
+		Duration:    float64(s.Duration),
+		FastForward: s.FastForward,
+	}
+	if s.Governor != nil {
+		gov, err := powerneutral.BuildGovernor(s.Governor.Policy, toParams(s.Governor.Params))
+		if err != nil {
+			return lab.Setup{}, s.errf("%v", err)
+		}
+		st.OnTick = func(t float64, d *mcu.Device, rail *circuit.Rail) {
+			gov.Act(t, d, rail.V())
+		}
+	}
+	return st, nil
+}
+
+// Grid expands the spec's sweep axes into a sweep.Grid, axes in
+// declaration order (first axis slowest, matching the engine's row-major
+// contract). Numeric axes get SI-formatted labels where the param is a
+// known electrical quantity.
+func (s *Spec) Grid() *sweep.Grid {
+	g := sweep.NewGrid()
+	for _, ax := range s.Sweep {
+		if len(ax.Names) > 0 {
+			vals := make([]any, len(ax.Names))
+			for i, n := range ax.Names {
+				vals[i] = n
+			}
+			g.Axis(ax.Param, vals...)
+			continue
+		}
+		vals := make([]float64, len(ax.Values))
+		labels := make([]string, len(ax.Values))
+		for i, v := range ax.Values {
+			vals[i] = float64(v)
+			labels[i] = axisLabel(ax.Param, float64(v))
+		}
+		g.Floats(ax.Param, vals...)
+		g.Labels(labels...)
+	}
+	return g
+}
+
+// axisLabel renders one axis point for case names and tables.
+func axisLabel(param string, v float64) string {
+	switch param {
+	case "c", "storage.c":
+		return units.Format(v, "F")
+	case "leakr", "storage.leakr":
+		return units.Format(v, "Ω")
+	default:
+		return fmt.Sprintf("%g", v)
+	}
+}
+
+// SetupAt compiles the spec with the case's sweep coordinates applied —
+// the per-case half of a grid run:
+//
+//	grid := sp.Grid()
+//	results, err := sweep.MapGrid(r, grid, func(c sweep.Case) (lab.Result, error) {
+//	    st, err := sp.SetupAt(c)
+//	    ...
+//	})
+func (s *Spec) SetupAt(c sweep.Case) (lab.Setup, error) {
+	cs := s.clone()
+	cs.Sweep = nil
+	for _, ax := range s.Sweep {
+		v, ok := c.Values[ax.Param]
+		if !ok {
+			return lab.Setup{}, s.errf("case %q carries no value for axis %q", c.Name, ax.Param)
+		}
+		if err := cs.Apply(ax.Param, v); err != nil {
+			return lab.Setup{}, s.errf("case %q: %v", c.Name, err)
+		}
+	}
+	return cs.Setup()
+}
+
+// Apply sets one swept parameter on the spec. Accepted params:
+//
+//	float-valued: c, v0, leakr (also storage.c, …), duration, dt,
+//	              freqindex, source.<key>, runtime.<key>, governor.<key>
+//	name-valued:  workload, source, runtime, governor
+func (s *Spec) Apply(param string, value any) error {
+	if name, ok := value.(string); ok {
+		switch param {
+		case "workload":
+			s.Workload = name
+		case "source":
+			s.Source.Name = name
+		case "runtime":
+			s.Runtime.Name = name
+		case "governor":
+			if s.Governor == nil {
+				s.Governor = &GovernorSpec{}
+			}
+			s.Governor.Policy = name
+		default:
+			return fmt.Errorf("axis %q does not take names (name axes: workload, source, runtime, governor)", param)
+		}
+		return nil
+	}
+	f, ok := value.(float64)
+	if !ok {
+		return fmt.Errorf("axis %q: unsupported value type %T", param, value)
+	}
+	switch param {
+	case "c", "storage.c":
+		s.Storage.C = Value(f)
+	case "v0", "storage.v0":
+		s.Storage.V0 = Value(f)
+	case "leakr", "storage.leakr":
+		s.Storage.LeakR = Value(f)
+	case "duration":
+		s.Duration = Value(f)
+	case "dt":
+		s.Dt = Value(f)
+	case "freqindex":
+		s.Device.FreqIndex = IntPtr(int(f))
+	default:
+		group, key, found := strings.Cut(param, ".")
+		if !found {
+			return fmt.Errorf("unknown sweep param %q (see scenario.Apply for the accepted set)", param)
+		}
+		switch group {
+		case "source":
+			s.Source.Params = setParam(s.Source.Params, key, f)
+		case "runtime":
+			s.Runtime.Params = setParam(s.Runtime.Params, key, f)
+		case "governor":
+			if s.Governor == nil {
+				return fmt.Errorf("sweep param %q needs a governor block", param)
+			}
+			s.Governor.Params = setParam(s.Governor.Params, key, f)
+		default:
+			return fmt.Errorf("unknown sweep param %q (see scenario.Apply for the accepted set)", param)
+		}
+	}
+	return nil
+}
+
+// setParam writes into a possibly-nil param map.
+func setParam(m map[string]Value, key string, v float64) map[string]Value {
+	if m == nil {
+		m = make(map[string]Value, 1)
+	}
+	m[key] = Value(v)
+	return m
+}

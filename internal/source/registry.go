@@ -1,0 +1,206 @@
+// Registry of constructor-by-name supplies: every builtin source is
+// registered under a stable name with typed, documented parameters, so
+// scenario specs (internal/scenario) and the ehsim CLI can build any
+// supply from data. Defaults reproduce the repo's canonical testbeds —
+// "square" is the 4 ms-on/150 ms-off intermittent supply, "wind" the
+// rectified Fig. 8 turbine gust — so a spec naming a source with no
+// params gets the same waveform the hand-written harnesses use.
+package source
+
+import (
+	"fmt"
+
+	"repro/internal/registry"
+)
+
+// Built is a constructed supply: exactly one of V and P is non-nil,
+// matching lab.Setup's VSource/PSource split.
+type Built struct {
+	V VoltageSource
+	P PowerSource
+}
+
+// Entry describes one registered source kind.
+type Entry struct {
+	Desc   string
+	Power  bool // true when Build yields a PowerSource
+	Params []registry.ParamDoc
+	Build  func(p registry.Params) (Built, error)
+}
+
+var sources = registry.New[Entry]("source")
+
+// Register adds a source constructor under name (panics on duplicates).
+// External packages may register their own kinds before parsing specs.
+func Register(name string, e Entry) { sources.Register(name, e) }
+
+// Names returns every registered source name, sorted.
+func Names() []string { return sources.Names() }
+
+// Lookup returns the entry for name, or an error listing the known names.
+func Lookup(name string) (Entry, error) { return sources.Get(name) }
+
+// Build constructs the named source: params are validated against the
+// entry's docs (unknown keys are errors) and merged over defaults.
+func Build(name string, p registry.Params) (Built, error) {
+	e, err := sources.Get(name)
+	if err != nil {
+		return Built{}, err
+	}
+	full, err := registry.Resolve("source", name, e.Params, p)
+	if err != nil {
+		return Built{}, err
+	}
+	b, err := e.Build(full)
+	if err != nil {
+		return Built{}, fmt.Errorf("source %q: %w", name, err)
+	}
+	return b, nil
+}
+
+func init() {
+	Register("dc", Entry{
+		Desc: "constant-voltage bench supply",
+		Params: []registry.ParamDoc{
+			{Key: "v", Default: 3.3, Desc: "open-circuit voltage (V)"},
+			{Key: "rs", Default: 100, Desc: "series resistance (Ω)"},
+		},
+		Build: func(p registry.Params) (Built, error) {
+			return Built{V: &ConstantVoltage{V: p["v"], Rs: p["rs"]}}, nil
+		},
+	})
+	Register("solar", Entry{
+		Desc: "indoor PV behind a boost converter as a soft Thevenin source",
+		Params: []registry.ParamDoc{
+			{Key: "v", Default: 3.0, Desc: "converter output voltage (V)"},
+			{Key: "rs", Default: 3000, Desc: "effective source resistance (Ω)"},
+		},
+		Build: func(p registry.Params) (Built, error) {
+			return Built{V: &ConstantVoltage{V: p["v"], Rs: p["rs"]}}, nil
+		},
+	})
+	Register("square", Entry{
+		Desc: "square-wave intermittent supply (controlled outages)",
+		Params: []registry.ParamDoc{
+			{Key: "high", Default: 3.3, Desc: "on-phase voltage (V)"},
+			{Key: "ontime", Default: 0.004, Desc: "on-phase length (s)"},
+			{Key: "offtime", Default: 0.150, Desc: "outage length (s)"},
+			{Key: "rs", Default: 100, Desc: "series resistance (Ω)"},
+		},
+		Build: func(p registry.Params) (Built, error) {
+			return Built{V: &SquareWaveVoltage{
+				High: p["high"], OnTime: p["ontime"], OffTime: p["offtime"], Rs: p["rs"],
+			}}, nil
+		},
+	})
+	Register("sine", Entry{
+		Desc: "laboratory signal generator (sine, DC at freq=0)",
+		Params: []registry.ParamDoc{
+			{Key: "amplitude", Default: 4.5, Desc: "peak amplitude (V)"},
+			{Key: "freq", Default: 20, Desc: "frequency (Hz)"},
+			{Key: "offset", Default: 0, Desc: "DC offset (V)"},
+			{Key: "phase", Default: 0, Desc: "phase (rad)"},
+			{Key: "rs", Default: 100, Desc: "series resistance (Ω)"},
+		},
+		Build: func(p registry.Params) (Built, error) {
+			return Built{V: &SignalGenerator{
+				Amplitude: p["amplitude"], Frequency: p["freq"],
+				Offset: p["offset"], Phase: p["phase"], Rs: p["rs"],
+			}}, nil
+		},
+	})
+	Register("rectified-sine", Entry{
+		Desc: "half-wave rectified signal generator (the Fig. 7 supply)",
+		Params: []registry.ParamDoc{
+			{Key: "amplitude", Default: 4.5, Desc: "peak amplitude (V)"},
+			{Key: "freq", Default: 20, Desc: "frequency (Hz)"},
+			{Key: "offset", Default: 0, Desc: "DC offset (V)"},
+			{Key: "phase", Default: 0, Desc: "phase (rad)"},
+			{Key: "rs", Default: 100, Desc: "series resistance (Ω)"},
+			{Key: "diodev", Default: 0.2, Desc: "rectifier diode drop (V)"},
+		},
+		Build: func(p registry.Params) (Built, error) {
+			gen := &SignalGenerator{
+				Amplitude: p["amplitude"], Frequency: p["freq"],
+				Offset: p["offset"], Phase: p["phase"], Rs: p["rs"],
+			}
+			return Built{V: HalfWave(gen, p["diodev"])}, nil
+		},
+	})
+	Register("wind", Entry{
+		Desc: "half-wave rectified micro wind turbine gust (the Fig. 8 supply)",
+		Params: []registry.ParamDoc{
+			{Key: "peak", Default: 4.5, Desc: "gust envelope peak (V)"},
+			{Key: "acfreq", Default: 8, Desc: "electrical AC frequency (Hz)"},
+			{Key: "guststart", Default: 0.3, Desc: "gust onset (s)"},
+			{Key: "gustrise", Default: 0.5, Desc: "envelope rise time (s)"},
+			{Key: "gusthold", Default: 2.2, Desc: "time at full strength (s)"},
+			{Key: "gustfall", Default: 0.8, Desc: "envelope decay constant (s)"},
+			{Key: "rs", Default: 150, Desc: "series resistance (Ω)"},
+			{Key: "diodev", Default: 0.2, Desc: "rectifier diode drop (V)"},
+		},
+		Build: func(p registry.Params) (Built, error) {
+			t := &WindTurbine{
+				PeakVoltage: p["peak"], ACFrequency: p["acfreq"],
+				GustStart: p["guststart"], GustRise: p["gustrise"],
+				GustHold: p["gusthold"], GustFall: p["gustfall"], Rs: p["rs"],
+			}
+			return Built{V: HalfWave(t, p["diodev"])}, nil
+		},
+	})
+	Register("rf", Entry{
+		Desc: "RF illumination: periodic reader bursts gating a DC supply",
+		Params: []registry.ParamDoc{
+			{Key: "v", Default: 3.3, Desc: "voltage during a burst (V)"},
+			{Key: "rs", Default: 400, Desc: "series resistance (Ω)"},
+			{Key: "period", Default: 1.0, Desc: "seconds between burst starts"},
+			{Key: "on", Default: 0.3, Desc: "burst length (s)"},
+			{Key: "horizon", Default: 3600, Desc: "seconds of bursts to schedule"},
+		},
+		Build: func(p registry.Params) (Built, error) {
+			period, horizon := p["period"], p["horizon"]
+			if period <= 0 {
+				return Built{}, fmt.Errorf("period must be positive (got %g)", period)
+			}
+			if n := horizon / period; n > 10e6 {
+				return Built{}, fmt.Errorf("horizon/period schedules %.0f bursts (max 10M)", n)
+			}
+			gated := &GatedVoltage{Source: &ConstantVoltage{V: p["v"], Rs: p["rs"]}}
+			for t := 0.0; t < horizon; t += period {
+				gated.Windows = append(gated.Windows, [2]float64{t, t + p["on"]})
+			}
+			return Built{V: gated}, nil
+		},
+	})
+	Register("pv", Entry{
+		Desc:  "indoor photovoltaic harvested power over the day (Fig. 1b)",
+		Power: true,
+		Params: []registry.ParamDoc{
+			{Key: "basecurrent", Default: 280e-6, Desc: "overnight harvested current (A)"},
+			{Key: "peakcurrent", Default: 430e-6, Desc: "midday harvested current (A)"},
+			{Key: "opvoltage", Default: 2.5, Desc: "operating voltage (V)"},
+			{Key: "dawnhour", Default: 7, Desc: "local hour harvest rises"},
+			{Key: "duskhour", Default: 19, Desc: "local hour harvest decays"},
+			{Key: "edgehours", Default: 1.5, Desc: "dawn/dusk transition width (h)"},
+			{Key: "flicker", Default: 0.02, Desc: "relative ripple amplitude"},
+		},
+		Build: func(p registry.Params) (Built, error) {
+			return Built{P: &Photovoltaic{
+				BaseCurrent: p["basecurrent"], PeakCurrent: p["peakcurrent"],
+				OpVoltage: p["opvoltage"], DawnHour: p["dawnhour"],
+				DuskHour: p["duskhour"], EdgeHours: p["edgehours"],
+				Flicker: p["flicker"],
+			}}, nil
+		},
+	})
+	Register("const-power", Entry{
+		Desc:  "fixed available-power supply (MPPT output / mains reference)",
+		Power: true,
+		Params: []registry.ParamDoc{
+			{Key: "p", Default: 1e-3, Desc: "available power (W)"},
+		},
+		Build: func(p registry.Params) (Built, error) {
+			return Built{P: &ConstantPower{P: p["p"]}}, nil
+		},
+	})
+}

@@ -1,0 +1,81 @@
+package source
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/registry"
+)
+
+func TestRegistryEveryBuiltinBuilds(t *testing.T) {
+	names := Names()
+	if len(names) == 0 {
+		t.Fatal("no registered sources")
+	}
+	for _, n := range names {
+		b, err := Build(n, nil)
+		if err != nil {
+			t.Errorf("Build(%q): %v", n, err)
+			continue
+		}
+		e, _ := Lookup(n)
+		switch {
+		case e.Power && (b.P == nil || b.V != nil):
+			t.Errorf("Build(%q): power entry should yield P only, got %+v", n, b)
+		case !e.Power && (b.V == nil || b.P != nil):
+			t.Errorf("Build(%q): voltage entry should yield V only, got %+v", n, b)
+		}
+	}
+}
+
+func TestRegistryParamOverride(t *testing.T) {
+	b, err := Build("dc", registry.Params{"v": 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := b.V.Voltage(0); got != 5 {
+		t.Errorf("dc v=5 → Voltage = %g", got)
+	}
+	// Unspecified params keep their documented defaults.
+	if got := b.V.SeriesResistance(); got != 100 {
+		t.Errorf("dc default rs = %g, want 100", got)
+	}
+}
+
+func TestRegistryUnknownName(t *testing.T) {
+	_, err := Build("windd", nil)
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	if !strings.Contains(err.Error(), `unknown source "windd"`) ||
+		!strings.Contains(err.Error(), "wind") {
+		t.Errorf("error %q should name the kind and list known names", err)
+	}
+}
+
+func TestRegistryUnknownParam(t *testing.T) {
+	_, err := Build("sine", registry.Params{"amp": 3})
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	for _, frag := range []string{`"amp"`, "amplitude"} {
+		if !strings.Contains(err.Error(), frag) {
+			t.Errorf("error %q should contain %q", err, frag)
+		}
+	}
+}
+
+func TestRegistryDefaultsMatchCanonicalTestbed(t *testing.T) {
+	// The "square" defaults must stay the repo-wide 4 ms/150 ms testbed.
+	b, err := Build("square", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sq, ok := b.V.(*SquareWaveVoltage)
+	if !ok {
+		t.Fatalf("square built %T", b.V)
+	}
+	if sq.High != 3.3 || sq.OnTime != 0.004 || sq.OffTime != 0.150 || sq.Rs != 100 {
+		t.Errorf("square defaults drifted: %+v", sq)
+	}
+}

@@ -14,6 +14,8 @@ package units
 import (
 	"fmt"
 	"math"
+	"strconv"
+	"strings"
 )
 
 // SI prefix multipliers. Use as units.Micro*470 for 470 µF, etc.
@@ -123,6 +125,36 @@ func Format(value float64, unit string) string {
 		}
 	}
 	return fmt.Sprintf("%.3g%s", value, unit)
+}
+
+// siSuffixes maps the single-character magnitude suffixes ParseSI
+// accepts onto decimal exponents. "m" is milli and "M" mega, matching
+// SI; there is no ambiguity because the map is case-sensitive.
+var siSuffixes = map[string]string{
+	"p": "e-12", "n": "e-9", "u": "e-6", "µ": "e-6",
+	"m": "e-3", "k": "e3", "M": "e6", "G": "e9",
+}
+
+// ParseSI parses a number with an optional SI magnitude suffix, as used
+// in scenario specs and CLI flags: "10u" → 1e-5, "4.7m" → 4.7e-3,
+// "50k" → 5e4, "3.3" → 3.3. Scientific notation without a suffix
+// ("5e-6") also works. The suffix is folded into the decimal exponent
+// before parsing, so "10u" yields exactly the float64 the literal 10e-6
+// does — no second rounding from a multiply.
+func ParseSI(s string) (float64, error) {
+	in := strings.TrimSpace(s)
+	num := in
+	for suf, exp := range siSuffixes {
+		if strings.HasSuffix(num, suf) && len(num) > len(suf) {
+			num = strings.TrimSuffix(num, suf) + exp
+			break
+		}
+	}
+	v, err := strconv.ParseFloat(num, 64)
+	if err != nil || math.IsNaN(v) || math.IsInf(v, 0) {
+		return 0, fmt.Errorf("invalid quantity %q", in)
+	}
+	return v, nil
 }
 
 // FormatSeconds renders a duration in seconds using the most natural unit

@@ -177,3 +177,49 @@ func TestApproxEqual(t *testing.T) {
 		t.Error("near-zero absolute fallback failed")
 	}
 }
+
+func TestParseSI(t *testing.T) {
+	tests := []struct {
+		in   string
+		want float64
+	}{
+		{"10u", 10e-6},
+		{"4.7m", 4.7e-3},
+		{"470n", 470e-9},
+		{"3.3", 3.3},
+		{"5e-6", 5e-6},
+		{"50k", 50e3},
+		{"2M", 2e6},
+		{"1G", 1e9},
+		{"7p", 7e-12},
+		{"6µ", 6e-6},
+		{" 10u ", 10e-6},
+		{"-3m", -3e-3},
+	}
+	for _, tt := range tests {
+		got, err := ParseSI(tt.in)
+		if err != nil {
+			t.Errorf("ParseSI(%q): %v", tt.in, err)
+			continue
+		}
+		if !ApproxEqual(got, tt.want, 1e-12) {
+			t.Errorf("ParseSI(%q) = %g, want %g", tt.in, got, tt.want)
+		}
+	}
+}
+
+func TestParseSIRejectsGarbage(t *testing.T) {
+	for _, in := range []string{"", "u", "ten", "10uu", "1.2.3"} {
+		if v, err := ParseSI(in); err == nil {
+			t.Errorf("ParseSI(%q) = %g, want error", in, v)
+		}
+	}
+}
+
+func TestParseSIRejectsNonFinite(t *testing.T) {
+	for _, in := range []string{"NaN", "nan", "inf", "+Inf", "-inf"} {
+		if v, err := ParseSI(in); err == nil {
+			t.Errorf("ParseSI(%q) = %g, want error", in, v)
+		}
+	}
+}

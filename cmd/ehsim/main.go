@@ -18,7 +18,11 @@
 // With -scenario the run is defined entirely by a JSON spec
 // (internal/scenario): a single run when the spec has no sweep axes, a
 // grid sweep otherwise. -workers, -ff and (single runs) -trace compose
-// with it.
+// with it. "-scenario -" reads the spec from stdin, so specs pipe
+// between tools (and into ehsimd client examples) without touching
+// disk. Execution and report rendering go through internal/result — the
+// same path the ehsimd service serves — so CLI output and service
+// results are byte-identical by construction.
 //
 // Usage:
 //
@@ -33,6 +37,7 @@
 //	ehsim -workload crc256 -supply sine20 -runtime quickrecall -trace vcc.csv
 //	ehsim -workload sieve3000 -supply square -c 4.7u,10u,47u,470u -ff
 //	ehsim -scenario examples/scenarios/transient-fram-vs-sram.json -workers 4
+//	jq '.duration = 1' spec.json | ehsim -scenario -
 package main
 
 import (
@@ -47,6 +52,7 @@ import (
 	"repro/internal/powerneutral"
 	"repro/internal/programs"
 	"repro/internal/registry"
+	"repro/internal/result"
 	"repro/internal/scenario"
 	"repro/internal/source"
 	"repro/internal/sweep"
@@ -56,7 +62,7 @@ import (
 )
 
 func main() {
-	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+	os.Exit(run(os.Args[1:], os.Stdin, os.Stdout, os.Stderr))
 }
 
 // supplyAliases maps legacy -supply flag names onto registry names so
@@ -65,7 +71,7 @@ var supplyAliases = map[string]string{"sine20": "rectified-sine"}
 
 // run is the testable entry point: it parses args, executes, and returns
 // the process exit code.
-func run(args []string, stdout, stderr io.Writer) int {
+func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("ehsim", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	workload := fs.String("workload", "fft64", "workload name (see -list)")
@@ -76,7 +82,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	tracePath := fs.String("trace", "", "write a V_CC/freq/mode CSV trace to this file")
 	ff := fs.Bool("ff", false, "fast-forward idle decay analytically (faster, tolerance-level accuracy)")
 	workers := fs.Int("workers", 0, "sweep parallelism (0 = one per core)")
-	scenarioPath := fs.String("scenario", "", "run a declarative scenario spec (JSON) instead of flags")
+	scenarioPath := fs.String("scenario", "", "run a declarative scenario spec (JSON) instead of flags; - reads stdin")
 	list := fs.Bool("list", false, "list every registered workload, source, runtime and governor")
 	if err := fs.Parse(args); err != nil {
 		if err == flag.ErrHelp {
@@ -90,7 +96,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 0
 	}
 	if *scenarioPath != "" {
-		if err := runScenario(*scenarioPath, *tracePath, *ff, *workers, stdout, stderr); err != nil {
+		if err := runScenario(*scenarioPath, *tracePath, *ff, *workers, stdin, stdout, stderr); err != nil {
 			fmt.Fprintf(stderr, "ehsim: %v\n", err)
 			return 1
 		}
@@ -172,14 +178,14 @@ func runFlags(workload, supply, runtimeName, capFlag string, duration float64,
 	return runSingle(s, title, tracePath, stdout)
 }
 
-// runSingle executes one setup, printing the summary (and a CSV trace if
-// requested).
+// runSingle executes one flag-built setup, printing the title, summary,
+// and (if requested) a CSV trace.
 func runSingle(s lab.Setup, title, tracePath string, stdout io.Writer) error {
 	var rec *trace.Recorder
 	if tracePath != "" {
 		rec = trace.NewRecorder()
 		s.Recorder = rec
-		s.RecordInterval = 1e-3
+		s.RecordInterval = result.TraceInterval
 	}
 
 	res, err := lab.Run(s)
@@ -188,7 +194,7 @@ func runSingle(s lab.Setup, title, tracePath string, stdout io.Writer) error {
 	}
 
 	fmt.Fprintln(stdout, title)
-	printSummary(stdout, res, s.Duration)
+	result.WriteSummary(stdout, res, s.Duration)
 
 	if rec != nil {
 		f, err := os.Create(tracePath)
@@ -196,7 +202,9 @@ func runSingle(s lab.Setup, title, tracePath string, stdout io.Writer) error {
 			return err
 		}
 		defer f.Close()
-		if err := rec.WriteCSV(f); err != nil {
+		// Flag-built runs have no spec, so no spec-hash header; scenario
+		// runs get theirs through result.RunSpec.
+		if err := result.WriteTrace(f, rec, ""); err != nil {
 			return err
 		}
 		fmt.Fprintf(stdout, "  trace written to %s\n", tracePath)
@@ -204,98 +212,48 @@ func runSingle(s lab.Setup, title, tracePath string, stdout io.Writer) error {
 	return nil
 }
 
-// printSummary renders one run's result block.
-func printSummary(w io.Writer, res lab.Result, duration float64) {
-	fmt.Fprintf(w, "  completions:        %d (wrong: %d)\n", res.Completions, res.WrongResults)
-	fmt.Fprintf(w, "  throughput:         %.2f ops/s\n", res.Throughput(duration))
-	if res.Completions > 0 {
-		fmt.Fprintf(w, "  energy/completion:  %s\n", units.Format(res.EnergyPerCompletion(), "J"))
-		fmt.Fprintf(w, "  first completion:   %s\n", units.FormatSeconds(res.FirstCompletion))
+// runScenario executes a declarative spec — loaded from path, or from
+// stdin when path is "-" — through the shared internal/result path, so
+// what it prints is exactly what the ehsimd service serves for the same
+// spec.
+func runScenario(path, tracePath string, ff bool, workers int,
+	stdin io.Reader, stdout, stderr io.Writer) error {
+	var sp *scenario.Spec
+	var err error
+	if path == "-" {
+		data, rerr := io.ReadAll(stdin)
+		if rerr != nil {
+			return fmt.Errorf("reading spec from stdin: %w", rerr)
+		}
+		sp, err = scenario.Parse(data)
+	} else {
+		sp, err = scenario.Load(path)
 	}
-	st := res.Stats
-	fmt.Fprintf(w, "  snapshots:          %d started, %d done, %d aborted\n",
-		st.SavesStarted, st.SavesDone, st.SavesAborted)
-	fmt.Fprintf(w, "  restores/wakes:     %d / %d\n", st.Restores, st.WakeNoRestore)
-	fmt.Fprintf(w, "  power cycles:       %d brown-outs, %d cold starts\n", st.BrownOuts, st.ColdStarts)
-	fmt.Fprintf(w, "  time split:         active %.2fs, sleep %.2fs, save %.2fs, off %.2fs\n",
-		st.ActiveSec, st.SleepSec, st.SaveSec, st.OffSec)
-	fmt.Fprintf(w, "  energy:             harvested %s, consumed %s\n",
-		units.Format(res.HarvestedJ, "J"), units.Format(res.ConsumedJ, "J"))
-	if res.RuntimeErr != nil {
-		fmt.Fprintf(w, "  guest fault:        %v\n", res.RuntimeErr)
-	}
-}
-
-// runScenario executes a declarative spec: a single run without sweep
-// axes, a grid sweep with them.
-func runScenario(path, tracePath string, ff bool, workers int, stdout, stderr io.Writer) error {
-	sp, err := scenario.Load(path)
 	if err != nil {
 		return err
 	}
 	if ff {
 		sp.FastForward = true
 	}
-
-	if !sp.HasSweep() {
-		s, err := sp.Setup()
-		if err != nil {
-			return err
-		}
-		title := fmt.Sprintf("scenario %s: %s on %s, runtime=%s, C=%s, %gs",
-			sp.Name, sp.Workload, sp.Source.Name, runtimeLabel(sp),
-			units.Format(float64(sp.Storage.C), "F"), float64(sp.Duration))
-		return runSingle(s, title, tracePath, stdout)
-	}
-
-	if tracePath != "" {
+	if sp.HasSweep() && tracePath != "" {
 		fmt.Fprintln(stderr, "ehsim: -trace applies to single runs only; ignoring it for the sweep")
+		tracePath = ""
 	}
-	grid := sp.Grid()
-	cases := grid.Cases()
-	results, err := sweep.MapGrid(&sweep.Runner{Workers: workers}, grid,
-		func(c sweep.Case) (lab.Result, error) {
-			s, err := sp.SetupAt(c)
-			if err != nil {
-				return lab.Result{}, err
-			}
-			return lab.Run(s)
-		})
+
+	rep, err := result.RunSpec(sp, result.Options{Workers: workers, Trace: tracePath != ""})
 	if err != nil {
 		return err
 	}
-	fmt.Fprintf(stdout, "scenario %s: sweep over %s, %d cases\n",
-		sp.Name, sweepAxesLabel(sp), len(cases))
-	fmt.Fprintf(stdout, "%-32s %-12s %-8s %-10s %-10s %-12s %-12s\n",
-		"case", "completions", "wrong", "snapshots", "brownouts", "energy/op", "harvested")
-	for i, res := range results {
-		eop := "∞"
-		if res.Completions > 0 {
-			eop = units.Format(res.EnergyPerCompletion(), "J")
+	if _, err := io.WriteString(stdout, rep.Text); err != nil {
+		return err
+	}
+	if tracePath != "" {
+		if err := os.WriteFile(tracePath, rep.TraceCSV, 0o644); err != nil {
+			return err
 		}
-		fmt.Fprintf(stdout, "%-32s %-12d %-8d %-10d %-10d %-12s %-12s\n",
-			cases[i].Name, res.Completions, res.WrongResults,
-			res.Stats.SavesStarted, res.Stats.BrownOuts, eop,
-			units.Format(res.HarvestedJ, "J"))
+		fmt.Fprintf(stdout, "  trace written to %s\n", tracePath)
 	}
 	return nil
-}
-
-// runtimeLabel names the spec's runtime for the report header.
-func runtimeLabel(sp *scenario.Spec) string {
-	if sp.Runtime.Name == "" {
-		return "none"
-	}
-	return sp.Runtime.Name
-}
-
-// sweepAxesLabel joins the sweep axis names.
-func sweepAxesLabel(sp *scenario.Spec) string {
-	names := make([]string, len(sp.Sweep))
-	for i, ax := range sp.Sweep {
-		names[i] = ax.Param
-	}
-	return strings.Join(names, " × ")
 }
 
 // sweepCaps fans one run per capacitance out over the sweep engine and
@@ -309,18 +267,11 @@ func sweepCaps(caps []float64, setup func(c float64) lab.Setup,
 	}
 	fmt.Fprintf(stdout, "storage sweep: %s on %s, runtime=%s, %d cases\n",
 		workload, supply, runtimeName, len(caps))
-	fmt.Fprintf(stdout, "%-10s %-12s %-8s %-10s %-10s %-12s %-12s\n",
-		"C", "completions", "wrong", "snapshots", "brownouts", "energy/op", "harvested")
-	for i, res := range results {
-		eop := "∞"
-		if res.Completions > 0 {
-			eop = units.Format(res.EnergyPerCompletion(), "J")
-		}
-		fmt.Fprintf(stdout, "%-10s %-12d %-8d %-10d %-10d %-12s %-12s\n",
-			units.Format(caps[i], "F"), res.Completions, res.WrongResults,
-			res.Stats.SavesStarted, res.Stats.BrownOuts, eop,
-			units.Format(res.HarvestedJ, "J"))
+	names := make([]string, len(caps))
+	for i, c := range caps {
+		names[i] = units.Format(c, "F")
 	}
+	result.WriteSweepTable(stdout, "C", 10, names, results)
 	return nil
 }
 

@@ -6,13 +6,23 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"repro/internal/result"
+	"repro/internal/scenario"
 )
 
-// runCLI invokes the command's entry point with captured output.
+// runCLI invokes the command's entry point with captured output and an
+// empty stdin.
 func runCLI(t *testing.T, args ...string) (code int, stdout, stderr string) {
 	t.Helper()
+	return runCLIStdin(t, "", args...)
+}
+
+// runCLIStdin is runCLI with stdin content.
+func runCLIStdin(t *testing.T, stdin string, args ...string) (code int, stdout, stderr string) {
+	t.Helper()
 	var out, errb bytes.Buffer
-	code = run(args, &out, &errb)
+	code = run(args, strings.NewReader(stdin), &out, &errb)
 	return code, out.String(), errb.String()
 }
 
@@ -119,6 +129,93 @@ func TestExampleSpecsParseAndRunHeadless(t *testing.T) {
 		if len(strings.TrimSpace(out)) == 0 {
 			t.Errorf("%s: empty output", name)
 		}
+	}
+}
+
+func TestScenarioFromStdin(t *testing.T) {
+	spec := `{
+		"name": "stdin-smoke",
+		"workload": "fib24",
+		"storage": {"c": "10u"},
+		"source": {"name": "dc"},
+		"duration": 0.002
+	}`
+	code, out, errb := runCLIStdin(t, spec, "-scenario", "-")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errb)
+	}
+	if !strings.Contains(out, "scenario stdin-smoke") || !strings.Contains(out, "completions:") {
+		t.Errorf("unexpected output:\n%s", out)
+	}
+}
+
+func TestScenarioOutputMatchesSharedResultPath(t *testing.T) {
+	// The CLI must print exactly what internal/result renders — the same
+	// bytes ehsimd serves — so the two front-ends cannot drift.
+	spec := `{
+		"name": "pin",
+		"workload": "fib24",
+		"storage": {"c": "10u"},
+		"source": {"name": "dc"},
+		"duration": 0.002
+	}`
+	path := filepath.Join(t.TempDir(), "pin.json")
+	if err := os.WriteFile(path, []byte(spec), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	code, out, errb := runCLI(t, "-scenario", path)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errb)
+	}
+	sp, err := scenario.Parse([]byte(spec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := result.RunSpec(sp, result.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != rep.Text {
+		t.Errorf("CLI output diverges from result.RunSpec:\nCLI:\n%s\nRunSpec:\n%s", out, rep.Text)
+	}
+}
+
+func TestScenarioTraceCarriesSpecHash(t *testing.T) {
+	spec := `{
+		"name": "trace-hash",
+		"workload": "fib24",
+		"storage": {"c": "10u"},
+		"source": {"name": "dc"},
+		"duration": 0.002
+	}`
+	dir := t.TempDir()
+	specPath := filepath.Join(dir, "spec.json")
+	tracePath := filepath.Join(dir, "vcc.csv")
+	if err := os.WriteFile(specPath, []byte(spec), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	code, _, errb := runCLI(t, "-scenario", specPath, "-trace", tracePath)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errb)
+	}
+	sp, err := scenario.Parse([]byte(spec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	hash, err := sp.Hash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := "# spec-hash: " + hash + "\n"
+	if !strings.HasPrefix(string(data), want) {
+		t.Errorf("trace file should open with %q, got:\n%.120s", want, data)
+	}
+	if !strings.Contains(string(data), "t,vcc(V)") {
+		t.Errorf("trace CSV body missing:\n%.200s", data)
 	}
 }
 

@@ -1,0 +1,106 @@
+// Command ehsimd serves the simulator as a long-running HTTP daemon:
+// scenario specs (the same JSON documents ehsim -scenario runs) are
+// submitted as jobs, executed on a bounded worker pool, cached by
+// content address, and served back byte-identical to the CLI's output.
+//
+// The REST surface (see docs/API.md for the full reference):
+//
+//	POST   /v1/jobs               submit a spec; 429 + Retry-After under backpressure
+//	GET    /v1/jobs/{id}          poll status and progress
+//	DELETE /v1/jobs/{id}          cancel
+//	GET    /v1/jobs/{id}/result   the report (byte-identical to ehsim -scenario)
+//	GET    /v1/jobs/{id}/trace    the V_CC trace, streamed as chunked CSV
+//	GET    /v1/registry           machine-readable ehsim -list
+//	GET    /metrics               queue/cache/work counters
+//
+// On SIGINT/SIGTERM the daemon stops accepting work, finishes every
+// accepted job, and exits.
+//
+// Usage:
+//
+//	ehsimd -addr :8080
+//	curl -s -XPOST --data-binary @examples/scenarios/fig7-rectified-sine-hibernus.json localhost:8080/v1/jobs
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/service"
+)
+
+func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	os.Exit(run(ctx, os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is the testable entry point: it serves until ctx is canceled (or
+// the listener fails) and returns the process exit code.
+func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("ehsimd", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	addr := fs.String("addr", ":8080", "listen address")
+	queue := fs.Int("queue", 64, "job queue depth (submissions beyond it get 429)")
+	jobs := fs.Int("jobs", 2, "jobs executed concurrently")
+	workers := fs.Int("workers", 0, "per-job sweep parallelism (0 = one per core)")
+	drainTimeout := fs.Duration("drain-timeout", 30*time.Second, "shutdown grace for in-flight HTTP requests")
+	if err := fs.Parse(args); err != nil {
+		if err == flag.ErrHelp {
+			return 0
+		}
+		return 2
+	}
+
+	svc := service.New(service.Config{
+		QueueDepth:   *queue,
+		JobWorkers:   *jobs,
+		SweepWorkers: *workers,
+	}).Start()
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintf(stderr, "ehsimd: %v\n", err)
+		return 1
+	}
+	fmt.Fprintf(stdout, "ehsimd: listening on %s (queue=%d, jobs=%d)\n", ln.Addr(), *queue, *jobs)
+
+	hs := &http.Server{Handler: svc.Handler()}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- hs.Serve(ln) }()
+
+	select {
+	case err := <-serveErr:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			fmt.Fprintf(stderr, "ehsimd: %v\n", err)
+			return 1
+		}
+	case <-ctx.Done():
+		// Restore default signal handling first: a second SIGINT/SIGTERM
+		// during a long drain force-kills instead of being swallowed by
+		// the already-canceled context.
+		signal.Reset(os.Interrupt, syscall.SIGTERM)
+		// Drain first: new submissions already get 503, but the HTTP
+		// surface stays up throughout, so clients can keep polling and
+		// fetch the results of the jobs being finished. Only then close
+		// the server.
+		fmt.Fprintln(stdout, "ehsimd: shutting down, draining accepted jobs (second signal force-kills)")
+		svc.Drain()
+		sctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+		defer cancel()
+		if err := hs.Shutdown(sctx); err != nil {
+			fmt.Fprintf(stderr, "ehsimd: shutdown: %v\n", err)
+		}
+		fmt.Fprintln(stdout, "ehsimd: drained, exiting")
+	}
+	return 0
+}

@@ -1,0 +1,146 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/result"
+	"repro/internal/scenario"
+	"repro/internal/service"
+)
+
+// syncBuf is a goroutine-safe bytes.Buffer: run writes from the server
+// goroutine while the test polls.
+type syncBuf struct {
+	mu sync.Mutex
+	b  bytes.Buffer
+}
+
+func (s *syncBuf) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.Write(p)
+}
+
+func (s *syncBuf) String() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.String()
+}
+
+const bootSpec = `{
+	"name": "daemon-smoke",
+	"workload": "fib24",
+	"storage": {"c": "10u"},
+	"source": {"name": "dc"},
+	"duration": 0.002
+}`
+
+var listenRE = regexp.MustCompile(`listening on (\S+)`)
+
+func TestDaemonEndToEnd(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var out, errb syncBuf
+	exit := make(chan int, 1)
+	go func() { exit <- run(ctx, []string{"-addr", "127.0.0.1:0"}, &out, &errb) }()
+
+	// Wait for the daemon to announce its (dynamically chosen) address.
+	var base string
+	deadline := time.Now().Add(10 * time.Second)
+	for base == "" {
+		if time.Now().After(deadline) {
+			t.Fatalf("daemon never announced its address; stdout=%q stderr=%q", out.String(), errb.String())
+		}
+		if m := listenRE.FindStringSubmatch(out.String()); m != nil {
+			base = "http://" + m[1]
+		} else {
+			time.Sleep(5 * time.Millisecond)
+		}
+	}
+
+	resp, err := http.Post(base+"/v1/jobs", "application/json", strings.NewReader(bootSpec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st service.JobStatus
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: status %d (%+v)", resp.StatusCode, st)
+	}
+
+	for deadline := time.Now().Add(30 * time.Second); ; {
+		r, err := http.Get(base + "/v1/jobs/" + st.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		json.NewDecoder(r.Body).Decode(&st)
+		r.Body.Close()
+		if st.State == service.JobDone {
+			break
+		}
+		if st.State == service.JobFailed || time.Now().After(deadline) {
+			t.Fatalf("job did not complete: %+v", st)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+
+	r, err := http.Get(base + "/v1/jobs/" + st.ID + "/result")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(r.Body)
+	r.Body.Close()
+	sp, err := scenario.Parse([]byte(bootSpec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := result.RunSpec(sp, result.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(body) != rep.Text {
+		t.Errorf("daemon result diverges from shared renderer:\n%s\n---\n%s", body, rep.Text)
+	}
+
+	// Signal-path shutdown: cancel the context and expect a clean drain.
+	cancel()
+	select {
+	case code := <-exit:
+		if code != 0 {
+			t.Errorf("exit code %d, stderr: %s", code, errb.String())
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("daemon did not exit after shutdown")
+	}
+	if !strings.Contains(out.String(), "drained, exiting") {
+		t.Errorf("missing drain log, stdout: %s", out.String())
+	}
+}
+
+func TestHelpExitsZero(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run(context.Background(), []string{"-h"}, &out, &errb); code != 0 {
+		t.Errorf("-h exited %d", code)
+	}
+	if !strings.Contains(errb.String(), "-addr") {
+		t.Errorf("usage should mention -addr: %s", errb.String())
+	}
+}
+
+func TestBadAddrFails(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run(context.Background(), []string{"-addr", "256.0.0.1:bad"}, &out, &errb); code != 1 {
+		t.Errorf("exit %d, want 1 (stderr: %s)", code, errb.String())
+	}
+}

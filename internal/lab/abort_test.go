@@ -1,0 +1,69 @@
+package lab
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/circuit"
+	"repro/internal/mcu"
+	"repro/internal/programs"
+	"repro/internal/source"
+)
+
+func abortSetup() Setup {
+	return Setup{
+		Workload: programs.Fib(24, programs.DefaultLayout()),
+		Params:   mcu.DefaultParams(),
+		VSource:  &source.ConstantVoltage{V: 3.3, Rs: 50},
+		C:        10e-6,
+		Duration: 0.05,
+	}
+}
+
+func TestAbortClosedBeforeRun(t *testing.T) {
+	s := abortSetup()
+	ch := make(chan struct{})
+	close(ch)
+	s.Abort = ch
+	res, err := Run(s)
+	if !errors.Is(err, ErrAborted) {
+		t.Fatalf("err = %v, want ErrAborted", err)
+	}
+	if res.Completions != 0 || res.HarvestedJ != 0 {
+		t.Errorf("aborted run leaked partial results: %+v", res)
+	}
+}
+
+func TestAbortMidRun(t *testing.T) {
+	s := abortSetup()
+	ch := make(chan struct{})
+	s.Abort = ch
+	// Close the abort channel from inside the loop via OnTick, so the
+	// abort lands deterministically mid-run: the very next step's check
+	// must stop the simulation.
+	steps := 0
+	s.OnTick = func(tm float64, d *mcu.Device, rail *circuit.Rail) {
+		steps++
+		if steps == 100 {
+			close(ch)
+		}
+	}
+	_, err := Run(s)
+	if !errors.Is(err, ErrAborted) {
+		t.Fatalf("err = %v, want ErrAborted", err)
+	}
+	if steps != 100 {
+		t.Errorf("ran %d steps after the abort closed at 100", steps)
+	}
+}
+
+func TestNilAbortRunsToCompletion(t *testing.T) {
+	s := abortSetup()
+	res, err := Run(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Completions == 0 {
+		t.Error("no completions")
+	}
+}

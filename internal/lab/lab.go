@@ -9,6 +9,7 @@
 package lab
 
 import (
+	"errors"
 	"fmt"
 	"math"
 
@@ -55,6 +56,13 @@ type Setup struct {
 	// (power-neutral DFS) hook in here.
 	OnTick func(t float64, d *mcu.Device, rail *circuit.Rail)
 
+	// Abort, if non-nil, stops the run early: once the channel is
+	// closed, Run returns ErrAborted at the next step boundary and the
+	// partial results are discarded. The check is a non-blocking channel
+	// read per step, paid only when Abort is set; leave it nil (the
+	// default) everywhere determinism benchmarks matter.
+	Abort <-chan struct{}
+
 	// FastForward lets the stepping loop skip idle stretches analytically
 	// instead of integrating them at Dt: while the device is off (or
 	// sleeping with no runtime attached) and the source diode is blocked,
@@ -75,6 +83,9 @@ type Setup struct {
 // stretch skipped between source probes. 100 steps at the default 5 µs
 // step is 0.5 ms — far below any supply feature in the source library.
 const ffChunk = 100
+
+// ErrAborted reports a run stopped early through Setup.Abort.
+var ErrAborted = errors.New("lab: run aborted")
 
 // Result summarises a run.
 type Result struct {
@@ -162,6 +173,13 @@ func Run(s Setup) (Result, error) {
 
 	steps := stepCount(s.Duration, s.Dt)
 	for i := 0; i < steps; {
+		if s.Abort != nil {
+			select {
+			case <-s.Abort:
+				return Result{}, ErrAborted
+			default:
+			}
+		}
 		if s.FastForward {
 			if n := s.tryFastForward(d, rail, steps-i); n > 0 {
 				i += n

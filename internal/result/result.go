@@ -1,0 +1,273 @@
+// Package result is the shared result-encoding path between the ehsim
+// CLI and the ehsimd service: one implementation of "execute a scenario
+// spec and render its report", so the two front-ends cannot drift. The
+// byte-identity contract — `GET /v1/jobs/{id}/result` returns exactly
+// what `ehsim -scenario` prints for the same spec — holds because both
+// call RunSpec and serve Report.Text verbatim.
+//
+// The package also owns the textual building blocks the CLI's legacy
+// flag path shares with scenario reports (WriteSummary, WriteSweepTable)
+// and the trace serialisation that stamps every CSV with the spec's
+// content address (WriteTrace).
+package result
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/lab"
+	"repro/internal/scenario"
+	"repro/internal/sweep"
+	"repro/internal/trace"
+	"repro/internal/units"
+)
+
+// EngineVersion names the simulation-and-rendering contract a cached
+// report was produced under. The service mixes it into cache keys, so
+// bump it whenever lab semantics, registry defaults, or report text
+// change in a way that should invalidate previously computed results.
+const EngineVersion = "1"
+
+// TraceInterval is the sampling interval (simulated seconds) used for
+// captured V_CC traces, matching the CLI's -trace behaviour.
+const TraceInterval = 1e-3
+
+// Options tunes one RunSpec execution.
+type Options struct {
+	// Workers is the sweep parallelism (0 = one per core).
+	Workers int
+
+	// Trace captures a V_CC/freq/mode trace during the run. It applies to
+	// single-run specs only (sweeps have no single trace) and does not
+	// perturb the simulation — the recorder is a pure observer.
+	Trace bool
+
+	// TraceInterval overrides the trace sampling interval (simulated
+	// seconds); ≤0 selects the TraceInterval default. Callers bounding
+	// trace memory for long runs raise it (service.maxTraceSamples).
+	TraceInterval float64
+
+	// Progress, if non-nil, is called after each case completes; single
+	// runs report (1, 1).
+	Progress func(done, total int)
+
+	// Cancel, if non-nil, aborts the run when closed: RunSpec returns
+	// sweep.ErrCanceled. It stops new sweep cases from starting and, via
+	// lab's Setup.Abort, interrupts the stepping loop of cases already
+	// running, so even long single runs cancel promptly.
+	Cancel <-chan struct{}
+}
+
+// CaseResult pairs one executed case with its name.
+type CaseResult struct {
+	Name   string
+	Result lab.Result
+}
+
+// Report is one scenario execution's complete outcome.
+type Report struct {
+	// SpecHash is the executed spec's content address (scenario.Hash).
+	SpecHash string
+
+	// Sweep reports whether the spec expanded into a grid.
+	Sweep bool
+
+	// Text is the canonical rendering — byte-identical to what
+	// `ehsim -scenario` prints on stdout for the same spec.
+	Text string
+
+	// Cases holds the structured per-case results, in grid order (one
+	// entry for a single run).
+	Cases []CaseResult
+
+	// SimSeconds is the total simulated time across all cases — the
+	// service's work-done metric.
+	SimSeconds float64
+
+	// TraceCSV is the captured trace (Options.Trace, single runs only),
+	// serialised by WriteTrace: a spec-hash header comment, then CSV.
+	TraceCSV []byte
+}
+
+// RunSpec executes a validated spec — a single run without sweep axes, a
+// parallel grid sweep with them — and renders its report.
+func RunSpec(sp *scenario.Spec, opts Options) (*Report, error) {
+	hash, err := sp.Hash()
+	if err != nil {
+		return nil, err
+	}
+	rep := &Report{SpecHash: hash}
+	var buf bytes.Buffer
+
+	if !sp.HasSweep() {
+		if opts.Cancel != nil {
+			select {
+			case <-opts.Cancel:
+				return nil, sweep.ErrCanceled
+			default:
+			}
+		}
+		s, err := sp.Setup()
+		if err != nil {
+			return nil, err
+		}
+		s.Abort = opts.Cancel
+		var rec *trace.Recorder
+		if opts.Trace {
+			rec = trace.NewRecorder()
+			s.Recorder = rec
+			s.RecordInterval = opts.TraceInterval
+			if s.RecordInterval <= 0 {
+				s.RecordInterval = TraceInterval
+			}
+		}
+		res, err := lab.Run(s)
+		if errors.Is(err, lab.ErrAborted) {
+			return nil, sweep.ErrCanceled
+		}
+		if err != nil {
+			return nil, err
+		}
+		if opts.Progress != nil {
+			opts.Progress(1, 1)
+		}
+		fmt.Fprintln(&buf, SingleTitle(sp))
+		WriteSummary(&buf, res, float64(sp.Duration))
+		rep.Cases = []CaseResult{{Name: sp.Name, Result: res}}
+		rep.SimSeconds = float64(sp.Duration)
+		if rec != nil {
+			var tb bytes.Buffer
+			if err := WriteTrace(&tb, rec, hash); err != nil {
+				return nil, err
+			}
+			rep.TraceCSV = tb.Bytes()
+		}
+		rep.Text = buf.String()
+		return rep, nil
+	}
+
+	rep.Sweep = true
+	grid := sp.Grid()
+	cases := grid.Cases()
+	r := &sweep.Runner{Workers: opts.Workers, OnProgress: opts.Progress, Cancel: opts.Cancel}
+	results, err := sweep.MapGrid(r, grid, func(c sweep.Case) (lab.Result, error) {
+		s, err := sp.SetupAt(c)
+		if err != nil {
+			return lab.Result{}, err
+		}
+		s.Abort = opts.Cancel
+		return lab.Run(s)
+	})
+	if err != nil {
+		// A case interrupted mid-run by Cancel surfaces as its abort
+		// error; fold it into the uniform cancellation signal.
+		if errors.Is(err, lab.ErrAborted) {
+			return nil, sweep.ErrCanceled
+		}
+		return nil, err
+	}
+	fmt.Fprintf(&buf, "scenario %s: sweep over %s, %d cases\n",
+		sp.Name, SweepAxesLabel(sp), len(cases))
+	names := make([]string, len(cases))
+	rep.Cases = make([]CaseResult, len(cases))
+	for i, c := range cases {
+		names[i] = c.Name
+		rep.Cases[i] = CaseResult{Name: c.Name, Result: results[i]}
+		rep.SimSeconds += caseDuration(sp, c)
+	}
+	WriteSweepTable(&buf, "case", 32, names, results)
+	rep.Text = buf.String()
+	return rep, nil
+}
+
+// caseDuration resolves one grid case's simulated duration: the spec's,
+// unless a "duration" axis overrides it.
+func caseDuration(sp *scenario.Spec, c sweep.Case) float64 {
+	if v, ok := c.Values["duration"]; ok {
+		if f, ok := v.(float64); ok {
+			return f
+		}
+	}
+	return float64(sp.Duration)
+}
+
+// SingleTitle renders a single-run scenario's report title line.
+func SingleTitle(sp *scenario.Spec) string {
+	return fmt.Sprintf("scenario %s: %s on %s, runtime=%s, C=%s, %gs",
+		sp.Name, sp.Workload, sp.Source.Name, runtimeLabel(sp),
+		units.Format(float64(sp.Storage.C), "F"), float64(sp.Duration))
+}
+
+// runtimeLabel names the spec's runtime for report headers ("" → none).
+func runtimeLabel(sp *scenario.Spec) string {
+	if sp.Runtime.Name == "" {
+		return "none"
+	}
+	return sp.Runtime.Name
+}
+
+// SweepAxesLabel joins the spec's sweep axis names for the report header.
+func SweepAxesLabel(sp *scenario.Spec) string {
+	names := make([]string, len(sp.Sweep))
+	for i, ax := range sp.Sweep {
+		names[i] = ax.Param
+	}
+	return strings.Join(names, " × ")
+}
+
+// WriteSummary renders one run's result block — the per-run body shared
+// by the CLI's flag and scenario paths and the service's reports.
+func WriteSummary(w io.Writer, res lab.Result, duration float64) {
+	fmt.Fprintf(w, "  completions:        %d (wrong: %d)\n", res.Completions, res.WrongResults)
+	fmt.Fprintf(w, "  throughput:         %.2f ops/s\n", res.Throughput(duration))
+	if res.Completions > 0 {
+		fmt.Fprintf(w, "  energy/completion:  %s\n", units.Format(res.EnergyPerCompletion(), "J"))
+		fmt.Fprintf(w, "  first completion:   %s\n", units.FormatSeconds(res.FirstCompletion))
+	}
+	st := res.Stats
+	fmt.Fprintf(w, "  snapshots:          %d started, %d done, %d aborted\n",
+		st.SavesStarted, st.SavesDone, st.SavesAborted)
+	fmt.Fprintf(w, "  restores/wakes:     %d / %d\n", st.Restores, st.WakeNoRestore)
+	fmt.Fprintf(w, "  power cycles:       %d brown-outs, %d cold starts\n", st.BrownOuts, st.ColdStarts)
+	fmt.Fprintf(w, "  time split:         active %.2fs, sleep %.2fs, save %.2fs, off %.2fs\n",
+		st.ActiveSec, st.SleepSec, st.SaveSec, st.OffSec)
+	fmt.Fprintf(w, "  energy:             harvested %s, consumed %s\n",
+		units.Format(res.HarvestedJ, "J"), units.Format(res.ConsumedJ, "J"))
+	if res.RuntimeErr != nil {
+		fmt.Fprintf(w, "  guest fault:        %v\n", res.RuntimeErr)
+	}
+}
+
+// WriteSweepTable renders the sweep comparison table: a header row, then
+// one row per case. width sets the first column's width, col0 its title
+// ("case" for scenario sweeps, "C" for the CLI's storage sweeps).
+func WriteSweepTable(w io.Writer, col0 string, width int, names []string, results []lab.Result) {
+	fmt.Fprintf(w, "%-*s %-12s %-8s %-10s %-10s %-12s %-12s\n",
+		width, col0, "completions", "wrong", "snapshots", "brownouts", "energy/op", "harvested")
+	for i, res := range results {
+		eop := "∞"
+		if res.Completions > 0 {
+			eop = units.Format(res.EnergyPerCompletion(), "J")
+		}
+		fmt.Fprintf(w, "%-*s %-12d %-8d %-10d %-10d %-12s %-12s\n",
+			width, names[i], res.Completions, res.WrongResults,
+			res.Stats.SavesStarted, res.Stats.BrownOuts, eop,
+			units.Format(res.HarvestedJ, "J"))
+	}
+}
+
+// WriteTrace serialises a recorded trace as CSV, prefixed (when specHash
+// is non-empty) with a header comment carrying the spec's content
+// address — so a trace file on disk is traceable back to the exact spec
+// that produced it.
+func WriteTrace(w io.Writer, rec *trace.Recorder, specHash string) error {
+	if specHash != "" {
+		if _, err := fmt.Fprintf(w, "# spec-hash: %s\n", specHash); err != nil {
+			return err
+		}
+	}
+	return rec.WriteCSV(w)
+}

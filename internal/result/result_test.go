@@ -1,0 +1,137 @@
+package result
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/scenario"
+	"repro/internal/sweep"
+)
+
+const singleSpec = `{
+	"name": "tiny",
+	"workload": "fib24",
+	"storage": {"c": "10u"},
+	"source": {"name": "dc"},
+	"duration": 0.002
+}`
+
+const sweepSpec = `{
+	"name": "tiny-sweep",
+	"workload": "fib24",
+	"storage": {"c": "10u"},
+	"source": {"name": "dc"},
+	"duration": 0.002,
+	"sweep": [{"param": "c", "values": ["4.7u", "10u"]}]
+}`
+
+func parse(t *testing.T, src string) *scenario.Spec {
+	t.Helper()
+	sp, err := scenario.Parse([]byte(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sp
+}
+
+func TestRunSpecSingle(t *testing.T) {
+	sp := parse(t, singleSpec)
+	var done, total int
+	rep, err := RunSpec(sp, Options{Progress: func(d, n int) { done, total = d, n }})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Sweep {
+		t.Error("single spec reported as sweep")
+	}
+	if done != 1 || total != 1 {
+		t.Errorf("progress = %d/%d, want 1/1", done, total)
+	}
+	if !strings.HasPrefix(rep.Text, "scenario tiny: fib24 on dc, runtime=none, C=10µF, 0.002s\n") {
+		t.Errorf("title line wrong:\n%s", rep.Text)
+	}
+	if !strings.Contains(rep.Text, "  completions:        ") {
+		t.Errorf("summary missing:\n%s", rep.Text)
+	}
+	if len(rep.Cases) != 1 || rep.Cases[0].Result.Completions == 0 {
+		t.Errorf("cases = %+v", rep.Cases)
+	}
+	if rep.SimSeconds != 0.002 {
+		t.Errorf("SimSeconds = %g", rep.SimSeconds)
+	}
+	if !strings.HasPrefix(rep.SpecHash, "sha256:") {
+		t.Errorf("SpecHash = %q", rep.SpecHash)
+	}
+	if rep.TraceCSV != nil {
+		t.Error("trace captured without Options.Trace")
+	}
+}
+
+func TestRunSpecIsDeterministic(t *testing.T) {
+	// The cache serves one job's report to later identical submissions,
+	// which is only sound if re-running the spec reproduces it exactly.
+	a, err := RunSpec(parse(t, sweepSpec), Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunSpec(parse(t, sweepSpec), Options{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Text != b.Text {
+		t.Errorf("reports differ across runs/worker counts:\n%s\n%s", a.Text, b.Text)
+	}
+	if a.SpecHash != b.SpecHash {
+		t.Errorf("hashes differ: %s vs %s", a.SpecHash, b.SpecHash)
+	}
+}
+
+func TestRunSpecSweep(t *testing.T) {
+	sp := parse(t, sweepSpec)
+	var last int
+	rep, err := RunSpec(sp, Options{Progress: func(d, n int) { last = n }})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Sweep || len(rep.Cases) != 2 {
+		t.Fatalf("sweep=%v cases=%d", rep.Sweep, len(rep.Cases))
+	}
+	if last != 2 {
+		t.Errorf("progress total = %d, want 2", last)
+	}
+	for _, frag := range []string{"scenario tiny-sweep: sweep over c, 2 cases\n", "c=4.7µF", "c=10µF"} {
+		if !strings.Contains(rep.Text, frag) {
+			t.Errorf("report missing %q:\n%s", frag, rep.Text)
+		}
+	}
+	if rep.SimSeconds != 0.004 {
+		t.Errorf("SimSeconds = %g, want 0.004", rep.SimSeconds)
+	}
+}
+
+func TestRunSpecTraceCarriesSpecHash(t *testing.T) {
+	sp := parse(t, singleSpec)
+	rep, err := RunSpec(sp, Options{Trace: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	head := "# spec-hash: " + rep.SpecHash + "\n"
+	if !strings.HasPrefix(string(rep.TraceCSV), head) {
+		t.Errorf("trace header wrong:\n%.120s", rep.TraceCSV)
+	}
+	if !strings.Contains(string(rep.TraceCSV), "t,vcc(V)") {
+		t.Errorf("trace CSV header missing:\n%.200s", rep.TraceCSV)
+	}
+}
+
+func TestRunSpecCancelBeforeStart(t *testing.T) {
+	cancel := make(chan struct{})
+	close(cancel)
+	if _, err := RunSpec(parse(t, singleSpec), Options{Cancel: cancel}); !errors.Is(err, sweep.ErrCanceled) {
+		t.Errorf("single: err = %v, want ErrCanceled", err)
+	}
+	if _, err := RunSpec(parse(t, sweepSpec), Options{Cancel: cancel}); !errors.Is(err, sweep.ErrCanceled) {
+		t.Errorf("sweep: err = %v, want ErrCanceled", err)
+	}
+}

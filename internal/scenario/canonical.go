@@ -1,0 +1,36 @@
+package scenario
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+)
+
+// Canonical returns the spec's canonical JSON encoding: struct fields in
+// declaration order, param maps with sorted keys, SI-suffixed strings
+// normalised to plain numbers, omitted optionals dropped. Two spec
+// documents that differ only in field order, whitespace, or value
+// spelling ("10u" vs 1e-05) produce identical canonical bytes — the
+// property the service's content-addressed result cache is built on.
+func (s *Spec) Canonical() ([]byte, error) {
+	b, err := json.Marshal(s)
+	if err != nil {
+		return nil, fmt.Errorf("scenario %q: canonical encoding: %w", s.Name, err)
+	}
+	return b, nil
+}
+
+// Hash returns the spec's content address, "sha256:" followed by the hex
+// digest of the canonical encoding. It identifies the scenario exactly:
+// any change that could alter what a run computes or how its report
+// reads (including the name, which report titles embed) changes the
+// hash.
+func (s *Spec) Hash() (string, error) {
+	b, err := s.Canonical()
+	if err != nil {
+		return "", err
+	}
+	sum := sha256.Sum256(b)
+	return "sha256:" + hex.EncodeToString(sum[:]), nil
+}

@@ -1,0 +1,136 @@
+package scenario
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+func mustParse(t *testing.T, src string) *Spec {
+	t.Helper()
+	sp, err := Parse([]byte(src))
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return sp
+}
+
+func TestCanonicalIsDeterministic(t *testing.T) {
+	sp := mustParse(t, `{
+		"name": "canon",
+		"workload": "fib24",
+		"storage": {"c": "10u"},
+		"source": {"name": "rectified-sine", "params": {"freq": 20, "amplitude": 3.6}},
+		"duration": 0.002
+	}`)
+	a, err := sp.Canonical()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := sp.Canonical()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(a) != string(b) {
+		t.Errorf("canonical encoding not stable:\n%s\n%s", a, b)
+	}
+}
+
+func TestHashIgnoresSpelling(t *testing.T) {
+	// Same scenario, three spellings: SI string vs plain number, field
+	// order, param order, whitespace.
+	variants := []string{
+		`{"name":"x","workload":"fib24","storage":{"c":"10u"},
+		  "source":{"name":"rectified-sine","params":{"freq":20,"amplitude":3.6}},
+		  "duration":0.002}`,
+		`{"duration":0.002,
+		  "source":{"params":{"amplitude":3.6,"freq":20},"name":"rectified-sine"},
+		  "storage":{"c":1e-5},"workload":"fib24","name":"x"}`,
+		`{ "name" : "x", "workload" : "fib24",
+		   "storage" : { "c" : 0.00001 },
+		   "source" : { "name" : "rectified-sine",
+		                "params" : { "freq" : "20", "amplitude" : 3.6 } },
+		   "duration" : "2m" }`,
+	}
+	var first string
+	for i, src := range variants {
+		h, err := mustParse(t, src).Hash()
+		if err != nil {
+			t.Fatalf("variant %d: %v", i, err)
+		}
+		if !strings.HasPrefix(h, "sha256:") || len(h) != len("sha256:")+64 {
+			t.Fatalf("variant %d: malformed hash %q", i, h)
+		}
+		if i == 0 {
+			first = h
+		} else if h != first {
+			t.Errorf("variant %d hashes to %s, variant 0 to %s", i, h, first)
+		}
+	}
+}
+
+func TestGridCaseCapRejectsAllocationBombs(t *testing.T) {
+	// 60×60×60 = 216k cases from only 180 points: the multiplicative
+	// bound must catch what the linear point cap cannot.
+	var pts []string
+	for i := 0; i < 60; i++ {
+		pts = append(pts, fmt.Sprintf("%g", 1e-6+float64(i)*1e-9))
+	}
+	vals := strings.Join(pts, ",")
+	spec := fmt.Sprintf(`{"name":"bomb","workload":"fib24","storage":{"c":"10u"},
+		"source":{"name":"dc"},"duration":0.002,
+		"sweep":[{"param":"c","values":[%s]},
+		         {"param":"duration","values":[%s]},
+		         {"param":"v0","values":[%s]}]}`, vals, vals, vals)
+	_, err := Parse([]byte(spec))
+	if err == nil || !strings.Contains(err.Error(), "cases") {
+		t.Fatalf("oversized grid should fail with the case cap, got: %v", err)
+	}
+}
+
+func TestSweepPointCapRejectsPathologicalSpecs(t *testing.T) {
+	var b strings.Builder
+	b.WriteString(`{"name":"huge","workload":"fib24","storage":{"c":"10u"},
+		"source":{"name":"dc"},"duration":0.002,
+		"sweep":[{"param":"c","values":[`)
+	for i := 0; i <= MaxSweepPoints; i++ {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%g", 1e-6+float64(i)*1e-9)
+	}
+	b.WriteString(`]}]}`)
+	_, err := Parse([]byte(b.String()))
+	if err == nil || !strings.Contains(err.Error(), "axis points") {
+		t.Fatalf("oversized sweep should fail with the point cap, got: %v", err)
+	}
+}
+
+func TestHashSeparatesContent(t *testing.T) {
+	base := `{"name":"x","workload":"fib24","storage":{"c":"10u"},
+		"source":{"name":"dc"},"duration":0.002}`
+	mutants := []string{
+		// Different capacitance.
+		`{"name":"x","workload":"fib24","storage":{"c":"47u"},
+			"source":{"name":"dc"},"duration":0.002}`,
+		// Different name (report titles embed it, so it must separate).
+		`{"name":"y","workload":"fib24","storage":{"c":"10u"},
+			"source":{"name":"dc"},"duration":0.002}`,
+		// Fast-forward changes results.
+		`{"name":"x","workload":"fib24","storage":{"c":"10u"},
+			"source":{"name":"dc"},"duration":0.002,"fastforward":true}`,
+	}
+	h0, err := mustParse(t, base).Hash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, src := range mutants {
+		h, err := mustParse(t, src).Hash()
+		if err != nil {
+			t.Fatalf("mutant %d: %v", i, err)
+		}
+		if h == h0 {
+			t.Errorf("mutant %d collides with base hash %s", i, h0)
+		}
+	}
+}

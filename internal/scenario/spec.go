@@ -124,6 +124,17 @@ type Spec struct {
 	Sweep       []Axis `json:"sweep,omitempty"`
 }
 
+// MaxSweepPoints bounds the total number of sweep-axis points one spec
+// may declare (validation cost is linear in the point count, grid size
+// multiplicative — both need the cap).
+const MaxSweepPoints = 10_000
+
+// MaxGridCases bounds the sweep cross product: grid expansion
+// materialises one Case (with its coordinate map) per cell before
+// anything runs, so an unbounded product is an allocation bomb for
+// every front-end — CLI and service alike.
+const MaxGridCases = 100_000
+
 // Parse decodes and validates a spec. Unknown fields are errors, so a
 // typoed key fails loudly instead of silently running the defaults.
 func Parse(data []byte) (*Spec, error) {
@@ -203,6 +214,25 @@ func (s *Spec) Validate() error {
 	}
 	if s.Dt < 0 {
 		return s.errf("dt must be non-negative (got %g s)", float64(s.Dt))
+	}
+	// Validation probes every axis point below, so the point count must
+	// be bounded before that loop — otherwise a pathological spec buys
+	// unbounded validation CPU (a concern for services parsing
+	// untrusted specs; no legitimate sweep comes close).
+	points, cases := 0, 1
+	for _, ax := range s.Sweep {
+		n := len(ax.Values) + len(ax.Names)
+		points += n
+		if n > 0 {
+			cases *= n
+		}
+		// Checked per axis, so the product cannot overflow en route.
+		if cases > MaxGridCases {
+			return s.errf("sweep expands to more than %d cases", MaxGridCases)
+		}
+	}
+	if points > MaxSweepPoints {
+		return s.errf("sweep declares %d axis points (limit %d)", points, MaxSweepPoints)
 	}
 	seen := map[string]bool{}
 	for i, ax := range s.Sweep {

@@ -1,0 +1,118 @@
+package service
+
+import (
+	"sync"
+
+	"repro/internal/result"
+)
+
+// Claim is the caller's role after Cache.Begin.
+type Claim int
+
+const (
+	// Lead: the key was absent; the caller owns the computation and must
+	// finish it with Complete or Abort.
+	Lead Claim = iota
+	// Wait: another caller is computing the key; wait on Entry.Done.
+	Wait
+	// Done: the key is already computed; Entry.Report is ready.
+	Done
+)
+
+// Entry is one cache slot. Report and Err are immutable once Done is
+// closed; waiters must not read them before.
+type Entry struct {
+	// Done is closed when the computation completes or aborts.
+	Done chan struct{}
+
+	// Report is the computed result (nil after Abort).
+	Report *result.Report
+
+	// Err is the abort reason (nil after Complete).
+	Err error
+}
+
+// Cache is the content-addressed result store: keys are canonical spec
+// hashes mixed with the engine version, values are completed reports.
+// It is single-flight — concurrent Begins for one key elect exactly one
+// leader, and everyone else waits for that computation instead of
+// duplicating it. Aborted computations are evicted, so a failed or
+// canceled run never poisons the key: the next Begin leads again.
+//
+// Completed entries are bounded: beyond the cap the oldest-completed
+// entry is evicted, so a long-running daemon's memory stays bounded.
+// In-flight entries are never evicted.
+type Cache struct {
+	mu        sync.Mutex
+	cap       int
+	entries   map[string]*Entry
+	doneOrder []string // keys in completion order, oldest first
+}
+
+// NewCache returns an empty cache retaining at most cap completed
+// entries (≤0 = unbounded).
+func NewCache(cap int) *Cache {
+	return &Cache{cap: cap, entries: make(map[string]*Entry)}
+}
+
+// Begin claims the key. The returned Entry is shared among everyone who
+// asked for this key; the Claim tells the caller its role.
+func (c *Cache) Begin(key string) (*Entry, Claim) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if e, ok := c.entries[key]; ok {
+		select {
+		case <-e.Done:
+			return e, Done
+		default:
+			return e, Wait
+		}
+	}
+	e := &Entry{Done: make(chan struct{})}
+	c.entries[key] = e
+	return e, Lead
+}
+
+// Complete publishes the leader's report and releases all waiters,
+// evicting the oldest completed entry if the cap is exceeded.
+func (c *Cache) Complete(key string, rep *result.Report) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.entries[key]
+	if !ok {
+		return
+	}
+	e.Report = rep
+	close(e.Done)
+	c.doneOrder = append(c.doneOrder, key)
+	for c.cap > 0 && len(c.doneOrder) > c.cap {
+		old := c.doneOrder[0]
+		c.doneOrder = c.doneOrder[1:]
+		delete(c.entries, old)
+	}
+}
+
+// Abort evicts the in-flight key and releases its waiters with err.
+func (c *Cache) Abort(key string, err error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.entries[key]
+	if !ok {
+		return
+	}
+	select {
+	case <-e.Done:
+		return // already completed; nothing to abort
+	default:
+	}
+	e.Err = err
+	close(e.Done)
+	delete(c.entries, key)
+}
+
+// Len returns the number of resident entries (completed and in-flight).
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}

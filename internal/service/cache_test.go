@@ -1,0 +1,137 @@
+package service
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/result"
+)
+
+func TestCacheSingleFlightElectsOneLeader(t *testing.T) {
+	c := NewCache(0)
+	const n = 32
+	var leaders atomic.Int32
+	var wg sync.WaitGroup
+	rep := &result.Report{Text: "report"}
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			e, claim := c.Begin("k")
+			switch claim {
+			case Lead:
+				leaders.Add(1)
+				c.Complete("k", rep)
+			case Wait, Done:
+				<-e.Done
+				if e.Err != nil || e.Report != rep {
+					t.Errorf("waiter got rep=%v err=%v", e.Report, e.Err)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if leaders.Load() != 1 {
+		t.Errorf("%d leaders elected, want exactly 1", leaders.Load())
+	}
+	if c.Len() != 1 {
+		t.Errorf("cache holds %d entries, want 1", c.Len())
+	}
+}
+
+func TestCacheCompletedKeyReturnsDone(t *testing.T) {
+	c := NewCache(0)
+	_, claim := c.Begin("k")
+	if claim != Lead {
+		t.Fatalf("first Begin = %v, want Lead", claim)
+	}
+	rep := &result.Report{Text: "x"}
+	c.Complete("k", rep)
+	e, claim := c.Begin("k")
+	if claim != Done || e.Report != rep {
+		t.Errorf("after Complete: claim=%v report=%v", claim, e.Report)
+	}
+}
+
+func TestCacheAbortEvictsAndReleasesWaiters(t *testing.T) {
+	c := NewCache(0)
+	if _, claim := c.Begin("k"); claim != Lead {
+		t.Fatalf("claim = %v, want Lead", claim)
+	}
+	e, claim := c.Begin("k")
+	if claim != Wait {
+		t.Fatalf("claim = %v, want Wait", claim)
+	}
+	boom := errors.New("boom")
+	c.Abort("k", boom)
+	<-e.Done
+	if !errors.Is(e.Err, boom) {
+		t.Errorf("waiter err = %v, want boom", e.Err)
+	}
+	// The key is free again: the next Begin leads a fresh computation.
+	if _, claim := c.Begin("k"); claim != Lead {
+		t.Errorf("post-abort claim = %v, want Lead", claim)
+	}
+}
+
+func TestCacheCapEvictsOldestCompleted(t *testing.T) {
+	c := NewCache(2)
+	rep := &result.Report{Text: "r"}
+	for _, k := range []string{"a", "b", "c"} {
+		if _, claim := c.Begin(k); claim != Lead {
+			t.Fatalf("%s: claim not Lead", k)
+		}
+		c.Complete(k, rep)
+	}
+	if c.Len() != 2 {
+		t.Errorf("cache holds %d entries, want 2", c.Len())
+	}
+	if _, claim := c.Begin("a"); claim != Lead {
+		t.Errorf("oldest key should have been evicted; claim = %v", claim)
+	}
+	if _, claim := c.Begin("c"); claim != Done {
+		t.Errorf("newest key should survive; claim = %v", claim)
+	}
+}
+
+func TestCacheCapSparesInFlight(t *testing.T) {
+	c := NewCache(1)
+	if _, claim := c.Begin("inflight"); claim != Lead {
+		t.Fatal("claim not Lead")
+	}
+	rep := &result.Report{Text: "r"}
+	for _, k := range []string{"a", "b"} {
+		c.Begin(k)
+		c.Complete(k, rep)
+	}
+	// Only completed entries count against the cap; the in-flight leader
+	// keeps its entry, so its waiters still resolve.
+	if _, claim := c.Begin("inflight"); claim != Wait {
+		t.Errorf("in-flight entry evicted; claim = %v", claim)
+	}
+}
+
+func TestCacheDistinctKeysAreIndependent(t *testing.T) {
+	c := NewCache(0)
+	const n = 16
+	var wg sync.WaitGroup
+	claims := make([]Claim, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, claims[i] = c.Begin(string(rune('a' + i)))
+		}(i)
+	}
+	wg.Wait()
+	for i, cl := range claims {
+		if cl != Lead {
+			t.Errorf("key %d: claim = %v, want Lead", i, cl)
+		}
+	}
+	if c.Len() != n {
+		t.Errorf("cache holds %d entries, want %d", c.Len(), n)
+	}
+}

@@ -1,0 +1,276 @@
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+
+	"repro/internal/powerneutral"
+	"repro/internal/programs"
+	"repro/internal/registry"
+	"repro/internal/result"
+	"repro/internal/source"
+	"repro/internal/transient"
+)
+
+// maxSpecBytes bounds a submitted spec body.
+const maxSpecBytes = 1 << 20
+
+// traceChunk is the streaming granularity of the trace endpoint.
+const traceChunk = 32 << 10
+
+// Handler returns the daemon's REST surface:
+//
+//	POST   /v1/jobs          submit a scenario spec (JSON body)
+//	GET    /v1/jobs          list jobs
+//	GET    /v1/jobs/{id}     poll one job
+//	DELETE /v1/jobs/{id}     cancel one job
+//	GET    /v1/jobs/{id}/result   the report, byte-identical to `ehsim -scenario`
+//	GET    /v1/jobs/{id}/trace    the captured V_CC trace, streamed as chunked CSV
+//	GET    /v1/registry      machine-readable form of `ehsim -list`
+//	GET    /metrics          queue/cache/work counters, Prometheus text format
+//	GET    /healthz          liveness probe
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	mux.HandleFunc("GET /v1/jobs", s.handleJobs)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
+	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
+	mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleResult)
+	mux.HandleFunc("GET /v1/jobs/{id}/trace", s.handleTrace)
+	mux.HandleFunc("GET /v1/registry", s.handleRegistry)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	return mux
+}
+
+// writeJSON renders v with a status code.
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(v)
+}
+
+// writeError renders a JSON error body.
+func writeError(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+// retrySeconds renders the Retry-After hint (whole seconds, min 1).
+func (s *Server) retrySeconds() string {
+	secs := int(s.RetryAfter().Seconds())
+	if secs < 1 {
+		secs = 1
+	}
+	return strconv.Itoa(secs)
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxSpecBytes))
+	if err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			writeError(w, http.StatusRequestEntityTooLarge, "reading spec: %v", err)
+		} else {
+			writeError(w, http.StatusBadRequest, "reading spec: %v", err)
+		}
+		return
+	}
+	st, err := s.Submit(body)
+	switch {
+	case err == nil:
+	case err == ErrQueueFull:
+		w.Header().Set("Retry-After", s.retrySeconds())
+		writeError(w, http.StatusTooManyRequests, "%v", err)
+		return
+	case err == ErrDraining:
+		w.Header().Set("Retry-After", s.retrySeconds())
+		writeError(w, http.StatusServiceUnavailable, "%v", err)
+		return
+	default:
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	code := http.StatusAccepted
+	if st.State == JobDone {
+		code = http.StatusOK // cache hit: nothing left to wait for
+	}
+	writeJSON(w, code, st)
+}
+
+func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"jobs": s.Jobs()})
+}
+
+func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
+	st, ok := s.Job(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown job %q", r.PathValue("id"))
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	st, ok := s.Cancel(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown job %q", r.PathValue("id"))
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+// notReady maps an unfinished job's state onto a response for the
+// result/trace endpoints; it reports whether it wrote one.
+func (s *Server) notReady(w http.ResponseWriter, st JobStatus) bool {
+	switch st.State {
+	case JobDone:
+		return false
+	case JobFailed:
+		writeError(w, http.StatusInternalServerError, "job %s failed: %s", st.ID, st.Error)
+	case JobCanceled:
+		writeError(w, http.StatusGone, "job %s was canceled", st.ID)
+	default: // queued, running
+		w.Header().Set("Retry-After", s.retrySeconds())
+		writeJSON(w, http.StatusConflict, st)
+	}
+	return true
+}
+
+func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
+	rep, st, ok := s.Result(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown job %q", r.PathValue("id"))
+		return
+	}
+	if s.notReady(w, st) {
+		return
+	}
+	// The body is served verbatim from the shared renderer, so it is
+	// byte-identical to `ehsim -scenario` stdout for the same spec.
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	w.Header().Set("X-Spec-Hash", st.Hash)
+	io.WriteString(w, rep.Text)
+}
+
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	rep, st, ok := s.Result(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown job %q", r.PathValue("id"))
+		return
+	}
+	if s.notReady(w, st) {
+		return
+	}
+	if rep.TraceCSV == nil {
+		writeError(w, http.StatusNotFound,
+			"job %s has no trace (traces are captured for single-run specs only)", st.ID)
+		return
+	}
+	// Stream in bounded chunks — no Content-Length, so net/http uses
+	// chunked transfer encoding and clients can consume the CSV as it
+	// arrives.
+	w.Header().Set("Content-Type", "text/csv; charset=utf-8")
+	w.Header().Set("X-Spec-Hash", st.Hash)
+	flusher, _ := w.(http.Flusher)
+	for data := rep.TraceCSV; len(data) > 0; {
+		n := min(traceChunk, len(data))
+		if _, err := w.Write(data[:n]); err != nil {
+			return
+		}
+		data = data[n:]
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+}
+
+// registryEntry is one name in the /v1/registry listing.
+type registryEntry struct {
+	Name      string          `json:"name"`
+	Desc      string          `json:"desc"`
+	Kind      string          `json:"kind,omitempty"`      // sources: voltage|power
+	UnifiedNV bool            `json:"unifiednv,omitempty"` // runtimes on unified-NV devices
+	Params    []registryParam `json:"params,omitempty"`
+}
+
+// registryParam documents one tunable.
+type registryParam struct {
+	Key     string  `json:"key"`
+	Default float64 `json:"default"`
+	Desc    string  `json:"desc,omitempty"`
+}
+
+func docParams(ps []registry.ParamDoc) []registryParam {
+	if len(ps) == 0 {
+		return nil
+	}
+	out := make([]registryParam, len(ps))
+	for i, p := range ps {
+		out[i] = registryParam{Key: p.Key, Default: p.Default, Desc: p.Desc}
+	}
+	return out
+}
+
+// handleRegistry serves the machine-readable registry listing — the same
+// facts `ehsim -list` prints, as JSON, so clients can discover valid
+// spec names and parameter defaults before submitting.
+func (s *Server) handleRegistry(w http.ResponseWriter, r *http.Request) {
+	var workloads []registryEntry
+	for _, n := range programs.Names() {
+		f, _ := programs.Lookup(n)
+		workloads = append(workloads, registryEntry{Name: n, Desc: f.Desc})
+	}
+	var sources []registryEntry
+	for _, n := range source.Names() {
+		e, _ := source.Lookup(n)
+		kind := "voltage"
+		if e.Power {
+			kind = "power"
+		}
+		sources = append(sources, registryEntry{Name: n, Desc: e.Desc, Kind: kind, Params: docParams(e.Params)})
+	}
+	var runtimes []registryEntry
+	for _, n := range transient.RuntimeNames() {
+		e, _ := transient.LookupRuntime(n)
+		runtimes = append(runtimes, registryEntry{Name: n, Desc: e.Desc, UnifiedNV: e.UnifiedNV, Params: docParams(e.Params)})
+	}
+	var governors []registryEntry
+	for _, n := range powerneutral.GovernorNames() {
+		e, _ := powerneutral.LookupGovernor(n)
+		governors = append(governors, registryEntry{Name: n, Desc: e.Desc, Params: docParams(e.Params)})
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"engine":    result.EngineVersion,
+		"workloads": workloads,
+		"sources":   sources,
+		"runtimes":  runtimes,
+		"governors": governors,
+	})
+}
+
+// handleMetrics serves the counters in Prometheus text exposition
+// format.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	m := s.Metrics()
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintf(w, "ehsimd_jobs_queued %d\n", m.JobsQueued)
+	fmt.Fprintf(w, "ehsimd_jobs_waiting %d\n", m.JobsWaiting)
+	fmt.Fprintf(w, "ehsimd_jobs_running %d\n", m.JobsRunning)
+	fmt.Fprintf(w, "ehsimd_jobs_done_total %d\n", m.JobsDone)
+	fmt.Fprintf(w, "ehsimd_jobs_failed_total %d\n", m.JobsFailed)
+	fmt.Fprintf(w, "ehsimd_jobs_canceled_total %d\n", m.JobsCanceled)
+	fmt.Fprintf(w, "ehsimd_queue_depth %d\n", m.QueueDepth)
+	fmt.Fprintf(w, "ehsimd_queue_free %d\n", m.QueueCapacity)
+	fmt.Fprintf(w, "ehsimd_cache_hits_total %d\n", m.CacheHits)
+	fmt.Fprintf(w, "ehsimd_cache_misses_total %d\n", m.CacheMisses)
+	fmt.Fprintf(w, "ehsimd_cache_entries %d\n", m.CacheEntries)
+	fmt.Fprintf(w, "ehsimd_cache_hit_ratio %g\n", m.HitRatio())
+	fmt.Fprintf(w, "ehsimd_sim_seconds_total %g\n", m.SimSeconds)
+}

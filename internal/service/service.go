@@ -1,0 +1,595 @@
+// Package service is the simulation-as-a-service layer behind cmd/ehsimd:
+// a job subsystem (submit/poll/cancel over a bounded queue with
+// backpressure), a content-addressed single-flight result cache keyed by
+// canonical spec hash plus engine version, and the REST surface that
+// exposes both (http.go).
+//
+// Execution goes through internal/result — the same path the ehsim CLI
+// prints from — so a job's result body is byte-identical to
+// `ehsim -scenario` output for the same spec.
+package service
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/result"
+	"repro/internal/scenario"
+	"repro/internal/sweep"
+)
+
+// Submission errors the HTTP layer maps onto status codes.
+var (
+	// ErrQueueFull signals backpressure: the bounded queue is at capacity
+	// (429 + Retry-After).
+	ErrQueueFull = errors.New("service: job queue full")
+	// ErrDraining signals shutdown: the server no longer accepts jobs (503).
+	ErrDraining = errors.New("service: draining, not accepting jobs")
+)
+
+// Config tunes a Server. Zero values select the documented defaults.
+type Config struct {
+	// QueueDepth bounds the number of jobs waiting to run; submissions
+	// beyond it are rejected with ErrQueueFull. Default 64.
+	QueueDepth int
+
+	// JobWorkers is the number of jobs executed concurrently once Start
+	// runs. Default 2.
+	JobWorkers int
+
+	// SweepWorkers is the per-job sweep parallelism (0 = one per core).
+	SweepWorkers int
+
+	// CacheEntries bounds the completed reports the result cache
+	// retains; beyond it the oldest-completed entry is evicted. Default
+	// 256. In-flight computations are never evicted.
+	CacheEntries int
+
+	// JobHistory bounds the finished job records (done/failed/canceled)
+	// retained for polling; beyond it the oldest finished records are
+	// pruned and their ids return 404. Queued and running jobs are never
+	// pruned. Default 256 — finished records can pin a report with a
+	// trace, so the bound is also a memory bound.
+	JobHistory int
+
+	// RetryAfter is the backoff hint returned with backpressure
+	// responses. Default 1s.
+	RetryAfter time.Duration
+}
+
+func (c Config) queueDepth() int {
+	if c.QueueDepth <= 0 {
+		return 64
+	}
+	return c.QueueDepth
+}
+
+func (c Config) jobWorkers() int {
+	if c.JobWorkers <= 0 {
+		return 2
+	}
+	return c.JobWorkers
+}
+
+func (c Config) cacheEntries() int {
+	if c.CacheEntries <= 0 {
+		return 256
+	}
+	return c.CacheEntries
+}
+
+func (c Config) jobHistory() int {
+	if c.JobHistory <= 0 {
+		return 256
+	}
+	return c.JobHistory
+}
+
+func (c Config) retryAfter() time.Duration {
+	if c.RetryAfter <= 0 {
+		return time.Second
+	}
+	return c.RetryAfter
+}
+
+// JobState is a job's lifecycle phase.
+type JobState string
+
+const (
+	JobQueued   JobState = "queued"
+	JobRunning  JobState = "running"
+	JobDone     JobState = "done"
+	JobFailed   JobState = "failed"
+	JobCanceled JobState = "canceled"
+)
+
+// job is the server-side record. All fields are guarded by Server.mu
+// except cancel (closed at most once, guarded by the canceled flag under
+// mu) and the immutable identity fields.
+type job struct {
+	id   string
+	spec *scenario.Spec
+	hash string // spec content address
+	key  string // cache key: hash + engine version
+
+	state    JobState
+	cached   bool // served by the cache (hit or single-flight dedup)
+	lead     bool // owns the cache computation for key
+	done     int  // progress: cases finished
+	total    int  // progress: cases overall (0 until known)
+	report   *result.Report
+	errText  string
+	cancel   chan struct{}
+	canceled bool // cancel closed
+}
+
+// JobStatus is the JSON-facing snapshot of one job.
+type JobStatus struct {
+	ID     string   `json:"id"`
+	State  JobState `json:"state"`
+	Spec   string   `json:"spec"`
+	Hash   string   `json:"hash"`
+	Sweep  bool     `json:"sweep"`
+	Cached bool     `json:"cached"`
+	Done   int      `json:"done"`
+	Total  int      `json:"total"`
+	Error  string   `json:"error,omitempty"`
+}
+
+func (j *job) status() JobStatus {
+	return JobStatus{
+		ID:     j.id,
+		State:  j.state,
+		Spec:   j.spec.Name,
+		Hash:   j.hash,
+		Sweep:  j.spec.HasSweep(),
+		Cached: j.cached,
+		Done:   j.done,
+		Total:  j.total,
+		Error:  j.errText,
+	}
+}
+
+// Metrics is a point-in-time snapshot of the server's counters.
+type Metrics struct {
+	JobsQueued    int     // leader jobs holding queue slots
+	JobsWaiting   int     // single-flight followers riding an in-flight computation
+	JobsRunning   int     // jobs currently executing
+	JobsDone      int64   // jobs completed successfully (cache hits included)
+	JobsFailed    int64   // jobs that errored
+	JobsCanceled  int64   // jobs canceled before completing
+	CacheHits     int64   // submissions served by the cache (incl. dedup waits)
+	CacheMisses   int64   // submissions that had to compute
+	CacheEntries  int     // resident cache entries
+	SimSeconds    float64 // total simulated seconds actually computed
+	QueueDepth    int     // configured bound
+	QueueCapacity int     // free queue slots
+}
+
+// HitRatio returns hits/(hits+misses), or 0 before any submission.
+func (m Metrics) HitRatio() float64 {
+	total := m.CacheHits + m.CacheMisses
+	if total == 0 {
+		return 0
+	}
+	return float64(m.CacheHits) / float64(total)
+}
+
+// Server is the daemon core: job registry, bounded queue, worker pool,
+// and result cache. Construct with New, launch the workers with Start,
+// stop with Drain.
+type Server struct {
+	cfg   Config
+	cache *Cache
+
+	mu       sync.Mutex
+	cond     *sync.Cond // wakes workers; tied to mu
+	jobs     map[string]*job
+	order    []string // submission order, for listing
+	nextID   int
+	pending  []*job // FIFO of leader jobs awaiting a worker
+	draining bool
+
+	jobsDone     int64
+	jobsFailed   int64
+	jobsCanceled int64
+	cacheHits    int64
+	cacheMisses  int64
+	simSeconds   float64
+
+	started  bool
+	workerWG sync.WaitGroup // queue workers
+	followWG sync.WaitGroup // single-flight followers
+}
+
+// New builds a Server. No goroutines run until Start.
+func New(cfg Config) *Server {
+	s := &Server{
+		cfg:   cfg,
+		cache: NewCache(cfg.cacheEntries()),
+		jobs:  make(map[string]*job),
+	}
+	s.cond = sync.NewCond(&s.mu)
+	return s
+}
+
+// Start launches the worker pool. It is idempotent.
+func (s *Server) Start() *Server {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.started {
+		return s
+	}
+	s.started = true
+	for i := 0; i < s.cfg.jobWorkers(); i++ {
+		s.workerWG.Add(1)
+		go s.worker()
+	}
+	return s
+}
+
+// Drain gracefully shuts the job subsystem down: new submissions are
+// rejected with ErrDraining, already-accepted jobs (queued and running)
+// run to completion, and Drain returns once every worker and follower
+// has exited.
+func (s *Server) Drain() {
+	s.mu.Lock()
+	if !s.draining {
+		s.draining = true
+		s.cond.Broadcast()
+	}
+	s.mu.Unlock()
+	s.workerWG.Wait()
+	s.followWG.Wait()
+}
+
+// RetryAfter is the backoff hint for backpressure responses.
+func (s *Server) RetryAfter() time.Duration { return s.cfg.retryAfter() }
+
+// Submit parses, validates, and accepts one scenario spec. The returned
+// status is the job's initial state: "done" immediately on a cache hit,
+// "queued" otherwise. Submission errors: spec errors (reject with 400),
+// ErrQueueFull (429), ErrDraining (503).
+func (s *Server) Submit(specJSON []byte) (JobStatus, error) {
+	sp, err := scenario.Parse(specJSON)
+	if err != nil {
+		return JobStatus{}, err
+	}
+	hash, err := sp.Hash()
+	if err != nil {
+		return JobStatus{}, err
+	}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.draining {
+		return JobStatus{}, ErrDraining
+	}
+	// scenario.Validate bounds the sweep (MaxSweepPoints, MaxGridCases),
+	// so the expansion size here is small and safe to compute.
+	total := 1
+	if sp.HasSweep() {
+		total = sp.Grid().Size()
+	}
+	s.nextID++
+	j := &job{
+		id:     fmt.Sprintf("job-%06d", s.nextID),
+		spec:   sp,
+		hash:   hash,
+		key:    hash + "|engine=" + result.EngineVersion,
+		state:  JobQueued,
+		total:  total,
+		cancel: make(chan struct{}),
+	}
+
+	// All cache.Begin calls happen under s.mu, so a Lead claim aborted
+	// before this function returns can have no waiters yet.
+	entry, claim := s.cache.Begin(j.key)
+	switch claim {
+	case Done:
+		s.cacheHits++
+		s.jobsDone++
+		j.cached = true
+		j.state = JobDone
+		j.report = entry.Report
+		j.done, j.total = len(entry.Report.Cases), len(entry.Report.Cases)
+	case Wait:
+		// Followers ride the in-flight computation instead of the queue,
+		// so an identical spec is accepted even when the queue is full —
+		// but a retry storm must not grow follower goroutines without
+		// limit, so they get their own bound, independent of how
+		// saturated the queue and workers are.
+		if s.followersLocked() >= s.cfg.queueDepth() {
+			return JobStatus{}, ErrQueueFull
+		}
+		// cacheHits is counted in follow() once the ride succeeds — a
+		// canceled or failed leader must not register phantom hits.
+		j.cached = true
+		s.followWG.Add(1)
+		go s.follow(j, entry)
+	case Lead:
+		j.lead = true
+		if len(s.pending) >= s.cfg.queueDepth() {
+			s.cache.Abort(j.key, ErrQueueFull)
+			return JobStatus{}, ErrQueueFull
+		}
+		s.pending = append(s.pending, j)
+		s.cacheMisses++
+		s.cond.Signal()
+	}
+	s.jobs[j.id] = j
+	s.order = append(s.order, j.id)
+	s.pruneJobsLocked()
+	return j.status(), nil
+}
+
+// followersLocked counts single-flight followers: non-leader jobs still
+// waiting on their leader's computation. (A leader popped from pending
+// but not yet marked running is lead, so it never miscounts here.)
+// Callers hold s.mu.
+func (s *Server) followersLocked() int {
+	n := 0
+	for _, j := range s.jobs {
+		if !j.lead && j.state == JobQueued {
+			n++
+		}
+	}
+	return n
+}
+
+// pruneJobsLocked drops the oldest finished job records once the
+// registry exceeds the configured history bound. Queued and running
+// jobs (and single-flight waiters, which stay queued) are never pruned,
+// and neither is the newest record — Submit calls this right after
+// registering a job that may already be finished (cache hit), and the
+// id it is about to return must stay pollable. Callers hold s.mu.
+func (s *Server) pruneJobsLocked() {
+	excess := len(s.order) - s.cfg.jobHistory()
+	if excess <= 0 {
+		return
+	}
+	last := len(s.order) - 1
+	keep := s.order[:0]
+	for i, id := range s.order {
+		j := s.jobs[id]
+		if excess > 0 && i != last &&
+			(j.state == JobDone || j.state == JobFailed || j.state == JobCanceled) {
+			delete(s.jobs, id)
+			excess--
+			continue
+		}
+		keep = append(keep, id)
+	}
+	s.order = keep
+}
+
+// follow resolves a deduplicated job once its leader's computation
+// finishes (or its own cancellation arrives first).
+func (s *Server) follow(j *job, e *Entry) {
+	defer s.followWG.Done()
+	select {
+	case <-e.Done:
+	case <-j.cancel:
+		// Cancel already moved the state under s.mu; the job stays
+		// canceled even if the entry completes a moment later.
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if j.state != JobQueued {
+		return // canceled while waiting
+	}
+	switch {
+	case e.Err == nil:
+		j.state = JobDone
+		j.report = e.Report
+		j.done, j.total = len(e.Report.Cases), len(e.Report.Cases)
+		s.jobsDone++
+		s.cacheHits++
+	case errors.Is(e.Err, sweep.ErrCanceled):
+		j.state = JobCanceled
+		j.errText = "deduplicated onto a job that was canceled; resubmit to recompute"
+		s.jobsCanceled++
+	default:
+		j.state = JobFailed
+		j.errText = e.Err.Error()
+		s.jobsFailed++
+	}
+}
+
+// worker pops pending jobs until the queue is empty and Drain has been
+// requested.
+func (s *Server) worker() {
+	defer s.workerWG.Done()
+	for {
+		s.mu.Lock()
+		for len(s.pending) == 0 && !s.draining {
+			s.cond.Wait()
+		}
+		if len(s.pending) == 0 {
+			s.mu.Unlock() // draining, nothing left
+			return
+		}
+		j := s.pending[0]
+		s.pending = s.pending[1:]
+		s.mu.Unlock()
+		s.runJob(j)
+	}
+}
+
+// runJob executes one leader job and publishes its outcome to the job
+// record and the cache.
+func (s *Server) runJob(j *job) {
+	s.mu.Lock()
+	if j.state != JobQueued {
+		s.mu.Unlock() // canceled while queued; cache entry already aborted
+		return
+	}
+	j.state = JobRunning
+	s.mu.Unlock()
+
+	rep, err := result.RunSpec(j.spec, result.Options{
+		Workers:       s.cfg.SweepWorkers,
+		Trace:         !j.spec.HasSweep(),
+		TraceInterval: traceInterval(float64(j.spec.Duration)),
+		Cancel:        j.cancel,
+		Progress: func(done, total int) {
+			s.mu.Lock()
+			j.done, j.total = done, total
+			s.mu.Unlock()
+		},
+	})
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	switch {
+	case errors.Is(err, sweep.ErrCanceled):
+		j.state = JobCanceled
+		s.jobsCanceled++
+		s.cache.Abort(j.key, err)
+	case err != nil:
+		j.state = JobFailed
+		j.errText = err.Error()
+		s.jobsFailed++
+		s.cache.Abort(j.key, err)
+	default:
+		j.state = JobDone
+		j.report = rep
+		j.done, j.total = len(rep.Cases), len(rep.Cases)
+		s.jobsDone++
+		s.simSeconds += rep.SimSeconds
+		s.cache.Complete(j.key, rep)
+	}
+}
+
+// maxTraceSamples bounds a captured trace's length: the daemon records
+// every single-run job's V_CC trace (so /trace is always servable and
+// cache entries stay self-contained), and long simulated durations must
+// not translate into unbounded trace memory. 20k samples ≈ sub-MB of
+// CSV per job, so the worst case across the cache and job-history
+// bounds stays in the low hundreds of MB.
+const maxTraceSamples = 20_000
+
+// traceInterval picks the trace sampling interval for a run of the
+// given simulated duration: the CLI-matching default, stretched so the
+// trace never exceeds maxTraceSamples points per series.
+func traceInterval(duration float64) float64 {
+	iv := result.TraceInterval
+	if duration/iv > maxTraceSamples {
+		iv = duration / maxTraceSamples
+	}
+	return iv
+}
+
+// Job returns a job's status snapshot.
+func (s *Server) Job(id string) (JobStatus, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok {
+		return JobStatus{}, false
+	}
+	return j.status(), true
+}
+
+// Jobs lists every job's status in submission order.
+func (s *Server) Jobs() []JobStatus {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]JobStatus, len(s.order))
+	for i, id := range s.order {
+		out[i] = s.jobs[id].status()
+	}
+	return out
+}
+
+// Result returns a job's report alongside its status. The report is
+// non-nil only in state "done".
+func (s *Server) Result(id string) (*result.Report, JobStatus, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok {
+		return nil, JobStatus{}, false
+	}
+	return j.report, j.status(), true
+}
+
+// Cancel requests a job's cancellation. Queued jobs cancel immediately;
+// running jobs stop promptly — no new sweep case starts and the case
+// currently stepping aborts at its next step boundary (lab.Setup.Abort).
+// A run that has already finished its last case may still complete as
+// "done". Finished jobs are unaffected.
+func (s *Server) Cancel(id string) (JobStatus, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok {
+		return JobStatus{}, false
+	}
+	switch j.state {
+	case JobQueued:
+		j.state = JobCanceled
+		s.jobsCanceled++
+		s.removePendingLocked(j) // free the queue slot immediately
+		if j.lead {
+			// Release any single-flight waiters and free the key so a
+			// resubmission recomputes.
+			s.cache.Abort(j.key, sweep.ErrCanceled)
+		}
+		s.closeCancelLocked(j)
+	case JobRunning:
+		s.closeCancelLocked(j) // state flips when the worker observes it
+	}
+	return j.status(), true
+}
+
+// removePendingLocked removes j from the pending queue, if present —
+// canceled jobs must not hold queue slots (a job already popped by a
+// worker is simply absent; runJob's state check skips it). Callers hold
+// s.mu.
+func (s *Server) removePendingLocked(j *job) {
+	for i, p := range s.pending {
+		if p == j {
+			s.pending = append(s.pending[:i], s.pending[i+1:]...)
+			return
+		}
+	}
+}
+
+// closeCancelLocked closes j.cancel exactly once. Callers hold s.mu.
+func (s *Server) closeCancelLocked(j *job) {
+	if !j.canceled {
+		j.canceled = true
+		close(j.cancel)
+	}
+}
+
+// Metrics snapshots the server counters.
+func (s *Server) Metrics() Metrics {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	m := Metrics{
+		JobsDone:      s.jobsDone,
+		JobsFailed:    s.jobsFailed,
+		JobsCanceled:  s.jobsCanceled,
+		CacheHits:     s.cacheHits,
+		CacheMisses:   s.cacheMisses,
+		CacheEntries:  s.cache.Len(),
+		SimSeconds:    s.simSeconds,
+		QueueDepth:    s.cfg.queueDepth(),
+		QueueCapacity: s.cfg.queueDepth() - len(s.pending),
+	}
+	for _, j := range s.jobs {
+		if j.state == JobRunning {
+			m.JobsRunning++
+		}
+	}
+	// Only leaders occupy queue slots; followers are reported
+	// separately so the queue gauges stay mutually consistent.
+	m.JobsQueued = len(s.pending)
+	m.JobsWaiting = s.followersLocked()
+	return m
+}

@@ -1,0 +1,85 @@
+package sweep
+
+import (
+	"errors"
+	"sync/atomic"
+	"testing"
+)
+
+func TestCancelStopsClaimingNewCases(t *testing.T) {
+	cancel := make(chan struct{})
+	var ran atomic.Int32
+	r := &Runner{Workers: 2, Cancel: cancel}
+	res, err := Map(r, 100, func(c Case) (int, error) {
+		if ran.Add(1) == 1 {
+			close(cancel) // cancel from inside the first finishing case
+		}
+		return c.Index, nil
+	})
+	if !errors.Is(err, ErrCanceled) {
+		t.Fatalf("err = %v, want ErrCanceled", err)
+	}
+	if res != nil {
+		t.Errorf("canceled sweep returned results")
+	}
+	// In-flight cases finish (≤ Workers of them), but no new claims start
+	// once the channel is closed.
+	if n := ran.Load(); n < 1 || n > 10 {
+		t.Errorf("ran %d cases after cancel, want a small handful", n)
+	}
+}
+
+func TestCancelBeforeStartRunsNothing(t *testing.T) {
+	cancel := make(chan struct{})
+	close(cancel)
+	var ran atomic.Int32
+	_, err := Map(&Runner{Cancel: cancel}, 8, func(c Case) (int, error) {
+		ran.Add(1)
+		return 0, nil
+	})
+	if !errors.Is(err, ErrCanceled) {
+		t.Fatalf("err = %v, want ErrCanceled", err)
+	}
+	if ran.Load() != 0 {
+		t.Errorf("%d cases ran under a pre-closed cancel", ran.Load())
+	}
+}
+
+func TestCancelAfterAllClaimedIsTooLate(t *testing.T) {
+	cancel := make(chan struct{})
+	r := &Runner{Workers: 1, Cancel: cancel}
+	res, err := Map(r, 3, func(c Case) (int, error) {
+		if c.Index == 2 {
+			close(cancel) // the last case is already claimed
+		}
+		return c.Index + 1, nil
+	})
+	if err != nil {
+		t.Fatalf("cancel after the final claim should not abort: %v", err)
+	}
+	if len(res) != 3 || res[2] != 3 {
+		t.Errorf("results = %v", res)
+	}
+}
+
+func TestCaseErrorWinsOverCancel(t *testing.T) {
+	cancel := make(chan struct{})
+	r := &Runner{Workers: 1, Cancel: cancel}
+	boom := errors.New("boom")
+	_, err := Map(r, 5, func(c Case) (int, error) {
+		close(cancel)
+		return 0, boom
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want the case error", err)
+	}
+}
+
+func TestNilCancelIsInert(t *testing.T) {
+	res, err := Map(&Runner{Workers: 4}, 16, func(c Case) (int, error) {
+		return c.Index, nil
+	})
+	if err != nil || len(res) != 16 {
+		t.Fatalf("res=%v err=%v", res, err)
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"math"
 	"testing"
 
+	"repro/internal/bench/benchtest"
 	"repro/internal/circuit"
 	"repro/internal/core"
 	"repro/internal/eneutral"
@@ -240,19 +241,6 @@ func BenchmarkPeripheralGap(b *testing.B) {
 // Ablation benches (DESIGN.md §4)
 // ---------------------------------------------------------------------------
 
-// intermittent is the shared ablation testbed.
-func intermittent(mk func(d *mcu.Device) mcu.Runtime, c float64) lab.Setup {
-	return lab.Setup{
-		Workload:    programs.Sieve(3000, programs.DefaultLayout()),
-		Params:      mcu.DefaultParams(),
-		MakeRuntime: mk,
-		VSource:     &source.SquareWaveVoltage{High: 3.3, OnTime: 0.004, OffTime: 0.150, Rs: 100},
-		C:           c,
-		LeakR:       50e3,
-		Duration:    3.0,
-	}
-}
-
 // BenchmarkAblationHibernusMargin compares eq. (4) guard margins: the
 // tighter the margin, the more active time per dip — until saves start
 // aborting.
@@ -261,7 +249,7 @@ func BenchmarkAblationHibernusMargin(b *testing.B) {
 		b.Run(marginName(m), func(b *testing.B) {
 			var done, aborted int
 			for i := 0; i < b.N; i++ {
-				res := lab.MustRun(intermittent(func(d *mcu.Device) mcu.Runtime {
+				res := lab.MustRun(benchtest.Intermittent(func(d *mcu.Device) mcu.Runtime {
 					return transient.NewHibernus(d, 10e-6, m, 0.35)
 				}, 10e-6))
 				done, aborted = res.Completions, res.Stats.SavesAborted
@@ -293,7 +281,7 @@ func BenchmarkAblationMementosThreshold(b *testing.B) {
 		b.Run(tag.name, func(b *testing.B) {
 			var saves, done int
 			for i := 0; i < b.N; i++ {
-				res := lab.MustRun(intermittent(func(d *mcu.Device) mcu.Runtime {
+				res := lab.MustRun(benchtest.Intermittent(func(d *mcu.Device) mcu.Runtime {
 					return transient.NewMementos(d, tag.v)
 				}, 10e-6))
 				saves, done = res.Stats.SavesStarted, res.Completions
@@ -354,7 +342,7 @@ func BenchmarkAblationStorageSweep(b *testing.B) {
 		b.Run(tag.name, func(b *testing.B) {
 			var done, brownouts int
 			for i := 0; i < b.N; i++ {
-				res := lab.MustRun(intermittent(func(d *mcu.Device) mcu.Runtime {
+				res := lab.MustRun(benchtest.Intermittent(func(d *mcu.Device) mcu.Runtime {
 					return transient.NewHibernus(d, tag.c, 1.1, 0.35)
 				}, tag.c))
 				done, brownouts = res.Completions, res.Stats.BrownOuts
@@ -407,7 +395,7 @@ func BenchmarkFastForward(b *testing.B) {
 		b.Run(tag.name, func(b *testing.B) {
 			var done int
 			for i := 0; i < b.N; i++ {
-				s := intermittent(func(d *mcu.Device) mcu.Runtime {
+				s := benchtest.Intermittent(func(d *mcu.Device) mcu.Runtime {
 					return transient.NewHibernus(d, 10e-6, 1.1, 0.35)
 				}, 10e-6)
 				s.FastForward = tag.ff
@@ -426,7 +414,7 @@ func BenchmarkSweepStorageAxis(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		res, err := sweep.Labs(nil, len(caps), func(c sweep.Case) lab.Setup {
 			cap := caps[c.Index]
-			return intermittent(func(d *mcu.Device) mcu.Runtime {
+			return benchtest.Intermittent(func(d *mcu.Device) mcu.Runtime {
 				return transient.NewHibernus(d, cap, 1.1, 0.35)
 			}, cap)
 		})
@@ -446,13 +434,13 @@ func BenchmarkSweepStorageAxis(b *testing.B) {
 // BenchmarkCoreInterpreter measures raw guest execution speed.
 func BenchmarkCoreInterpreter(b *testing.B) {
 	w := programs.FFT(64, programs.DefaultLayout())
-	prog := mustAsm(b, w)
-	ram := newFlatRAM(prog)
+	prog := benchtest.MustAsm(b, w)
+	ram := benchtest.NewFlatRAM(prog)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		c := newCore(ram, prog.Entry)
+		c := benchtest.NewCore(ram, prog.Entry)
 		done := false
-		c.Sys = sysStop(&done)
+		c.Sys = benchtest.SysStop(&done)
 		for !done {
 			if _, err := c.Step(); err != nil {
 				b.Fatal(err)
@@ -476,7 +464,7 @@ func BenchmarkRailStep(b *testing.B) {
 // BenchmarkSnapshotSaveRestore measures a full snapshot round trip.
 func BenchmarkSnapshotSaveRestore(b *testing.B) {
 	w := programs.FFT(64, programs.DefaultLayout())
-	prog := mustAsm(b, w)
+	prog := benchtest.MustAsm(b, w)
 	d := mcu.New(mcu.DefaultParams(), prog)
 	// Power it on.
 	for d.Mode() != mcu.ModeActive {

@@ -1,0 +1,93 @@
+// Command ehsim-bench runs the fixed benchmark suite — every curated
+// spec under examples/scenarios at 1 and 8 workers — and writes a
+// machine-readable BENCH_<rev>.json with ns per simulated second, steps
+// per second, and allocation counts per cell.
+//
+// With -baseline it additionally compares the fresh measurement against
+// a committed BENCH_*.json and exits non-zero when any cell regressed
+// beyond -tolerance. Cross-machine comparisons are indicative only; use
+// a generous tolerance in CI and exact before/after pairs (same host)
+// when quoting speedups. See docs/BENCHMARKS.md.
+//
+// Usage:
+//
+//	ehsim-bench -rev $(git rev-parse --short HEAD)
+//	ehsim-bench -out BENCH_pr.json -baseline BENCH_baseline.json -tolerance 1.0
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/bench"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is the testable entry point.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("ehsim-bench", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	rev := fs.String("rev", "dev", "revision label recorded in the output")
+	out := fs.String("out", "", "output path (default BENCH_<rev>.json)")
+	dir := fs.String("scenarios", "examples/scenarios", "directory of scenario specs to measure")
+	runs := fs.Int("runs", 3, "repetitions per cell (best run is reported)")
+	baseline := fs.String("baseline", "", "BENCH_*.json to compare against")
+	tolerance := fs.Float64("tolerance", 0.5, "allowed ns/sim-second growth vs baseline (0.5 = 50%)")
+	quiet := fs.Bool("q", false, "suppress per-cell progress")
+	if err := fs.Parse(args); err != nil {
+		if err == flag.ErrHelp {
+			return 0
+		}
+		return 2
+	}
+
+	progress := func(cell string) {
+		if !*quiet {
+			fmt.Fprintf(stderr, "bench: %s\n", cell)
+		}
+	}
+	results, err := bench.Suite(*dir, *runs, progress)
+	if err != nil {
+		fmt.Fprintf(stderr, "ehsim-bench: %v\n", err)
+		return 1
+	}
+	f := bench.NewFile(*rev, results)
+
+	path := *out
+	if path == "" {
+		path = fmt.Sprintf("BENCH_%s.json", *rev)
+	}
+	if err := f.Write(path); err != nil {
+		fmt.Fprintf(stderr, "ehsim-bench: %v\n", err)
+		return 1
+	}
+	fmt.Fprintf(stdout, "wrote %s\n", path)
+	for _, r := range results {
+		fmt.Fprintf(stdout, "  %-32s workers=%d  %12.0f ns/sim-s  %11.0f steps/s  %8d allocs\n",
+			r.Name, r.Workers, r.NsPerSimSecond, r.StepsPerSecond, r.AllocsPerRun)
+	}
+
+	if *baseline != "" {
+		base, err := bench.LoadFile(*baseline)
+		if err != nil {
+			fmt.Fprintf(stderr, "ehsim-bench: %v\n", err)
+			return 1
+		}
+		regs := bench.Compare(base, f, *tolerance)
+		if len(regs) > 0 {
+			fmt.Fprintf(stderr, "ehsim-bench: %d cell(s) regressed beyond %.0f%% vs %s:\n",
+				len(regs), *tolerance*100, *baseline)
+			for _, r := range regs {
+				fmt.Fprintf(stderr, "  %s\n", r)
+			}
+			return 1
+		}
+		fmt.Fprintf(stdout, "no regressions vs %s (tolerance %.0f%%)\n", *baseline, *tolerance*100)
+	}
+	return 0
+}

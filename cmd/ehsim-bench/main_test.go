@@ -1,0 +1,92 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/bench"
+)
+
+const tinySpec = `{
+	"name": "cli-bench-tiny",
+	"workload": "fib24",
+	"storage": {"c": "10u"},
+	"source": {"name": "dc"},
+	"duration": 0.002
+}`
+
+func writeTiny(t *testing.T) string {
+	t.Helper()
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "tiny.json"), []byte(tinySpec), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return dir
+}
+
+func TestRunWritesBenchFile(t *testing.T) {
+	dir := writeTiny(t)
+	out := filepath.Join(t.TempDir(), "BENCH_x.json")
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-scenarios", dir, "-runs", "1", "-out", out, "-q"}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, stderr.String())
+	}
+	f, err := bench.LoadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Results) != 2 || f.Results[0].Name != "cli-bench-tiny" {
+		t.Fatalf("unexpected results: %+v", f.Results)
+	}
+	if !strings.Contains(stdout.String(), "cli-bench-tiny") {
+		t.Errorf("summary missing cell: %s", stdout.String())
+	}
+}
+
+func TestRunBaselineGate(t *testing.T) {
+	dir := writeTiny(t)
+	tmp := t.TempDir()
+	first := filepath.Join(tmp, "base.json")
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-scenarios", dir, "-runs", "1", "-out", first, "-q"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("baseline run exit %d: %s", code, stderr.String())
+	}
+
+	// Comparing against itself with any tolerance passes.
+	stdout.Reset()
+	stderr.Reset()
+	second := filepath.Join(tmp, "second.json")
+	if code := run([]string{"-scenarios", dir, "-runs", "1", "-out", second, "-q",
+		"-baseline", first, "-tolerance", "10"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("self-compare exit %d: %s", code, stderr.String())
+	}
+	if !strings.Contains(stdout.String(), "no regressions") {
+		t.Errorf("missing pass notice: %s", stdout.String())
+	}
+
+	// A doctored too-fast baseline must trip the gate.
+	base, err := bench.LoadFile(first)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range base.Results {
+		base.Results[i].NsPerSimSecond /= 1e6
+	}
+	fast := filepath.Join(tmp, "fast.json")
+	if err := base.Write(fast); err != nil {
+		t.Fatal(err)
+	}
+	stdout.Reset()
+	stderr.Reset()
+	if code := run([]string{"-scenarios", dir, "-runs", "1", "-out", second, "-q",
+		"-baseline", fast, "-tolerance", "0.5"}, &stdout, &stderr); code != 1 {
+		t.Fatalf("regression gate did not trip: exit %d, stderr: %s", code, stderr.String())
+	}
+	if !strings.Contains(stderr.String(), "regressed") {
+		t.Errorf("missing regression report: %s", stderr.String())
+	}
+}

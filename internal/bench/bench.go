@@ -1,0 +1,215 @@
+// Package bench is the repository's performance-measurement subsystem:
+// a fixed, machine-readable benchmark suite over the curated scenario
+// specs, plus the shared testbed helpers the root-level ad-hoc benchmarks
+// (bench_test.go) drive through the same lab path.
+//
+// The suite exists to make hot-path work regression-proof: every run
+// emits a BENCH_<rev>.json with ns per simulated second, steps per
+// second, and allocation counts for each (spec, workers) cell, and
+// Compare checks a fresh measurement against a committed baseline with a
+// tolerance wide enough to absorb machine noise but not a real
+// regression. cmd/ehsim-bench is the CLI front-end; CI runs it on every
+// change and uploads the JSON as an artifact (see docs/BENCHMARKS.md).
+//
+// Performance numbers are only meaningful alongside correctness, so the
+// suite measures exactly the path the golden-output conformance corpus
+// pins (internal/result.RunSpec): if an optimization changes output, the
+// goldens fail; if it changes speed, this suite shows it.
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"time"
+
+	"repro/internal/result"
+	"repro/internal/scenario"
+)
+
+// Result is one measured (spec, workers) cell of the suite.
+type Result struct {
+	Name    string `json:"name"`    // scenario name
+	Workers int    `json:"workers"` // sweep parallelism the cell ran at
+	Runs    int    `json:"runs"`    // measurement repetitions (best-of)
+
+	SimSeconds float64 `json:"sim_seconds"` // simulated seconds per run, all cases
+	Steps      int64   `json:"steps"`       // Dt-steps per run, all cases
+
+	NsPerRun       int64   `json:"ns_per_run"`        // best wall time of one run
+	NsPerSimSecond float64 `json:"ns_per_sim_second"` // NsPerRun / SimSeconds
+	StepsPerSecond float64 `json:"steps_per_second"`  // Steps / best wall time
+
+	AllocsPerRun uint64 `json:"allocs_per_run"` // heap objects, best run
+	BytesPerRun  uint64 `json:"bytes_per_run"`  // heap bytes, best run
+}
+
+// File is the on-disk BENCH_<rev>.json document.
+type File struct {
+	Rev       string   `json:"rev"`        // revision label the numbers describe
+	GoVersion string   `json:"go_version"` //
+	GOOS      string   `json:"goos"`
+	GOARCH    string   `json:"goarch"`
+	CPUs      int      `json:"cpus"`
+	Timestamp string   `json:"timestamp"` // RFC 3339
+	Results   []Result `json:"results"`
+}
+
+// SuiteWorkers is the parallel cell's worker count: every spec is
+// measured single-core (workers=1) and at this fan-out.
+const SuiteWorkers = 8
+
+// Suite measures every *.json spec in dir at 1 and SuiteWorkers workers,
+// runs times each (reporting the best run, the standard way to strip
+// scheduler noise from a deterministic workload). Results are ordered by
+// spec name, then workers.
+func Suite(dir string, runs int, progress func(string)) ([]Result, error) {
+	paths, err := filepath.Glob(filepath.Join(dir, "*.json"))
+	if err != nil {
+		return nil, err
+	}
+	if len(paths) == 0 {
+		return nil, fmt.Errorf("bench: no scenario specs in %s", dir)
+	}
+	sort.Strings(paths)
+	var out []Result
+	for _, path := range paths {
+		sp, err := scenario.Load(path)
+		if err != nil {
+			return nil, err
+		}
+		for _, workers := range []int{1, SuiteWorkers} {
+			if progress != nil {
+				progress(fmt.Sprintf("%s workers=%d", sp.Name, workers))
+			}
+			r, err := MeasureSpec(sp, workers, runs)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, r)
+		}
+	}
+	return out, nil
+}
+
+// MeasureSpec times result.RunSpec on one spec at the given parallelism,
+// runs times, and reports the best run.
+func MeasureSpec(sp *scenario.Spec, workers, runs int) (Result, error) {
+	if runs < 1 {
+		runs = 1
+	}
+	r := Result{Name: sp.Name, Workers: workers, Runs: runs}
+	for i := 0; i < runs; i++ {
+		var before, after runtime.MemStats
+		runtime.ReadMemStats(&before)
+		start := time.Now()
+		rep, err := result.RunSpec(sp, result.Options{Workers: workers})
+		elapsed := time.Since(start)
+		runtime.ReadMemStats(&after)
+		if err != nil {
+			return Result{}, fmt.Errorf("bench: %s: %w", sp.Name, err)
+		}
+		if i == 0 || elapsed.Nanoseconds() < r.NsPerRun {
+			r.NsPerRun = elapsed.Nanoseconds()
+			r.AllocsPerRun = after.Mallocs - before.Mallocs
+			r.BytesPerRun = after.TotalAlloc - before.TotalAlloc
+			r.SimSeconds = rep.SimSeconds
+			r.Steps = 0
+			for _, c := range rep.Cases {
+				r.Steps += int64(c.Result.Steps)
+			}
+		}
+	}
+	if r.SimSeconds > 0 {
+		r.NsPerSimSecond = float64(r.NsPerRun) / r.SimSeconds
+	}
+	if r.NsPerRun > 0 {
+		r.StepsPerSecond = float64(r.Steps) / (float64(r.NsPerRun) / 1e9)
+	}
+	return r, nil
+}
+
+// NewFile wraps measured results with the environment header.
+func NewFile(rev string, results []Result) *File {
+	return &File{
+		Rev:       rev,
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		CPUs:      runtime.NumCPU(),
+		Timestamp: time.Now().UTC().Format(time.RFC3339),
+		Results:   results,
+	}
+}
+
+// Write serialises f as indented JSON at path.
+func (f *File) Write(path string) error {
+	b, err := json.MarshalIndent(f, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(b, '\n'), 0o644)
+}
+
+// LoadFile reads a BENCH_*.json document.
+func LoadFile(path string) (*File, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var f File
+	if err := json.Unmarshal(data, &f); err != nil {
+		return nil, fmt.Errorf("bench: %s: %w", path, err)
+	}
+	return &f, nil
+}
+
+// Regression is one suite cell that got slower than the baseline allows.
+type Regression struct {
+	Name    string
+	Workers int
+	// Base and Current are ns per simulated second.
+	Base, Current float64
+	Ratio         float64 // Current / Base
+}
+
+// String renders the regression for error output.
+func (r Regression) String() string {
+	return fmt.Sprintf("%s workers=%d: %.0f -> %.0f ns/sim-second (%.2fx)",
+		r.Name, r.Workers, r.Base, r.Current, r.Ratio)
+}
+
+// Compare checks current against base: any cell whose ns/sim-second grew
+// by more than tolerance (0.5 = 50% slower) is reported. Cells present
+// in only one file are ignored — the suite's shape may grow across PRs.
+// Wall-clock comparisons across different machines are only indicative;
+// CI uses a generous tolerance for exactly that reason.
+func Compare(base, current *File, tolerance float64) []Regression {
+	type key struct {
+		name    string
+		workers int
+	}
+	baseBy := make(map[key]Result, len(base.Results))
+	for _, r := range base.Results {
+		baseBy[key{r.Name, r.Workers}] = r
+	}
+	var regs []Regression
+	for _, cur := range current.Results {
+		b, ok := baseBy[key{cur.Name, cur.Workers}]
+		if !ok || b.NsPerSimSecond <= 0 || cur.NsPerSimSecond <= 0 {
+			continue
+		}
+		ratio := cur.NsPerSimSecond / b.NsPerSimSecond
+		if ratio > 1+tolerance {
+			regs = append(regs, Regression{
+				Name: cur.Name, Workers: cur.Workers,
+				Base: b.NsPerSimSecond, Current: cur.NsPerSimSecond,
+				Ratio: ratio,
+			})
+		}
+	}
+	return regs
+}

@@ -1,0 +1,101 @@
+package bench
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// tinySpec is a millisecond-scale scenario so the suite machinery can be
+// exercised without meaningful wall time.
+const tinySpec = `{
+	"name": "bench-tiny",
+	"workload": "fib24",
+	"storage": {"c": "10u"},
+	"source": {"name": "dc"},
+	"duration": 0.002
+}`
+
+func tinySuiteDir(t *testing.T) string {
+	t.Helper()
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "tiny.json"), []byte(tinySpec), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return dir
+}
+
+func TestSuiteMeasuresEveryCell(t *testing.T) {
+	var cells []string
+	results, err := Suite(tinySuiteDir(t), 2, func(c string) { cells = append(cells, c) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 2 {
+		t.Fatalf("got %d results, want 2 (workers 1 and %d)", len(results), SuiteWorkers)
+	}
+	if len(cells) != 2 {
+		t.Fatalf("progress reported %d cells, want 2", len(cells))
+	}
+	for _, r := range results {
+		if r.Name != "bench-tiny" || r.Runs != 2 {
+			t.Errorf("unexpected cell identity: %+v", r)
+		}
+		if r.NsPerRun <= 0 || r.SimSeconds != 0.002 || r.Steps <= 0 {
+			t.Errorf("unmeasured cell: %+v", r)
+		}
+		if r.NsPerSimSecond <= 0 || r.StepsPerSecond <= 0 {
+			t.Errorf("derived rates missing: %+v", r)
+		}
+	}
+	if results[0].Workers != 1 || results[1].Workers != SuiteWorkers {
+		t.Errorf("worker cells out of order: %d, %d", results[0].Workers, results[1].Workers)
+	}
+}
+
+func TestSuiteErrorsOnEmptyDir(t *testing.T) {
+	if _, err := Suite(t.TempDir(), 1, nil); err == nil {
+		t.Fatal("expected an error for a directory without specs")
+	}
+}
+
+func TestFileRoundTrip(t *testing.T) {
+	f := NewFile("testrev", []Result{{Name: "x", Workers: 1, NsPerSimSecond: 42}})
+	path := filepath.Join(t.TempDir(), "BENCH_testrev.json")
+	if err := f.Write(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Rev != "testrev" || len(got.Results) != 1 || got.Results[0].NsPerSimSecond != 42 {
+		t.Fatalf("round trip lost data: %+v", got)
+	}
+	if got.GoVersion == "" || got.CPUs <= 0 || got.Timestamp == "" {
+		t.Fatalf("environment header missing: %+v", got)
+	}
+}
+
+func TestCompareFlagsOnlyRealRegressions(t *testing.T) {
+	base := &File{Results: []Result{
+		{Name: "a", Workers: 1, NsPerSimSecond: 100},
+		{Name: "b", Workers: 1, NsPerSimSecond: 100},
+		{Name: "gone", Workers: 1, NsPerSimSecond: 100},
+	}}
+	cur := &File{Results: []Result{
+		{Name: "a", Workers: 1, NsPerSimSecond: 120},  // +20%: inside tolerance
+		{Name: "b", Workers: 1, NsPerSimSecond: 200},  // +100%: regression
+		{Name: "new", Workers: 1, NsPerSimSecond: 99}, // no baseline: ignored
+	}}
+	regs := Compare(base, cur, 0.5)
+	if len(regs) != 1 || regs[0].Name != "b" {
+		t.Fatalf("got %v, want exactly cell b", regs)
+	}
+	if regs[0].Ratio != 2.0 {
+		t.Errorf("ratio %g, want 2.0", regs[0].Ratio)
+	}
+	if regs[0].String() == "" {
+		t.Error("empty regression rendering")
+	}
+}

@@ -1,0 +1,75 @@
+// Package benchtest holds the shared testbed helpers benchmarks build
+// their workloads with. They live beside internal/bench (one bench
+// layer, one timing/reporting path) but in their own package so the
+// testing dependency never links into production binaries like
+// cmd/ehsim-bench.
+package benchtest
+
+import (
+	"testing"
+
+	"repro/internal/isa"
+	"repro/internal/lab"
+	"repro/internal/mcu"
+	"repro/internal/programs"
+	"repro/internal/source"
+	"repro/internal/transient"
+)
+
+// MustAsm assembles a workload or fails the test/benchmark.
+func MustAsm(tb testing.TB, w *programs.Workload) *isa.Program {
+	tb.Helper()
+	p, err := isa.Assemble(w.Source)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return p
+}
+
+// NewFlatRAM loads a program into a fresh flat memory.
+func NewFlatRAM(p *isa.Program) *isa.FlatRAM {
+	ram := &isa.FlatRAM{}
+	p.LoadInto(ram)
+	return ram
+}
+
+// NewCore returns a core reset to the program entry with a stack.
+func NewCore(ram *isa.FlatRAM, entry uint16) *isa.Core {
+	c := &isa.Core{Bus: ram}
+	c.Reset(entry)
+	c.R[isa.SP] = 0xff00
+	return c
+}
+
+// SysStop returns a SYS handler that halts on workload completion.
+func SysStop(done *bool) func(code uint16, c *isa.Core) {
+	return func(code uint16, c *isa.Core) {
+		if code == programs.SysDone {
+			*done = true
+			c.Halted = true
+		}
+	}
+}
+
+// Intermittent is the shared ablation testbed: a sieve workload on the
+// standard square intermittent supply (4 ms on, 150 ms dark) with the
+// given runtime factory and storage capacitance.
+func Intermittent(mk func(d *mcu.Device) mcu.Runtime, c float64) lab.Setup {
+	return lab.Setup{
+		Workload:    programs.Sieve(3000, programs.DefaultLayout()),
+		Params:      mcu.DefaultParams(),
+		MakeRuntime: mk,
+		VSource:     &source.SquareWaveVoltage{High: 3.3, OnTime: 0.004, OffTime: 0.150, Rs: 100},
+		C:           c,
+		LeakR:       50e3,
+		Duration:    3.0,
+	}
+}
+
+// NewHibernus adapts transient.NewHibernus to the Intermittent testbed's
+// factory shape at the given margin.
+func NewHibernus(c, margin float64) func(d *mcu.Device) mcu.Runtime {
+	return func(d *mcu.Device) mcu.Runtime {
+		return transient.NewHibernus(d, c, margin, 0.35)
+	}
+}

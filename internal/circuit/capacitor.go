@@ -47,16 +47,20 @@ func (c *Capacitor) Step(iNet, dt float64) {
 	if c.LeakR > 0 {
 		iNet -= c.V / c.LeakR
 	}
-	before := c.V
 	c.V += iNet * dt / c.C
 	if c.V < 0 {
 		c.V = 0
 	}
 	if c.MaxV > 0 && c.V > c.MaxV {
-		c.ClampedJ += units.EnergyBetween(c.C, c.V, c.MaxV)
-		c.V = c.MaxV
+		c.clamp()
 	}
-	_ = before
+}
+
+// clamp sheds the energy above MaxV into the protection clamp — split
+// out of Step so the common (unclamped) step stays inlinable.
+func (c *Capacitor) clamp() {
+	c.ClampedJ += units.EnergyBetween(c.C, c.V, c.MaxV)
+	c.V = c.MaxV
 }
 
 // DrawEnergy removes e joules from the capacitor instantaneously (used for

@@ -109,6 +109,9 @@ func (c *Comparator) Above() bool { return c.state }
 // microseconds the local error is far below the threshold hysteresis the
 // runtimes use, which is what matters for event ordering fidelity.
 type Rail struct {
+	// VSource and PSource are resolved into devirtualized samplers on the
+	// first Step; set them before stepping begins, and call Rebind after
+	// swapping either on a rail that has already stepped.
 	VSource source.VoltageSource // either VSource or PSource (or both) may be set
 	PSource source.PowerSource
 	Cap     *Capacitor
@@ -129,6 +132,15 @@ type Rail struct {
 	LastLoadI   float64
 
 	now float64
+
+	// Bound source fast path (see bind): precomputed samplers and the
+	// clamped series resistance. SeriesResistance is constant by the
+	// VoltageSource contract, so hoisting it out of the per-step path
+	// cannot change results.
+	bound   bool
+	voltFn  func(float64) float64
+	powerFn func(float64) float64
+	rs      float64
 }
 
 // NewRail returns a rail over the given storage capacitor.
@@ -148,22 +160,46 @@ func (r *Rail) Now() float64 { return r.now }
 // V returns the present rail voltage.
 func (r *Rail) V() float64 { return r.Cap.V }
 
-// sourceCurrent computes the current the source pushes into the node at
-// rail voltage v and time t.
-func (r *Rail) sourceCurrent(v, t float64) float64 {
-	var i float64
+// bind resolves the per-step source fast path: devirtualized samplers
+// (source.VoltageFn/PowerFn) and the clamped series resistance. It runs
+// lazily on the first sourceCurrent, so the per-step cost of staying
+// bound is a single bool check; Rebind forces re-resolution after a
+// mid-run source swap.
+func (r *Rail) bind() {
+	r.bound = true
+	r.voltFn, r.powerFn = nil, nil
 	if r.VSource != nil {
-		vs := r.VSource.Voltage(t)
-		rs := r.VSource.SeriesResistance()
-		if rs <= 0 {
-			rs = 1e-3
-		}
-		if vs > v { // ideal series diode: no reverse current
-			i += (vs - v) / rs
+		r.voltFn = source.VoltageFn(r.VSource)
+		r.rs = r.VSource.SeriesResistance()
+		if r.rs <= 0 {
+			r.rs = 1e-3
 		}
 	}
 	if r.PSource != nil {
-		p := r.PSource.Power(t)
+		r.powerFn = source.PowerFn(r.PSource)
+	}
+}
+
+// Rebind discards the bound samplers so the next step re-resolves
+// VSource/PSource. Call it after swapping a source on a rail that has
+// already stepped.
+func (r *Rail) Rebind() { r.bound = false }
+
+// sourceCurrent computes the current the source pushes into the node at
+// rail voltage v and time t.
+func (r *Rail) sourceCurrent(v, t float64) float64 {
+	if !r.bound {
+		r.bind()
+	}
+	var i float64
+	if r.voltFn != nil {
+		vs := r.voltFn(t)
+		if vs > v { // ideal series diode: no reverse current
+			i += (vs - v) / r.rs
+		}
+	}
+	if r.powerFn != nil {
+		p := r.powerFn(t)
 		if p > 0 {
 			// Current-limited constant-power injection; at very low rail
 			// voltage the converter runs at its current limit.
@@ -186,8 +222,12 @@ func (r *Rail) Step(dt float64) float64 {
 	v := r.Cap.V
 	iSrc := r.sourceCurrent(v, t)
 	var iLoad float64
-	for _, l := range r.Loads {
-		iLoad += l.Current(v, t)
+	if len(r.Loads) == 1 { // the common shape: one MCU on the rail
+		iLoad = r.Loads[0].Current(v, t)
+	} else {
+		for _, l := range r.Loads {
+			iLoad += l.Current(v, t)
+		}
 	}
 	r.LastSourceI, r.LastLoadI = iSrc, iLoad
 	r.Cap.Step(iSrc-iLoad, dt)

@@ -15,6 +15,45 @@ type Bus interface {
 	AccessCycles(addr uint16, write bool) uint64
 }
 
+// FetchBus is an optional Bus extension for the interpreter's hot path:
+// one call returns the raw instruction bytes at addr together with the
+// wait-state cycles an instruction fetch from addr pays, replacing up to
+// four Read8 calls plus an AccessCycles call per executed instruction.
+//
+// Contract: raw[0] and raw[1] must equal Read8(addr) and Read8(addr+1);
+// raw[2] and raw[3] must equal Read8(addr+2) and Read8(addr+3) whenever
+// the opcode in raw[0] encodes a 4-byte instruction (they are don't-care
+// otherwise, so implementations with side-effecting regions can skip
+// them exactly like the byte-wise fetch would). wait must equal
+// AccessCycles(addr, false).
+type FetchBus interface {
+	Fetch(addr uint16) (raw [4]byte, wait uint64)
+}
+
+// FetchWindow describes a contiguous, side-effect-free memory region the
+// core may fetch instructions from by direct slice indexing — the zero-
+// dispatch tier above FetchBus.
+type FetchWindow struct {
+	// Mem is the live backing store for addresses [Base, Base+len(Mem)):
+	// writes through the bus to this region must be visible in it (i.e.
+	// it aliases the implementation's storage, not a copy).
+	Mem  []byte
+	Base uint16
+	// Wait, if non-nil, points at the live wait-state count for fetches
+	// from this region (nil means zero-wait). A pointer rather than a
+	// value so frequency-dependent wait states stay correct without
+	// re-probing the window.
+	Wait *uint64
+}
+
+// WindowBus is an optional Bus extension granting the core direct fetch
+// windows. FetchWindow returns the window containing addr, or ok=false
+// when addr has no window (MMIO, open bus) — the core then falls back to
+// FetchBus/Read8 for that fetch.
+type WindowBus interface {
+	FetchWindow(addr uint16) (w FetchWindow, ok bool)
+}
+
 // SP is the register index used as the stack pointer by PUSH/POP/CALL/RET.
 const SP = 15
 
@@ -42,6 +81,38 @@ type Core struct {
 	// Checkpoint, if non-nil, is invoked by the CHK instruction after the
 	// PC has advanced past it — the hook Mementos-style runtimes use.
 	Checkpoint func(c *Core)
+
+	// Decoded-instruction cache. Entries are validated against the raw
+	// bytes re-read on every fetch, so the cache needs no invalidation
+	// protocol: guest stores, snapshot restores, SRAM scrambling and any
+	// other memory writer are all handled by construction — a stale entry
+	// simply fails its byte comparison and is re-decoded.
+	icache   []icLine
+	knownBus Bus       // Bus value the fetch fast paths were resolved from
+	fetchBus FetchBus  // non-nil when knownBus implements FetchBus
+	winBus   WindowBus // non-nil when knownBus implements WindowBus
+
+	// Cached fetch window: fetches with win.Base <= PC and PC+3 inside
+	// win.Mem are served by direct slice indexing. Re-probed whenever PC
+	// leaves the window.
+	win   FetchWindow
+	winOK bool
+}
+
+// icBits sizes the direct-mapped decode cache: 8192 lines covers any
+// realistic guest program several times over (cross-line collisions are
+// caught by the Addr check and only cost a re-decode).
+const (
+	icBits = 13
+	icMask = 1<<icBits - 1
+)
+
+// icLine is one decode-cache entry: the decoded instruction plus the raw
+// bytes it was decoded from, for validation.
+type icLine struct {
+	raw  [4]byte
+	in   Instr
+	size uint8 // encoded length (2 or 4); 0 marks an empty line
 }
 
 // Reset returns the core to its power-on state (registers and flags
@@ -60,17 +131,75 @@ func (c *Core) setZN(v uint16) {
 	c.NF = v&0x8000 != 0
 }
 
-// fetch decodes the instruction at PC.
-func (c *Core) fetch() (Instr, error) {
-	var buf [4]byte
-	buf[0] = c.Bus.Read8(c.PC)
-	buf[1] = c.Bus.Read8(c.PC + 1)
-	op := Op(buf[0])
-	if Length(op) == 4 {
-		buf[2] = c.Bus.Read8(c.PC + 2)
-		buf[3] = c.Bus.Read8(c.PC + 3)
+// fetch returns the decoded instruction at PC and the fetch's wait-state
+// cycles. It serves most fetches from the decode cache: the raw bytes are
+// re-read every time (one FetchBus call when the bus supports it) and
+// compared against the cached line, so the returned instruction is always
+// exactly what a fresh decode of current memory would produce.
+func (c *Core) fetch() (Instr, uint64, error) {
+	pc := c.PC
+	if c.Bus != c.knownBus {
+		c.knownBus = c.Bus
+		c.fetchBus, _ = c.Bus.(FetchBus)
+		c.winBus, _ = c.Bus.(WindowBus)
+		c.winOK = false
+		if c.icache == nil {
+			c.icache = make([]icLine, 1<<icBits)
+		}
 	}
-	return decodeChecked(buf[:], c.PC)
+	var raw [4]byte
+	var wait uint64
+	if i := int(pc) - int(c.win.Base); c.winOK && i >= 0 && i+3 < len(c.win.Mem) {
+		// Zero-dispatch tier: the PC sits inside the cached window.
+		copy(raw[:], c.win.Mem[i:i+4])
+		if c.win.Wait != nil {
+			wait = *c.win.Wait
+		}
+	} else if c.winBus != nil && c.probeWindow(pc) {
+		i := int(pc) - int(c.win.Base)
+		copy(raw[:], c.win.Mem[i:i+4])
+		if c.win.Wait != nil {
+			wait = *c.win.Wait
+		}
+	} else if fb := c.fetchBus; fb != nil {
+		raw, wait = fb.Fetch(pc)
+	} else {
+		raw[0] = c.Bus.Read8(pc)
+		raw[1] = c.Bus.Read8(pc + 1)
+		if Length(Op(raw[0])) == 4 {
+			raw[2] = c.Bus.Read8(pc + 2)
+			raw[3] = c.Bus.Read8(pc + 3)
+		}
+		wait = c.Bus.AccessCycles(pc, false)
+	}
+	line := &c.icache[pc&icMask]
+	if line.size != 0 && line.in.Addr == pc {
+		if (line.size == 2 && raw[0] == line.raw[0] && raw[1] == line.raw[1]) ||
+			(line.size == 4 && raw == line.raw) {
+			return line.in, wait, nil
+		}
+	}
+	in, err := decodeChecked(raw[:], pc)
+	if err != nil {
+		return in, wait, err
+	}
+	line.raw = raw
+	line.in = in
+	line.size = uint8(Length(in.Op))
+	return in, wait, nil
+}
+
+// probeWindow asks the WindowBus for a fetch window containing pc, and
+// reports whether a usable one (pc+3 inside it) was cached.
+func (c *Core) probeWindow(pc uint16) bool {
+	w, ok := c.winBus.FetchWindow(pc)
+	if !ok {
+		c.winOK = false
+		return false
+	}
+	c.win, c.winOK = w, true
+	i := int(pc) - int(w.Base)
+	return i >= 0 && i+3 < len(w.Mem)
 }
 
 func decodeChecked(buf []byte, addr uint16) (Instr, error) {
@@ -85,16 +214,16 @@ func (c *Core) Step() (Instr, error) {
 	if c.Halted {
 		return Instr{}, nil
 	}
-	in, err := c.fetch()
+	in, wait, err := c.fetch()
 	if err != nil {
 		c.Halted = true
 		return in, err
 	}
-	spec, _ := SpecFor(in.Op)
-	c.Cycles += spec.Cycles
 	// Instruction fetch pays the wait states of its own memory region.
-	c.Cycles += c.Bus.AccessCycles(in.Addr, false)
-	next := c.PC + in.Size()
+	// in.Op is a decoded (hence defined) opcode, so direct table indexing
+	// is safe.
+	c.Cycles += opCycles[in.Op] + wait
+	next := c.PC + opLen[in.Op]
 
 	switch in.Op {
 	case OpNOP:
@@ -322,3 +451,26 @@ func (m *FlatRAM) Write16(addr uint16, v uint16) {
 
 // AccessCycles implements Bus (zero wait states).
 func (m *FlatRAM) AccessCycles(uint16, bool) uint64 { return 0 }
+
+// Fetch implements FetchBus (zero wait states; reads wrap like Read8).
+func (m *FlatRAM) Fetch(addr uint16) ([4]byte, uint64) {
+	var raw [4]byte
+	if addr <= 0xfffc {
+		copy(raw[:], m.Mem[addr:addr+4])
+	} else {
+		for i := range raw {
+			raw[i] = m.Mem[addr+uint16(i)]
+		}
+	}
+	return raw, 0
+}
+
+// FetchWindow implements WindowBus: the whole address space, zero-wait.
+func (m *FlatRAM) FetchWindow(uint16) (FetchWindow, bool) {
+	return FetchWindow{Mem: m.Mem[:], Base: 0}, true
+}
+
+var (
+	_ FetchBus  = (*FlatRAM)(nil)
+	_ WindowBus = (*FlatRAM)(nil)
+)

@@ -145,19 +145,34 @@ func SpecFor(op Op) (Spec, bool) {
 	return specs[op], true
 }
 
+// opCycles and opLen are flat hot-path views of specs: the interpreter
+// charges cycles and advances PC once per executed instruction, and
+// indexing a word-sized table there beats copying a Spec (with its
+// string header) per instruction.
+var (
+	opCycles [opMax]uint64
+	opLen    [opMax]uint16
+)
+
+func init() {
+	for op := Op(0); op < opMax; op++ {
+		opCycles[op] = specs[op].Cycles
+		switch specs[op].Format {
+		case FmtRegImm, FmtRegRegImm, FmtImm:
+			opLen[op] = 4
+		default:
+			opLen[op] = 2
+		}
+	}
+}
+
 // Length returns the encoded length in bytes of an instruction with the
 // given opcode (2 or 4).
 func Length(op Op) int {
-	s, ok := SpecFor(op)
-	if !ok {
+	if op >= opMax {
 		return 2
 	}
-	switch s.Format {
-	case FmtRegImm, FmtRegRegImm, FmtImm:
-		return 4
-	default:
-		return 2
-	}
+	return int(opLen[op])
 }
 
 // Instr is a decoded instruction.

@@ -7,6 +7,7 @@ import (
 	"repro/internal/mcu"
 	"repro/internal/programs"
 	"repro/internal/source"
+	"repro/internal/trace"
 	"repro/internal/transient"
 )
 
@@ -138,4 +139,84 @@ func TestFastForwardDeadRail(t *testing.T) {
 	if res.Stats.OffSec < 0.999 {
 		t.Errorf("OffSec = %.3f, want the full second accounted", res.Stats.OffSec)
 	}
+}
+
+// TestFastForwardTraceKeepsCadence pins the interpolated-sample contract:
+// with an interval-gated recorder attached, a fast-forwarded run must
+// record on the same cadence as full integration — skips emit closed-form
+// samples at every instant the stepwise loop would have stored — with
+// V_CC matching within fast-forward tolerance.
+func TestFastForwardTraceKeepsCadence(t *testing.T) {
+	run := func(ff bool) *trace.Recorder {
+		s := intermittentSetup(ff)
+		s.Duration = 1.0
+		s.Recorder = trace.NewRecorder()
+		s.RecordInterval = 1e-3
+		if _, err := Run(s); err != nil {
+			t.Fatal(err)
+		}
+		return s.Recorder
+	}
+	full := run(false).Series("vcc")
+	ffd := run(true).Series("vcc")
+
+	// Full integration stores one sample per interval; the skipped run
+	// must not thin that out beyond end-of-run boundary effects (chunk
+	// boundaries gate slightly differently than step boundaries).
+	if ffd.Len() < full.Len()-2 {
+		t.Fatalf("fast-forward trace thinner than stepwise: %d < %d samples", ffd.Len(), full.Len())
+	}
+	// No recording gap may exceed the cadence by more than a step chunk.
+	for i := 1; i < ffd.Len(); i++ {
+		if gap := ffd.At(i).T - ffd.At(i-1).T; gap > 2e-3 {
+			t.Fatalf("recording gap %.4fs at t=%.4fs exceeds cadence", gap, ffd.At(i).T)
+		}
+	}
+	// Values: sample the skipped trace at the stepwise timestamps and
+	// compare. The comparison is slope-gated: across the steep recharge
+	// edges both runs integrate stepwise but record at timestamps offset
+	// by up to one cadence interval, so a value diff there measures
+	// slope × timing offset, not fast-forward accuracy. The decay
+	// stretches — the part the closed form is responsible for — must
+	// match tightly.
+	for i := 1; i < full.Len()-1; i++ {
+		p := full.At(i)
+		if math.Abs(full.At(i+1).V-full.At(i-1).V) > 0.05 {
+			continue // steep edge: timing offset dominates
+		}
+		got := ffd.Sample(p.T)
+		if math.Abs(got-p.V) > 0.02 {
+			t.Fatalf("V_CC diverged at t=%.4fs: ff=%.4f full=%.4f", p.T, got, p.V)
+		}
+	}
+}
+
+// TestFastForwardIntervalLessRecorder keeps the documented fallback: an
+// interval-less recorder under fast-forward observes chunk boundaries
+// only, but the run's physics still match full integration.
+func TestFastForwardIntervalLessRecorder(t *testing.T) {
+	s := intermittentSetup(true)
+	s.Duration = 0.5
+	s.Recorder = trace.NewRecorder()
+	res, err := Run(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Recorder.Series("vcc").Len() == 0 {
+		t.Fatal("no samples recorded")
+	}
+	plain, err := Run(intermittentSetupAt(0.5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Completions != plain.Completions {
+		t.Fatalf("recorder perturbed the run: %d vs %d completions", res.Completions, plain.Completions)
+	}
+}
+
+// intermittentSetupAt is intermittentSetup(true) with a custom duration.
+func intermittentSetupAt(dur float64) Setup {
+	s := intermittentSetup(true)
+	s.Duration = dur
+	return s
 }

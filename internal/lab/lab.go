@@ -12,6 +12,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sync"
 
 	"repro/internal/circuit"
 	"repro/internal/isa"
@@ -73,9 +74,12 @@ type Setup struct {
 	// (ffChunk·Dt, 0.5 ms at the default step) are never missed.
 	//
 	// Results agree with full integration to floating-point evaluation of
-	// the decay series, not bit-exactly; OnTick and the Recorder observe
-	// chunk boundaries rather than every skipped step. Leave it false
-	// (the default) where byte-identical output matters.
+	// the decay series, not bit-exactly. A Recorder with a positive
+	// RecordInterval keeps its full sampling cadence through skips: the
+	// skip emits interpolated samples (evaluated on the same closed form)
+	// at every instant the stepwise loop would have recorded. OnTick and
+	// interval-less recorders observe chunk boundaries only. Leave it
+	// false (the default) where byte-identical output matters.
 	FastForward bool
 }
 
@@ -83,6 +87,27 @@ type Setup struct {
 // stretch skipped between source probes. 100 steps at the default 5 µs
 // step is 0.5 ms — far below any supply feature in the source library.
 const ffChunk = 100
+
+// progCache memoises assembly output keyed by the workload's full source
+// text. Workloads come from a fixed registry, so the cache is bounded;
+// a Program is never mutated after assembly (LoadInto only reads it), so
+// sharing one across concurrent sweep cases is safe. Sweeps re-run the
+// same workload hundreds of times — without this, every case pays the
+// two-pass assembler again for identical text.
+var progCache sync.Map // source text -> *isa.Program
+
+// assemble returns the (possibly cached) assembled image of w.
+func assemble(w *programs.Workload) (*isa.Program, error) {
+	if p, ok := progCache.Load(w.Source); ok {
+		return p.(*isa.Program), nil
+	}
+	p, err := isa.Assemble(w.Source)
+	if err != nil {
+		return nil, err
+	}
+	actual, _ := progCache.LoadOrStore(w.Source, p)
+	return actual.(*isa.Program), nil
+}
 
 // ErrAborted reports a run stopped early through Setup.Abort.
 var ErrAborted = errors.New("lab: run aborted")
@@ -98,6 +123,12 @@ type Result struct {
 	ConsumedJ  float64
 	FinalV     float64
 	RuntimeErr error // guest fault, if any
+
+	// Steps is the number of Dt-sized simulation steps the run covered,
+	// fast-forwarded stretches included — the denominator benchmarks use
+	// for steps-per-second rates. It is duration/Dt regardless of how the
+	// steps were advanced, so it never appears in rendered reports.
+	Steps int
 
 	FirstCompletion float64 // time of first completion, or -1
 }
@@ -127,7 +158,7 @@ func Run(s Setup) (Result, error) {
 	if s.Dt <= 0 {
 		s.Dt = 5e-6
 	}
-	prog, err := isa.Assemble(s.Workload.Source)
+	prog, err := assemble(s.Workload)
 	if err != nil {
 		return Result{}, fmt.Errorf("lab: assemble %s: %w", s.Workload.Name, err)
 	}
@@ -172,26 +203,38 @@ func Run(s Setup) (Result, error) {
 	}
 
 	steps := stepCount(s.Duration, s.Dt)
-	for i := 0; i < steps; {
-		if s.Abort != nil {
-			select {
-			case <-s.Abort:
-				return Result{}, ErrAborted
-			default:
-			}
+	dt := s.Dt
+	obs := s.newObserver()
+	if obs == nil && s.Abort == nil && !s.FastForward {
+		// Hot path: nothing to observe, nothing to poll — the loop is
+		// exactly one rail integration and one device tick per step, with
+		// every per-step feature check hoisted to this single branch.
+		for i := 0; i < steps; i++ {
+			d.Tick(rail.Step(dt), dt)
 		}
-		if s.FastForward {
-			if n := s.tryFastForward(d, rail, steps-i); n > 0 {
-				i += n
-				continue
+	} else {
+		for i := 0; i < steps; {
+			if s.Abort != nil {
+				select {
+				case <-s.Abort:
+					return Result{}, ErrAborted
+				default:
+				}
 			}
+			if s.FastForward {
+				if n := s.tryFastForward(d, rail, obs, steps-i); n > 0 {
+					i += n
+					continue
+				}
+			}
+			v := rail.Step(dt)
+			d.Tick(v, dt)
+			obs.observe(rail.Now(), v, d, rail)
+			i++
 		}
-		v := rail.Step(s.Dt)
-		d.Tick(v, s.Dt)
-		s.observe(rail.Now(), v, d, rail)
-		i++
 	}
 
+	res.Steps = steps
 	res.Stats = d.Stats
 	res.HarvestedJ = rail.HarvestedJ
 	res.ConsumedJ = rail.ConsumedJ
@@ -204,7 +247,7 @@ func Run(s Setup) (Result, error) {
 // analytically. It returns the number of steps skipped, or 0 when the
 // coming interval must be integrated stepwise (device runnable, source
 // conducting or about to, or too few steps left to be worth it).
-func (s *Setup) tryFastForward(d *mcu.Device, rail *circuit.Rail, remaining int) int {
+func (s *Setup) tryFastForward(d *mcu.Device, rail *circuit.Rail, obs *observer, remaining int) int {
 	// Only a device that cannot change its own state is skippable: off, or
 	// in retention sleep with either no runtime or one that declares (via
 	// mcu.SleepWaker) that it only waits for a wake voltage the decaying
@@ -255,23 +298,75 @@ func (s *Setup) tryFastForward(d *mcu.Device, rail *circuit.Rail, remaining int)
 		}
 	}
 
+	// An interval-gated recorder keeps its sampling cadence through the
+	// skip: emit a sample, evaluated on the same closed form AdvanceIdle
+	// integrates, at every instant the stepwise loop would have recorded.
+	// The device cannot change mode or frequency inside the skip (that is
+	// the skip's precondition), so only V_CC needs interpolating.
+	if obs != nil && obs.vcc != nil {
+		if iv := s.Recorder.Interval(); iv > 0 {
+			last := obs.vcc.LastT()
+			fMHz := d.Freq() / 1e6
+			mode := float64(d.Mode())
+			for k := 1; k < n; k++ {
+				tk := t0 + float64(k)*s.Dt
+				if tk-last < iv {
+					continue
+				}
+				vk := rail.PeekIdle(k, s.Dt, iLoad)
+				obs.vcc.Record(tk, vk)
+				obs.freq.Record(tk, fMHz)
+				obs.mode.Record(tk, mode)
+				last = tk
+			}
+		}
+	}
+
 	v := rail.AdvanceIdle(n, s.Dt, iLoad)
 	d.Tick(v, float64(n)*s.Dt) // aggregates off/sleep time; v < VOn, so no power-on
-	s.observe(rail.Now(), v, d, rail)
+	obs.observe(rail.Now(), v, d, rail)
 	return n
+}
+
+// observer is the per-run observation state, resolved once before the
+// stepping loop: the OnTick hook and pre-bound trace channels, so the
+// per-step cost of "nothing to observe" is a nil check and recording
+// avoids any per-sample series lookup.
+type observer struct {
+	onTick          func(t float64, d *mcu.Device, rail *circuit.Rail)
+	vcc, freq, mode *trace.Channel
+}
+
+// newObserver builds the run's observer, or nil when the setup observes
+// nothing (the condition for the loop's hot path).
+func (s *Setup) newObserver() *observer {
+	if s.OnTick == nil && s.Recorder == nil {
+		return nil
+	}
+	o := &observer{onTick: s.OnTick}
+	if s.Recorder != nil {
+		// Channel order fixes the trace's CSV column order.
+		o.vcc = s.Recorder.Channel("vcc", "V")
+		o.freq = s.Recorder.Channel("freq", "MHz")
+		o.mode = s.Recorder.Channel("mode", "")
+	}
+	return o
 }
 
 // observe runs the per-step observers: the OnTick hook, then the trace
 // triple (V_CC, DFS frequency, mode) when a recorder is attached. Both
 // the stepwise loop and the fast-forward path end every advance here.
-func (s *Setup) observe(t, v float64, d *mcu.Device, rail *circuit.Rail) {
-	if s.OnTick != nil {
-		s.OnTick(t, d, rail)
+func (o *observer) observe(t, v float64, d *mcu.Device, rail *circuit.Rail) {
+	if o == nil {
+		return
 	}
-	if s.Recorder != nil {
-		s.Recorder.Record("vcc", "V", t, v)
-		s.Recorder.Record("freq", "MHz", t, d.Freq()/1e6)
-		s.Recorder.Record("mode", "", t, float64(d.Mode()))
+	if o.onTick != nil {
+		o.onTick(t, d, rail)
+	}
+	if o.vcc != nil {
+		o.vcc.Record(t, v)
+		o.freq.Record(t, d.Freq()/1e6)
+		o.mode.Record(t, float64(d.Mode()))
 	}
 }
 

@@ -110,15 +110,59 @@ func (b *Bus) Write8(addr uint16, v byte) {
 	}
 }
 
-// Read16 implements isa.Bus (little endian).
+// Read16 implements isa.Bus (little endian). Accesses that fall entirely
+// inside one RAM region take a single-bounds-check fast path; anything
+// else (region edges, MMIO, open bus) falls back to the byte-wise reads,
+// preserving their exact semantics and side-effect order.
 func (b *Bus) Read16(addr uint16) uint16 {
+	if i := int(addr) - int(b.SRAMBase); i >= 0 && i+1 < len(b.SRAM) {
+		return uint16(b.SRAM[i]) | uint16(b.SRAM[i+1])<<8
+	}
+	if i := int(addr) - int(b.FRAMBase); i >= 0 && i+1 < len(b.FRAM) {
+		return uint16(b.FRAM[i]) | uint16(b.FRAM[i+1])<<8
+	}
 	return uint16(b.Read8(addr)) | uint16(b.Read8(addr+1))<<8
 }
 
 // Write16 implements isa.Bus.
 func (b *Bus) Write16(addr uint16, v uint16) {
+	if i := int(addr) - int(b.SRAMBase); i >= 0 && i+1 < len(b.SRAM) {
+		b.SRAM[i] = byte(v)
+		b.SRAM[i+1] = byte(v >> 8)
+		return
+	}
+	if i := int(addr) - int(b.FRAMBase); i >= 0 && i+1 < len(b.FRAM) {
+		b.FRAM[i] = byte(v)
+		b.FRAM[i+1] = byte(v >> 8)
+		return
+	}
 	b.Write8(addr, byte(v))
 	b.Write8(addr+1, byte(v>>8))
+}
+
+// Fetch implements isa.FetchBus: the instruction bytes at addr and the
+// fetch's wait-state cycles in one call. FRAM is probed first — code
+// lives there in both memory layouts. The cross-region fallback mirrors
+// the interpreter's legacy byte-wise fetch exactly, including not
+// touching bytes 2–3 for a 2-byte opcode (so an instruction adjacent to
+// the MMIO window cannot trigger spurious peripheral reads).
+func (b *Bus) Fetch(addr uint16) ([4]byte, uint64) {
+	var raw [4]byte
+	if i := int(addr) - int(b.FRAMBase); i >= 0 && i+3 < len(b.FRAM) {
+		copy(raw[:], b.FRAM[i:i+4])
+		return raw, b.FRAMWait
+	}
+	if i := int(addr) - int(b.SRAMBase); i >= 0 && i+3 < len(b.SRAM) {
+		copy(raw[:], b.SRAM[i:i+4])
+		return raw, 0
+	}
+	raw[0] = b.Read8(addr)
+	raw[1] = b.Read8(addr + 1)
+	if isa.Length(isa.Op(raw[0])) == 4 {
+		raw[2] = b.Read8(addr + 2)
+		raw[3] = b.Read8(addr + 3)
+	}
+	return raw, b.AccessCycles(addr, false)
 }
 
 // AccessCycles implements isa.Bus: FRAM accesses pay the configured wait
@@ -144,4 +188,21 @@ func (b *Bus) ScrambleSRAM(seed uint32) {
 	}
 }
 
+// FetchWindow implements isa.WindowBus: SRAM and FRAM are side-effect-
+// free contiguous regions the core may fetch from by direct indexing.
+// The FRAM window's wait pointer tracks frequency-dependent wait states
+// live, so a DFS switch needs no window re-probe. MMIO and open bus have
+// no window.
+func (b *Bus) FetchWindow(addr uint16) (isa.FetchWindow, bool) {
+	if b.inFRAM(addr) {
+		return isa.FetchWindow{Mem: b.FRAM, Base: b.FRAMBase, Wait: &b.FRAMWait}, true
+	}
+	if b.inSRAM(addr) {
+		return isa.FetchWindow{Mem: b.SRAM, Base: b.SRAMBase}, true
+	}
+	return isa.FetchWindow{}, false
+}
+
 var _ isa.Bus = (*Bus)(nil)
+var _ isa.FetchBus = (*Bus)(nil)
+var _ isa.WindowBus = (*Bus)(nil)

@@ -1,0 +1,103 @@
+package result
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/scenario"
+)
+
+// update regenerates the golden corpus from the current engine:
+//
+//	go test ./internal/result -run TestGolden -update
+//
+// Run it only after verifying an intentional output change; the corpus is
+// the conformance contract every optimization PR is pinned against.
+var update = flag.Bool("update", false, "rewrite testdata/golden from current output")
+
+// goldenDir is the shared corpus at the repository root: expected
+// `ehsim -scenario` output for every curated spec. cmd/ehsim's golden
+// test compares the CLI against the same files, so the two layers cannot
+// drift from each other or from the corpus.
+const goldenDir = "../../testdata/golden"
+
+const scenarioDir = "../../examples/scenarios"
+
+// goldenSpecs returns the curated spec paths, sorted.
+func goldenSpecs(t *testing.T) []string {
+	t.Helper()
+	paths, err := filepath.Glob(filepath.Join(scenarioDir, "*.json"))
+	if err != nil || len(paths) == 0 {
+		t.Fatalf("no scenario specs found: %v", err)
+	}
+	return paths
+}
+
+// TestGoldenReports byte-compares RunSpec's rendered report for every
+// curated spec against the committed golden corpus.
+func TestGoldenReports(t *testing.T) {
+	for _, path := range goldenSpecs(t) {
+		name := strings.TrimSuffix(filepath.Base(path), ".json")
+		t.Run(name, func(t *testing.T) {
+			sp, err := scenario.Load(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rep, err := RunSpec(sp, Options{Workers: 1})
+			if err != nil {
+				t.Fatal(err)
+			}
+			goldenCompare(t, filepath.Join(goldenDir, name+".txt"), []byte(rep.Text))
+		})
+	}
+}
+
+// TestGoldenTrace byte-compares the fig7 trace capture — recording must
+// not perturb the simulation, and the serialised CSV (spec-hash header
+// included) must be stable.
+func TestGoldenTrace(t *testing.T) {
+	const name = "fig7-rectified-sine-hibernus"
+	sp, err := scenario.Load(filepath.Join(scenarioDir, name+".json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := RunSpec(sp, Options{Workers: 1, Trace: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	goldenCompare(t, filepath.Join(goldenDir, name+".trace.csv"), rep.TraceCSV)
+
+	// The summary must be identical with and without the recorder: a
+	// trace is a pure observer.
+	plain, err := RunSpec(sp, Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.Text != rep.Text {
+		t.Errorf("attaching a recorder changed the report:\nplain:\n%s\ntraced:\n%s", plain.Text, rep.Text)
+	}
+}
+
+// goldenCompare asserts got matches the golden file byte-for-byte,
+// rewriting the file under -update.
+func goldenCompare(t *testing.T, path string, got []byte) {
+	t.Helper()
+	if *update {
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run with -update to create): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("output differs from %s (run with -update after verifying the change is intended)\n--- want\n%s\n--- got\n%s",
+			path, want, got)
+	}
+}

@@ -1,0 +1,151 @@
+package source
+
+import "math"
+
+// This file provides precomputed samplers: plain funcs that evaluate a
+// source's waveform without the per-call interface dispatch of
+// VoltageSource.Voltage / PowerSource.Power. The simulation hot loop
+// samples the supply once per 5 µs step, so the dispatch (and, for
+// wrapped sources like Rectified(SignalGenerator), the dispatch chain)
+// is paid millions of times per simulated second; binding it away is
+// one of the lab's core optimizations.
+//
+// Correctness contract: a sampler returns bit-identical values to the
+// method it replaces — each closure body is the same arithmetic in the
+// same evaluation order, with only loop-invariant subexpressions (whose
+// hoisting cannot change the result under IEEE-754 left-to-right
+// evaluation) precomputed. TestSamplersMatchMethods pins this for every
+// registered source and combinator.
+//
+// Samplers capture source parameters at bind time: mutate a source's
+// fields mid-run and the sampler (unlike the method) will not see it.
+// Nothing in this repository mutates a source during a run — sources
+// are documented as pure functions of time.
+
+// VoltageFn returns a sampler equivalent to vs.Voltage. Known concrete
+// types get composed closures; anything else falls back to the bound
+// interface method.
+func VoltageFn(vs VoltageSource) func(t float64) float64 {
+	switch s := vs.(type) {
+	case *SignalGenerator:
+		if s.Frequency == 0 {
+			dc := s.Amplitude + s.Offset
+			return func(float64) float64 { return dc }
+		}
+		// 2*math.Pi*s.Frequency*t evaluates as ((2π)·f)·t, so hoisting
+		// w = (2π)·f leaves w·t bit-identical.
+		w := 2 * math.Pi * s.Frequency
+		off, amp, phase := s.Offset, s.Amplitude, s.Phase
+		return func(t float64) float64 {
+			return off + amp*math.Sin(w*t+phase)
+		}
+	case *ConstantVoltage:
+		v := s.V
+		return func(float64) float64 { return v }
+	case *SquareWaveVoltage:
+		period := s.OnTime + s.OffTime
+		if period <= 0 {
+			high := s.High
+			return func(float64) float64 { return high }
+		}
+		high, on := s.High, s.OnTime
+		return func(t float64) float64 {
+			phase := math.Mod(t, period)
+			if phase < 0 {
+				phase += period
+			}
+			if phase < on {
+				return high
+			}
+			return 0
+		}
+	case *Rectified:
+		inner := VoltageFn(s.Source)
+		if s.FullWave {
+			drop := 2 * s.DiodeV
+			return func(t float64) float64 {
+				v := math.Abs(inner(t)) - drop
+				if v < 0 {
+					return 0
+				}
+				return v
+			}
+		}
+		drop := s.DiodeV
+		return func(t float64) float64 {
+			v := inner(t) - drop
+			if v < 0 {
+				return 0
+			}
+			return v
+		}
+	case *ScaledVoltage:
+		inner := VoltageFn(s.Source)
+		gain := s.Gain
+		return func(t float64) float64 { return gain * inner(t) }
+	case *GatedVoltage:
+		inner := VoltageFn(s.Source)
+		windows, invert := s.Windows, s.Invert
+		return func(t float64) float64 {
+			in := false
+			for _, w := range windows {
+				if t >= w[0] && t < w[1] {
+					in = true
+					break
+				}
+			}
+			if in != invert {
+				return inner(t)
+			}
+			return 0
+		}
+	case *WindTurbine:
+		// Envelope branches on gust phase; binding the method skips only
+		// the itab dispatch, which is all there is to save here.
+		return s.Voltage
+	case *TraceSource:
+		return s.Voltage
+	default:
+		return vs.Voltage
+	}
+}
+
+// PowerFn returns a sampler equivalent to ps.Power — the PowerSource
+// counterpart of VoltageFn.
+func PowerFn(ps PowerSource) func(t float64) float64 {
+	switch s := ps.(type) {
+	case *ConstantPower:
+		p := s.P
+		return func(float64) float64 { return p }
+	case *ScaledPower:
+		inner := PowerFn(s.Source)
+		gain := s.Gain
+		return func(t float64) float64 { return gain * inner(t) }
+	case *SumPower:
+		inners := make([]func(float64) float64, len(s.Sources))
+		for i, src := range s.Sources {
+			inners[i] = PowerFn(src)
+		}
+		return func(t float64) float64 {
+			var p float64
+			for _, fn := range inners {
+				p += fn(t)
+			}
+			return p
+		}
+	case *Photovoltaic:
+		return s.Power
+	case *RFBurst:
+		return s.Power
+	case *Kinetic:
+		return s.Power
+	case *MarkovSource:
+		// Stateful (memoised Markov chain): the bound method shares the
+		// memo with every other caller, exactly like interface dispatch.
+		return s.Power
+	case *TraceSource:
+		return s.Power
+	default:
+		return ps.Power
+	}
+}

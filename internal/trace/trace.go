@@ -25,11 +25,15 @@ type Series struct {
 	Name   string
 	Unit   string
 	Points []Point
+
+	// lastT is the timestamp of the last sample stored through a
+	// Recorder, the state behind its minimum-interval decimation.
+	lastT float64
 }
 
 // NewSeries returns an empty named series.
 func NewSeries(name, unit string) *Series {
-	return &Series{Name: name, Unit: unit}
+	return &Series{Name: name, Unit: unit, lastT: math.Inf(-1)}
 }
 
 // Append adds a sample at time t.
@@ -173,37 +177,75 @@ type Recorder struct {
 	series   map[string]*Series
 	order    []string
 	interval float64 // minimum spacing between stored samples; 0 = keep all
-	lastT    map[string]float64
 }
 
 // NewRecorder returns a Recorder storing every sample. Use SetInterval to
 // decimate on the fly.
 func NewRecorder() *Recorder {
-	return &Recorder{
-		series: make(map[string]*Series),
-		lastT:  make(map[string]float64),
-	}
+	return &Recorder{series: make(map[string]*Series)}
 }
 
 // SetInterval sets the minimum simulated-time spacing between stored
 // samples for all series. Samples arriving sooner are dropped.
 func (r *Recorder) SetInterval(dt float64) { r.interval = dt }
 
+// Interval returns the minimum spacing between stored samples (0 = keep
+// all).
+func (r *Recorder) Interval() float64 { return r.interval }
+
 // Record appends a sample to the named series, creating it on first use.
 func (r *Recorder) Record(name, unit string, t, v float64) {
 	s, ok := r.series[name]
 	if !ok {
-		s = NewSeries(name, unit)
-		r.series[name] = s
-		r.order = append(r.order, name)
-		r.lastT[name] = math.Inf(-1)
+		s = r.create(name, unit)
 	}
-	if r.interval > 0 && t-r.lastT[name] < r.interval && s.Len() > 0 {
+	r.record(s, t, v)
+}
+
+// create registers a new series under the recorder.
+func (r *Recorder) create(name, unit string) *Series {
+	s := NewSeries(name, unit)
+	r.series[name] = s
+	r.order = append(r.order, name)
+	return s
+}
+
+// record applies the interval gate and appends.
+func (r *Recorder) record(s *Series, t, v float64) {
+	if r.interval > 0 && t-s.lastT < r.interval && len(s.Points) > 0 {
 		return
 	}
-	r.lastT[name] = t
+	s.lastT = t
 	s.Append(t, v)
 }
+
+// Channel is a pre-resolved append handle for one named series: Record
+// without the per-sample map lookup, with the recorder's interval gate
+// still applied. Hot loops that sample the same few series every step
+// (the lab's trace triple) resolve their channels once and record
+// through them.
+type Channel struct {
+	r *Recorder
+	s *Series
+}
+
+// Channel returns an append handle for the named series, creating it
+// (in recorder column order) on first use.
+func (r *Recorder) Channel(name, unit string) *Channel {
+	s, ok := r.series[name]
+	if !ok {
+		s = r.create(name, unit)
+	}
+	return &Channel{r: r, s: s}
+}
+
+// Record appends a sample, subject to the recorder's interval gate —
+// exactly equivalent to Recorder.Record on the channel's series.
+func (c *Channel) Record(t, v float64) { c.r.record(c.s, t, v) }
+
+// LastT returns the timestamp of the last stored sample (-Inf if none) —
+// what the interval gate will measure the next sample against.
+func (c *Channel) LastT() float64 { return c.s.lastT }
 
 // Series returns the named series, or nil if it was never recorded.
 func (r *Recorder) Series(name string) *Series { return r.series[name] }

@@ -240,3 +240,49 @@ func TestScatter(t *testing.T) {
 		t.Error("empty scatter should say no points")
 	}
 }
+
+func TestChannelMatchesRecord(t *testing.T) {
+	// Two recorders fed the same samples — one through Record, one
+	// through pre-resolved channels — must store identical series.
+	a := NewRecorder()
+	b := NewRecorder()
+	a.SetInterval(0.5)
+	b.SetInterval(0.5)
+	ch := b.Channel("x", "V")
+	for i := 0; i < 100; i++ {
+		ts := float64(i) * 0.13
+		a.Record("x", "V", ts, float64(i))
+		ch.Record(ts, float64(i))
+	}
+	sa, sb := a.Series("x"), b.Series("x")
+	if sa.Len() != sb.Len() {
+		t.Fatalf("lengths differ: %d vs %d", sa.Len(), sb.Len())
+	}
+	for i := 0; i < sa.Len(); i++ {
+		if sa.At(i) != sb.At(i) {
+			t.Fatalf("sample %d differs: %+v vs %+v", i, sa.At(i), sb.At(i))
+		}
+	}
+	if lt := ch.LastT(); lt != sb.At(sb.Len()-1).T {
+		t.Fatalf("LastT %g != last stored %g", lt, sb.At(sb.Len()-1).T)
+	}
+}
+
+func TestChannelCreatesSeriesInOrder(t *testing.T) {
+	r := NewRecorder()
+	r.Channel("b", "")
+	r.Record("a", "", 0, 1)
+	got := r.Names()
+	if len(got) != 2 || got[0] != "b" || got[1] != "a" {
+		t.Fatalf("order %v, want [b a]", got)
+	}
+	// Mixing Channel and Record on one series shares the interval gate.
+	r.SetInterval(1)
+	ch := r.Channel("a", "")
+	r.Record("a", "", 0.5, 2) // gated: 0.5 - 0 < 1
+	ch.Record(0.7, 3)         // gated too
+	ch.Record(1.2, 4)         // stored
+	if n := r.Series("a").Len(); n != 2 {
+		t.Fatalf("series a has %d samples, want 2", n)
+	}
+}

@@ -289,6 +289,11 @@ func printList(w io.Writer) {
 		return "  [" + strings.Join(parts, " ") + "]"
 	}
 
+	fmt.Fprintln(w, "models:")
+	for _, n := range scenario.ModelNames() {
+		m, _ := scenario.LookupModel(n)
+		fmt.Fprintf(w, "  %-16s %s%s\n", n, m.Desc(), docs(m.Params()))
+	}
 	fmt.Fprintln(w, "workloads:")
 	for _, n := range programs.Names() {
 		f, _ := programs.Lookup(n)

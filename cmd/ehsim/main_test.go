@@ -32,7 +32,8 @@ func TestListEnumeratesRegistries(t *testing.T) {
 		t.Fatalf("exit %d", code)
 	}
 	for _, frag := range []string{
-		"workloads:", "sources:", "runtimes:", "governors:",
+		"models:", "workloads:", "sources:", "runtimes:", "governors:",
+		"lab", "mpsoc", "taskburst", "eneutral", "taskenergy=0.001",
 		"fft64", "wind", "hibernus-pn", "hillclimb", "margin=1.1",
 	} {
 		if !strings.Contains(out, frag) {

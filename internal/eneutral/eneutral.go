@@ -44,6 +44,16 @@ type Node struct {
 	Controller Controller
 	CtrlPeriod float64 // seconds between controller invocations
 
+	// Observe, if non-nil, is called by Simulate after every step with
+	// the time, the battery state of charge, the present duty cycle,
+	// and whether the node is dead. It is a pure observer — tracing
+	// hooks in here.
+	Observe func(t, soc, duty float64, dead bool)
+
+	// Abort, if non-nil, stops Simulate early once the channel is
+	// closed; the partial Result is returned with Aborted set.
+	Abort <-chan struct{}
+
 	dead bool
 }
 
@@ -86,6 +96,8 @@ type Result struct {
 	Windows []float64
 
 	DutyTrace []float64 // duty cycle at each control epoch
+
+	Aborted bool // Node.Abort closed before the run finished
 }
 
 // WorstWindow returns the largest eq. (1) imbalance ratio, or +Inf if no
@@ -108,7 +120,18 @@ func (n *Node) Simulate(duration, dt, window float64) Result {
 	var winH, winC, winT float64
 	var ctlH, ctlT float64
 	nextCtrl := n.CtrlPeriod
+	step := 0
 	for t := 0.0; t < duration; t += dt {
+		if n.Abort != nil && step%1024 == 0 {
+			select {
+			case <-n.Abort:
+				res.Aborted = true
+				res.FinalSoC = n.Storage.SoC
+				return res
+			default:
+			}
+		}
+		step++
 		ph := n.Harvest.Power(t)
 		eh := ph * dt
 		spill := n.Storage.Charge(eh)
@@ -155,6 +178,9 @@ func (n *Node) Simulate(duration, dt, window float64) Result {
 			res.DutyTrace = append(res.DutyTrace, n.Duty)
 			ctlH, ctlT = 0, 0
 			nextCtrl = t + n.CtrlPeriod
+		}
+		if n.Observe != nil {
+			n.Observe(t, n.Storage.SoC, n.Duty, n.dead)
 		}
 	}
 	res.FinalSoC = n.Storage.SoC

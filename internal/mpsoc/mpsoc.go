@@ -205,6 +205,16 @@ func ParetoFrontier(pts []OperatingPoint) []OperatingPoint {
 // power fits the instantaneously harvested budget.
 type Selector struct {
 	Frontier []OperatingPoint
+
+	// Observe, if non-nil, is called by Simulate after every control
+	// step with the step time, the instantaneous budget, and the chosen
+	// point (ok=false on starved steps, where op is zero). It is a pure
+	// observer — tracing hooks in here.
+	Observe func(t, budgetW float64, op OperatingPoint, ok bool)
+
+	// Abort, if non-nil, stops Simulate early once the channel is
+	// closed; the partial result is returned with Aborted set.
+	Abort <-chan struct{}
 }
 
 // NewSelector precomputes the Pareto frontier for a board.

@@ -13,6 +13,7 @@ type SimResult struct {
 	Starved       int     // steps where even the lowest point didn't fit
 	Switches      int     // operating-point changes
 	MaxSustainedW float64 // largest budget observed
+	Aborted       bool    // Selector.Abort closed before the run finished
 }
 
 // Simulate runs the power-neutral selector against a time-varying power
@@ -28,11 +29,22 @@ func (s *Selector) Simulate(budget func(t float64) float64, duration, dt float64
 	lastPoint := -1
 	steps := int(math.Round(duration / dt))
 	for i := 0; i < steps; i++ {
+		if s.Abort != nil && i%1024 == 0 {
+			select {
+			case <-s.Abort:
+				res.Aborted = true
+				return res
+			default:
+			}
+		}
 		t := float64(i) * dt
 		w := budget(t)
 		res.MaxSustainedW = math.Max(res.MaxSustainedW, w)
 		sumBudget += w
 		op, ok := s.Pick(w)
+		if s.Observe != nil {
+			s.Observe(t, w, op, ok)
+		}
 		if !ok {
 			res.Starved++
 			if lastPoint != -1 {

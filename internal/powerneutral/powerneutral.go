@@ -94,6 +94,15 @@ func (g *Governor) Act(t float64, d *mcu.Device, v float64) {
 		span := 0.6 // volts of error that sweeps the full DFS range
 		frac := (v - (g.VTarget - span/2)) / span
 		idx := int(math.Round(frac * float64(len(d.P.FreqLevels)-1)))
+		// Clamp before comparing with the current level: beyond the rail
+		// extremes SetFreqIndex would clamp anyway, and counting those
+		// no-op decisions as Up/DownSteps inflates the telemetry.
+		if idx < 0 {
+			idx = 0
+		}
+		if max := len(d.P.FreqLevels) - 1; idx > max {
+			idx = max
+		}
 		cur := d.FreqIndex()
 		if idx > cur {
 			g.UpSteps++

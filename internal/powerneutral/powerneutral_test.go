@@ -4,6 +4,7 @@ import (
 	"math"
 	"testing"
 
+	"repro/internal/bench/benchtest"
 	"repro/internal/circuit"
 	"repro/internal/lab"
 	"repro/internal/mcu"
@@ -319,5 +320,55 @@ func TestGovernorIgnoresSleepingDevice(t *testing.T) {
 	}
 	if decisionsLate != 0 {
 		t.Errorf("governor made %d decisions on a non-active device", decisionsLate)
+	}
+}
+
+// Regression: the Proportional policy used to compare the raw
+// (unclamped) target index against the current level, so a device
+// already pinned at a rail extreme counted an Up/DownStep on every
+// decision even though SetFreqIndex clamped the actuation to a no-op.
+func TestProportionalClampsTelemetryAtRailExtremes(t *testing.T) {
+	w := programs.FFT(64, programs.DefaultLayout())
+	prog := benchtest.MustAsm(t, w)
+	top := len(mcu.DefaultParams().FreqLevels) - 1
+
+	// High rail, device already at the top level: the raw index lands
+	// beyond the table, the clamped actuation is a no-op, and the
+	// telemetry must not count it as an up-step.
+	p := mcu.DefaultParams()
+	p.FreqIndex = top
+	d := mcu.New(p, prog)
+	d.ColdStart()
+	gov := NewGovernor(3.0)
+	gov.Policy = Proportional
+	gov.Act(0, d, 10) // first call arms the period clock
+	gov.Act(1, d, 10) // far above the band
+	if gov.UpSteps != 0 {
+		t.Errorf("clamped no-op at the top rail counted UpSteps=%d, want 0", gov.UpSteps)
+	}
+	if d.FreqIndex() != top {
+		t.Fatalf("device moved off the top level: %d", d.FreqIndex())
+	}
+
+	// Low rail, device already at the bottom level: same, downward.
+	p = mcu.DefaultParams()
+	p.FreqIndex = 0
+	d = mcu.New(p, prog)
+	d.ColdStart()
+	gov = NewGovernor(3.0)
+	gov.Policy = Proportional
+	gov.Act(0, d, 0)
+	gov.Act(1, d, 0) // far below the band
+	if gov.DownSteps != 0 {
+		t.Errorf("clamped no-op at the bottom rail counted DownSteps=%d, want 0", gov.DownSteps)
+	}
+	if d.FreqIndex() != 0 {
+		t.Fatalf("device moved off the bottom level: %d", d.FreqIndex())
+	}
+
+	// Sanity: a genuine move still counts exactly once.
+	gov.Act(2, d, 10)
+	if gov.UpSteps != 1 || d.FreqIndex() != top {
+		t.Errorf("real move: UpSteps=%d freq=%d, want 1 and %d", gov.UpSteps, d.FreqIndex(), top)
 	}
 }

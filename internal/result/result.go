@@ -5,44 +5,50 @@
 // what `ehsim -scenario` prints for the same spec — holds because both
 // call RunSpec and serve Report.Text verbatim.
 //
-// The package also owns the textual building blocks the CLI's legacy
-// flag path shares with scenario reports (WriteSummary, WriteSweepTable)
-// and the trace serialisation that stamps every CSV with the spec's
-// content address (WriteTrace).
+// Execution itself lives behind the scenario model registry
+// (internal/scenario's Model interface): RunSpec resolves the spec's
+// model — lab, mpsoc, taskburst, eneutral — runs it, and wraps the
+// rendered report with the spec's content address. Every front-end that
+// goes through RunSpec gains new models the moment they register.
+//
+// The package also re-exports the textual building blocks the CLI's
+// legacy flag path shares with lab scenario reports (WriteSummary,
+// WriteSweepTable) and owns the trace serialisation that stamps every
+// CSV with the spec's content address (WriteTrace).
 package result
 
 import (
 	"bytes"
-	"errors"
 	"fmt"
 	"io"
-	"strings"
 
 	"repro/internal/lab"
 	"repro/internal/scenario"
-	"repro/internal/sweep"
 	"repro/internal/trace"
-	"repro/internal/units"
 )
 
 // EngineVersion names the simulation-and-rendering contract a cached
 // report was produced under. The service mixes it into cache keys, so
-// bump it whenever lab semantics, registry defaults, or report text
-// change in a way that should invalidate previously computed results.
+// bump it whenever lab semantics, registry defaults, model behaviour,
+// or report text change in a way that should invalidate previously
+// computed results.
 const EngineVersion = "1"
 
 // TraceInterval is the sampling interval (simulated seconds) used for
-// captured V_CC traces, matching the CLI's -trace behaviour.
-const TraceInterval = 1e-3
+// captured traces, matching the CLI's -trace behaviour.
+const TraceInterval = scenario.DefaultTraceInterval
 
 // Options tunes one RunSpec execution.
 type Options struct {
 	// Workers is the sweep parallelism (0 = one per core).
 	Workers int
 
-	// Trace captures a V_CC/freq/mode trace during the run. It applies to
-	// single-run specs only (sweeps have no single trace) and does not
-	// perturb the simulation — the recorder is a pure observer.
+	// Trace captures a trace during the run. It applies to single-run
+	// specs only (sweeps have no single trace) and does not perturb the
+	// simulation — the recorder is a pure observer. What the trace
+	// carries is model-defined: V_CC/freq/mode for lab runs,
+	// budget/used/fps for mpsoc, vcap/events for taskburst,
+	// soc/duty/harvest for eneutral.
 	Trace bool
 
 	// TraceInterval overrides the trace sampling interval (simulated
@@ -55,13 +61,15 @@ type Options struct {
 	Progress func(done, total int)
 
 	// Cancel, if non-nil, aborts the run when closed: RunSpec returns
-	// sweep.ErrCanceled. It stops new sweep cases from starting and, via
-	// lab's Setup.Abort, interrupts the stepping loop of cases already
-	// running, so even long single runs cancel promptly.
+	// sweep.ErrCanceled. It stops new sweep cases from starting and
+	// interrupts the stepping loop of cases already running, so even
+	// long single runs cancel promptly.
 	Cancel <-chan struct{}
 }
 
-// CaseResult pairs one executed case with its name.
+// CaseResult pairs one executed case with its name. Result carries the
+// structured lab metrics for lab-model cases and is zero for the
+// analytic models, whose outcomes live in the rendered text.
 type CaseResult struct {
 	Name   string
 	Result lab.Result
@@ -93,170 +101,64 @@ type Report struct {
 }
 
 // RunSpec executes a validated spec — a single run without sweep axes, a
-// parallel grid sweep with them — and renders its report.
+// parallel grid sweep with them — through its scenario model and
+// renders its report.
 func RunSpec(sp *scenario.Spec, opts Options) (*Report, error) {
 	hash, err := sp.Hash()
 	if err != nil {
 		return nil, err
 	}
-	rep := &Report{SpecHash: hash}
-	var buf bytes.Buffer
-
-	if !sp.HasSweep() {
-		if opts.Cancel != nil {
-			select {
-			case <-opts.Cancel:
-				return nil, sweep.ErrCanceled
-			default:
-			}
-		}
-		s, err := sp.Setup()
-		if err != nil {
-			return nil, err
-		}
-		s.Abort = opts.Cancel
-		var rec *trace.Recorder
-		if opts.Trace {
-			rec = trace.NewRecorder()
-			s.Recorder = rec
-			s.RecordInterval = opts.TraceInterval
-			if s.RecordInterval <= 0 {
-				s.RecordInterval = TraceInterval
-			}
-		}
-		res, err := lab.Run(s)
-		if errors.Is(err, lab.ErrAborted) {
-			return nil, sweep.ErrCanceled
-		}
-		if err != nil {
-			return nil, err
-		}
-		if opts.Progress != nil {
-			opts.Progress(1, 1)
-		}
-		fmt.Fprintln(&buf, SingleTitle(sp))
-		WriteSummary(&buf, res, float64(sp.Duration))
-		rep.Cases = []CaseResult{{Name: sp.Name, Result: res}}
-		rep.SimSeconds = float64(sp.Duration)
-		if rec != nil {
-			var tb bytes.Buffer
-			if err := WriteTrace(&tb, rec, hash); err != nil {
-				return nil, err
-			}
-			rep.TraceCSV = tb.Bytes()
-		}
-		rep.Text = buf.String()
-		return rep, nil
+	m, err := scenario.LookupModel(sp.ModelName())
+	if err != nil {
+		return nil, fmt.Errorf("scenario %q: %w", sp.Name, err)
 	}
-
-	rep.Sweep = true
-	grid := sp.Grid()
-	cases := grid.Cases()
-	r := &sweep.Runner{Workers: opts.Workers, OnProgress: opts.Progress, Cancel: opts.Cancel}
-	results, err := sweep.MapGrid(r, grid, func(c sweep.Case) (lab.Result, error) {
-		s, err := sp.SetupAt(c)
-		if err != nil {
-			return lab.Result{}, err
-		}
-		s.Abort = opts.Cancel
-		return lab.Run(s)
+	mr, err := m.Run(sp, scenario.RunOptions{
+		Workers:       opts.Workers,
+		Trace:         opts.Trace,
+		TraceInterval: opts.TraceInterval,
+		Progress:      opts.Progress,
+		Cancel:        opts.Cancel,
 	})
 	if err != nil {
-		// A case interrupted mid-run by Cancel surfaces as its abort
-		// error; fold it into the uniform cancellation signal.
-		if errors.Is(err, lab.ErrAborted) {
-			return nil, sweep.ErrCanceled
-		}
 		return nil, err
 	}
-	fmt.Fprintf(&buf, "scenario %s: sweep over %s, %d cases\n",
-		sp.Name, SweepAxesLabel(sp), len(cases))
-	names := make([]string, len(cases))
-	rep.Cases = make([]CaseResult, len(cases))
-	for i, c := range cases {
-		names[i] = c.Name
-		rep.Cases[i] = CaseResult{Name: c.Name, Result: results[i]}
-		rep.SimSeconds += caseDuration(sp, c)
+	rep := &Report{
+		SpecHash:   hash,
+		Sweep:      mr.Sweep,
+		Text:       mr.Text,
+		SimSeconds: mr.SimSeconds,
+		Cases:      make([]CaseResult, len(mr.Cases)),
 	}
-	WriteSweepTable(&buf, "case", 32, names, results)
-	rep.Text = buf.String()
+	for i, c := range mr.Cases {
+		rep.Cases[i] = CaseResult{Name: c.Name, Result: c.Lab}
+	}
+	if mr.Trace != nil {
+		var tb bytes.Buffer
+		if err := WriteTrace(&tb, mr.Trace, hash); err != nil {
+			return nil, err
+		}
+		rep.TraceCSV = tb.Bytes()
+	}
 	return rep, nil
 }
 
-// caseDuration resolves one grid case's simulated duration: the spec's,
-// unless a "duration" axis overrides it.
-func caseDuration(sp *scenario.Spec, c sweep.Case) float64 {
-	if v, ok := c.Values["duration"]; ok {
-		if f, ok := v.(float64); ok {
-			return f
-		}
-	}
-	return float64(sp.Duration)
-}
-
-// SingleTitle renders a single-run scenario's report title line.
-func SingleTitle(sp *scenario.Spec) string {
-	return fmt.Sprintf("scenario %s: %s on %s, runtime=%s, C=%s, %gs",
-		sp.Name, sp.Workload, sp.Source.Name, runtimeLabel(sp),
-		units.Format(float64(sp.Storage.C), "F"), float64(sp.Duration))
-}
-
-// runtimeLabel names the spec's runtime for report headers ("" → none).
-func runtimeLabel(sp *scenario.Spec) string {
-	if sp.Runtime.Name == "" {
-		return "none"
-	}
-	return sp.Runtime.Name
-}
+// SingleTitle renders a single-run lab scenario's report title line.
+func SingleTitle(sp *scenario.Spec) string { return scenario.SingleTitle(sp) }
 
 // SweepAxesLabel joins the spec's sweep axis names for the report header.
-func SweepAxesLabel(sp *scenario.Spec) string {
-	names := make([]string, len(sp.Sweep))
-	for i, ax := range sp.Sweep {
-		names[i] = ax.Param
-	}
-	return strings.Join(names, " × ")
-}
+func SweepAxesLabel(sp *scenario.Spec) string { return scenario.SweepAxesLabel(sp) }
 
 // WriteSummary renders one run's result block — the per-run body shared
 // by the CLI's flag and scenario paths and the service's reports.
 func WriteSummary(w io.Writer, res lab.Result, duration float64) {
-	fmt.Fprintf(w, "  completions:        %d (wrong: %d)\n", res.Completions, res.WrongResults)
-	fmt.Fprintf(w, "  throughput:         %.2f ops/s\n", res.Throughput(duration))
-	if res.Completions > 0 {
-		fmt.Fprintf(w, "  energy/completion:  %s\n", units.Format(res.EnergyPerCompletion(), "J"))
-		fmt.Fprintf(w, "  first completion:   %s\n", units.FormatSeconds(res.FirstCompletion))
-	}
-	st := res.Stats
-	fmt.Fprintf(w, "  snapshots:          %d started, %d done, %d aborted\n",
-		st.SavesStarted, st.SavesDone, st.SavesAborted)
-	fmt.Fprintf(w, "  restores/wakes:     %d / %d\n", st.Restores, st.WakeNoRestore)
-	fmt.Fprintf(w, "  power cycles:       %d brown-outs, %d cold starts\n", st.BrownOuts, st.ColdStarts)
-	fmt.Fprintf(w, "  time split:         active %.2fs, sleep %.2fs, save %.2fs, off %.2fs\n",
-		st.ActiveSec, st.SleepSec, st.SaveSec, st.OffSec)
-	fmt.Fprintf(w, "  energy:             harvested %s, consumed %s\n",
-		units.Format(res.HarvestedJ, "J"), units.Format(res.ConsumedJ, "J"))
-	if res.RuntimeErr != nil {
-		fmt.Fprintf(w, "  guest fault:        %v\n", res.RuntimeErr)
-	}
+	scenario.WriteSummary(w, res, duration)
 }
 
 // WriteSweepTable renders the sweep comparison table: a header row, then
 // one row per case. width sets the first column's width, col0 its title
 // ("case" for scenario sweeps, "C" for the CLI's storage sweeps).
 func WriteSweepTable(w io.Writer, col0 string, width int, names []string, results []lab.Result) {
-	fmt.Fprintf(w, "%-*s %-12s %-8s %-10s %-10s %-12s %-12s\n",
-		width, col0, "completions", "wrong", "snapshots", "brownouts", "energy/op", "harvested")
-	for i, res := range results {
-		eop := "∞"
-		if res.Completions > 0 {
-			eop = units.Format(res.EnergyPerCompletion(), "J")
-		}
-		fmt.Fprintf(w, "%-*s %-12d %-8d %-10d %-10d %-12s %-12s\n",
-			width, names[i], res.Completions, res.WrongResults,
-			res.Stats.SavesStarted, res.Stats.BrownOuts, eop,
-			units.Format(res.HarvestedJ, "J"))
-	}
+	scenario.WriteSweepTable(w, col0, width, names, results)
 }
 
 // WriteTrace serialises a recorded trace as CSV, prefixed (when specHash

@@ -23,6 +23,9 @@ func (s *Spec) Setup() (lab.Setup, error) {
 	if err := s.Validate(); err != nil {
 		return lab.Setup{}, err
 	}
+	if s.ModelName() != "lab" {
+		return lab.Setup{}, s.errf("Setup compiles lab-model specs only (this spec uses model %q)", s.ModelName())
+	}
 
 	mk, entry, err := transient.RuntimeFactory(s.runtimeName(), float64(s.Storage.C), toParams(s.Runtime.Params))
 	if err != nil {
@@ -126,16 +129,9 @@ func axisLabel(param string, v float64) string {
 //	    ...
 //	})
 func (s *Spec) SetupAt(c sweep.Case) (lab.Setup, error) {
-	cs := s.clone()
-	cs.Sweep = nil
-	for _, ax := range s.Sweep {
-		v, ok := c.Values[ax.Param]
-		if !ok {
-			return lab.Setup{}, s.errf("case %q carries no value for axis %q", c.Name, ax.Param)
-		}
-		if err := cs.Apply(ax.Param, v); err != nil {
-			return lab.Setup{}, s.errf("case %q: %v", c.Name, err)
-		}
+	cs, err := s.at(c)
+	if err != nil {
+		return lab.Setup{}, err
 	}
 	return cs.Setup()
 }
@@ -143,7 +139,8 @@ func (s *Spec) SetupAt(c sweep.Case) (lab.Setup, error) {
 // Apply sets one swept parameter on the spec. Accepted params:
 //
 //	float-valued: c, v0, leakr (also storage.c, …), duration, dt,
-//	              freqindex, source.<key>, runtime.<key>, governor.<key>
+//	              freqindex, source.<key>, runtime.<key>, governor.<key>,
+//	              model.<key> (top-level model params)
 //	name-valued:  workload, source, runtime, governor
 func (s *Spec) Apply(param string, value any) error {
 	if name, ok := value.(string); ok {
@@ -187,6 +184,8 @@ func (s *Spec) Apply(param string, value any) error {
 			return fmt.Errorf("unknown sweep param %q (see scenario.Apply for the accepted set)", param)
 		}
 		switch group {
+		case "model":
+			s.Params = setParam(s.Params, key, f)
 		case "source":
 			s.Source.Params = setParam(s.Source.Params, key, f)
 		case "runtime":

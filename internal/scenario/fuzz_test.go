@@ -31,6 +31,10 @@ func FuzzParseSpec(f *testing.F) {
 	f.Add([]byte(`{"name":"x","workload":"fft64","storage":{"c":"10u"},"source":{"name":"dc"},"duration":1}`))
 	f.Add([]byte(`{"name":"s","workload":"crc256","storage":{"c":1e-5},"source":{"name":"square","params":{"ontime":"4m"}},"runtime":{"name":"hibernus"},"duration":"500m","sweep":[{"param":"c","values":["4.7u",1e-5]},{"param":"runtime","names":["hibernus","quickrecall"]}]}`))
 	f.Add([]byte(`{"name":"g","workload":"fft64","storage":{"c":"330u"},"source":{"name":"wind"},"governor":{"policy":"hillclimb"},"duration":1}`))
+	f.Add([]byte(`{"name":"mp","model":"mpsoc","source":{"name":"const-power"},"params":{"scale":"2"},"duration":10,"dt":1}`))
+	f.Add([]byte(`{"name":"tb","model":"taskburst","storage":{"c":"6m"},"source":{"name":"pv"},"params":{"taskenergy":"1m"},"duration":5,"sweep":[{"param":"model.eta","values":[0.5,0.7]}]}`))
+	f.Add([]byte(`{"name":"en","model":"eneutral","source":{"name":"pv"},"duration":100}`))
+	f.Add([]byte(`{"name":"bad","model":"fpga","duration":1}`))
 	f.Add([]byte(`{"name":"","workload":"","storage":{"c":-1},"source":{"name":"nope"},"duration":-3}`))
 	f.Add([]byte(`{"unknown_field":true}`))
 	f.Add([]byte(`not json at all`))

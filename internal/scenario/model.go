@@ -1,0 +1,299 @@
+// Scenario models: the dispatch layer that lets one declarative Spec
+// surface drive heterogeneous simulation engines. The paper's Fig. 2
+// taxonomy spans three system classes beyond the single-MCU lab engine —
+// energy-neutral duty cycling (§II.A), charge-and-fire task-based
+// transients (§II.B), and power-neutral MPSoCs (§II.C) — and each class
+// is a Model registered here under a stable name. Spec.Model selects
+// one ("" means "lab", preserving every pre-model spec and its content
+// hash byte-for-byte); every front-end that executes specs through
+// internal/result.RunSpec gains all registered models with no per-model
+// plumbing.
+//
+// The model contract (docs/ARCHITECTURE.md "The model registry"):
+//
+//   - deterministic: a model's Run output depends only on the spec —
+//     no wall clock, no unseeded randomness — because reports are
+//     content-addressed by Spec.Hash() and golden-pinned;
+//   - the model name folds into the canonical JSON (and so the hash)
+//     exactly when set, so "model":"lab" and an absent model field are
+//     distinct cache keys even though they run identically;
+//   - Validate must resolve every name and reject every spec field the
+//     model does not consume, so a typo fails loudly at parse time;
+//   - Run must honour RunOptions: report progress, stop on Cancel with
+//     sweep.ErrCanceled, and capture a trace when asked (single runs).
+package scenario
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/lab"
+	"repro/internal/registry"
+	"repro/internal/source"
+	"repro/internal/sweep"
+	"repro/internal/trace"
+)
+
+// DefaultTraceInterval is the default sampling interval (simulated
+// seconds) for captured traces, matching the CLI's -trace behaviour.
+const DefaultTraceInterval = 1e-3
+
+// RunOptions tunes one model execution (the scenario-level mirror of
+// result.Options).
+type RunOptions struct {
+	// Workers is the sweep parallelism (0 = one per core). Only the lab
+	// model fans sweep cases out in parallel; the analytic models run
+	// their (cheap) cases sequentially.
+	Workers int
+
+	// Trace asks the model to capture its run as a trace.Recorder. It
+	// applies to single-run specs only and must not perturb the
+	// simulation.
+	Trace bool
+
+	// TraceInterval overrides the trace sampling interval (simulated
+	// seconds); ≤0 selects DefaultTraceInterval.
+	TraceInterval float64
+
+	// Progress, if non-nil, is called after each case completes; single
+	// runs report (1, 1).
+	Progress func(done, total int)
+
+	// Cancel, if non-nil, aborts the run when closed: Run returns
+	// sweep.ErrCanceled.
+	Cancel <-chan struct{}
+}
+
+// interval resolves the effective trace sampling interval.
+func (o RunOptions) interval() float64 {
+	if o.TraceInterval > 0 {
+		return o.TraceInterval
+	}
+	return DefaultTraceInterval
+}
+
+// ModelCase is one executed case of a model run.
+type ModelCase struct {
+	Name string
+	// Lab holds the structured result for lab-model cases; other models
+	// report through their rendered text and leave it zero.
+	Lab lab.Result
+}
+
+// ModelReport is one model execution's complete outcome, rendered and
+// structured. internal/result wraps it with the spec's content address.
+type ModelReport struct {
+	// Sweep reports whether the spec expanded into a grid.
+	Sweep bool
+
+	// Text is the canonical rendering — byte-identical to what
+	// `ehsim -scenario` prints on stdout for the same spec.
+	Text string
+
+	// Cases holds the per-case outcomes in grid order (one entry for a
+	// single run).
+	Cases []ModelCase
+
+	// SimSeconds is the total simulated time across all cases.
+	SimSeconds float64
+
+	// Trace is the captured recorder (RunOptions.Trace, single runs
+	// only); nil otherwise. Serialisation — the spec-hash header plus
+	// CSV — is the caller's job, since the model does not know the hash.
+	Trace *trace.Recorder
+}
+
+// Model is one pluggable scenario family. Implementations are
+// registered with RegisterModel and resolved by Spec.Model.
+type Model interface {
+	// Desc is the one-line description for discovery output.
+	Desc() string
+
+	// Params documents the model-level tunables (Spec.Params). An empty
+	// slice means the model takes none.
+	Params() []registry.ParamDoc
+
+	// Validate checks the model-specific spec constraints: names
+	// resolve, required fields are present, fields the model does not
+	// consume are absent. The common checks (duration, dt, sweep
+	// bounds) run before dispatch in Spec.Validate.
+	Validate(sp *Spec) error
+
+	// Run executes the spec — a single run without sweep axes, a grid
+	// sweep with them — and renders its report.
+	Run(sp *Spec, opts RunOptions) (*ModelReport, error)
+}
+
+var models = registry.New[Model]("model")
+
+// RegisterModel adds a model under name (panics on duplicates).
+func RegisterModel(name string, m Model) { models.Register(name, m) }
+
+// ModelNames returns every registered model name, sorted.
+func ModelNames() []string { return models.Names() }
+
+// LookupModel resolves name, or returns an error listing the known
+// models.
+func LookupModel(name string) (Model, error) { return models.Get(name) }
+
+// ModelName returns the effective model name ("" selects "lab").
+func (s *Spec) ModelName() string {
+	if s.Model == "" {
+		return "lab"
+	}
+	return s.Model
+}
+
+// modelParams resolves the spec's top-level params against the model's
+// docs: defaults filled in, unknown keys rejected.
+func (s *Spec) modelParams(m Model) (registry.Params, error) {
+	return registry.Resolve("model", s.ModelName(), m.Params(), toParams(s.Params))
+}
+
+// canceled reports whether the cancel channel is closed.
+func canceled(cancel <-chan struct{}) bool {
+	if cancel == nil {
+		return false
+	}
+	select {
+	case <-cancel:
+		return true
+	default:
+		return false
+	}
+}
+
+// rejectLabFields errors when the spec sets any of the lab-engine
+// blocks a non-lab model does not consume. Listing them individually
+// keeps the message actionable.
+func (s *Spec) rejectLabFields() error {
+	model := s.ModelName()
+	if s.Workload != "" {
+		return s.errf("model %q takes no workload (remove the workload field)", model)
+	}
+	if s.Device.FreqIndex != nil || s.Device.Profile != "" {
+		return s.errf("model %q takes no device block", model)
+	}
+	if s.Runtime.Name != "" || len(s.Runtime.Params) > 0 {
+		return s.errf("model %q takes no runtime block", model)
+	}
+	if s.Governor != nil {
+		return s.errf("model %q takes no governor block", model)
+	}
+	return nil
+}
+
+// rejectStorage errors when the spec sets a storage block a model does
+// not consume (models that size storage through their params).
+func (s *Spec) rejectStorage() error {
+	if s.Storage != (StorageSpec{}) {
+		return s.errf("model %q takes no storage block (size storage through params)", s.ModelName())
+	}
+	return nil
+}
+
+// buildPowerSource resolves the spec's source and requires a power-kind
+// entry (an available-power waveform P(t)) — the budget the analytic
+// models consume. Voltage-kind sources are rejected with the list of
+// power sources, so the fix is one error message away.
+func (s *Spec) buildPowerSource() (source.PowerSource, error) {
+	if s.Source.Name == "" {
+		return nil, s.errf("source.name is required")
+	}
+	e, err := source.Lookup(s.Source.Name)
+	if err != nil {
+		return nil, s.errf("%v", err)
+	}
+	if !e.Power {
+		var powered []string
+		for _, n := range source.Names() {
+			if pe, _ := source.Lookup(n); pe.Power {
+				powered = append(powered, n)
+			}
+		}
+		return nil, s.errf("model %q needs a power source, but %q supplies a voltage waveform (power sources: %s)",
+			s.ModelName(), s.Source.Name, strings.Join(powered, ", "))
+	}
+	b, err := source.Build(s.Source.Name, toParams(s.Source.Params))
+	if err != nil {
+		return nil, s.errf("%v", err)
+	}
+	return b.P, nil
+}
+
+// at returns a sweep-free copy of the spec with the case's coordinates
+// applied — the shared expansion step behind SetupAt and the analytic
+// models' sweep loops.
+func (s *Spec) at(c sweep.Case) (*Spec, error) {
+	cs := s.clone()
+	cs.Sweep = nil
+	for _, ax := range s.Sweep {
+		v, ok := c.Values[ax.Param]
+		if !ok {
+			return nil, s.errf("case %q carries no value for axis %q", c.Name, ax.Param)
+		}
+		if err := cs.Apply(ax.Param, v); err != nil {
+			return nil, s.errf("case %q: %v", c.Name, err)
+		}
+	}
+	return cs, nil
+}
+
+// runTableSweep is the shared sweep loop for the analytic (non-lab)
+// models: expand the grid, run every case sequentially (the analytic
+// engines are orders of magnitude cheaper than the lab's cycle-level
+// stepping, so parallel fan-out would be all overhead), and render a
+// comparison table with the model's columns.
+func runTableSweep(sp *Spec, opts RunOptions, header []string,
+	runCase func(cs *Spec) (cells []string, simSeconds float64, err error)) (*ModelReport, error) {
+	grid := sp.Grid()
+	cases := grid.Cases()
+	rep := &ModelReport{Sweep: true}
+	var buf bytes.Buffer
+	fmt.Fprintf(&buf, "scenario %s: sweep over %s, %d cases\n",
+		sp.Name, SweepAxesLabel(sp), len(cases))
+	rows := make([][]string, len(cases))
+	names := make([]string, len(cases))
+	for i, c := range cases {
+		if canceled(opts.Cancel) {
+			return nil, sweep.ErrCanceled
+		}
+		cs, err := sp.at(c)
+		if err != nil {
+			return nil, err
+		}
+		cells, sim, err := runCase(cs)
+		if err != nil {
+			return nil, err
+		}
+		rows[i], names[i] = cells, c.Name
+		rep.SimSeconds += sim
+		rep.Cases = append(rep.Cases, ModelCase{Name: c.Name})
+		if opts.Progress != nil {
+			opts.Progress(i+1, len(cases))
+		}
+	}
+	writeCellTable(&buf, "case", 32, header, names, rows)
+	rep.Text = buf.String()
+	return rep, nil
+}
+
+// writeCellTable renders a generic sweep table: a header row, then one
+// row of pre-formatted cells per case. width sets the first column's
+// width, col0 its title.
+func writeCellTable(w io.Writer, col0 string, width int, header, names []string, rows [][]string) {
+	fmt.Fprintf(w, "%-*s", width, col0)
+	for _, h := range header {
+		fmt.Fprintf(w, " %-12s", h)
+	}
+	fmt.Fprintln(w)
+	for i, cells := range rows {
+		fmt.Fprintf(w, "%-*s", width, names[i])
+		for _, c := range cells {
+			fmt.Fprintf(w, " %-12s", c)
+		}
+		fmt.Fprintln(w)
+	}
+}

@@ -1,0 +1,154 @@
+package scenario
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+
+	"repro/internal/lab"
+	"repro/internal/powerneutral"
+	"repro/internal/programs"
+	"repro/internal/registry"
+	"repro/internal/source"
+	"repro/internal/sweep"
+	"repro/internal/trace"
+	"repro/internal/transient"
+)
+
+func init() { RegisterModel("lab", labModel{}) }
+
+// labModel is the default scenario family: the cycle-accurate single-MCU
+// lab engine (workload + device + transient runtime + optional DFS
+// governor on a harvested rail) every pre-model spec ran on. Its report
+// bytes are pinned by the golden corpus and by the byte-identity
+// contract between `ehsim -scenario` and the ehsimd service.
+type labModel struct{}
+
+func (labModel) Desc() string {
+	return "cycle-level MCU on a harvested rail (workload × runtime × supply)"
+}
+
+func (labModel) Params() []registry.ParamDoc { return nil }
+
+// Validate implements Model: the structural checks the lab engine needs
+// — every name resolves, every param key is known, storage is sane.
+func (labModel) Validate(s *Spec) error {
+	if s.Workload == "" {
+		return s.errf("workload is required")
+	}
+	if _, err := programs.Lookup(s.Workload); err != nil {
+		return s.errf("%v", err)
+	}
+	switch s.Device.Profile {
+	case "", "default", "unified-nv":
+	default:
+		return s.errf("device profile %q (valid: default, unified-nv)", s.Device.Profile)
+	}
+	if s.Source.Name == "" {
+		return s.errf("source.name is required")
+	}
+	if _, err := source.Build(s.Source.Name, toParams(s.Source.Params)); err != nil {
+		return s.errf("%v", err)
+	}
+	if _, _, err := transient.RuntimeFactory(s.runtimeName(), 1e-6, toParams(s.Runtime.Params)); err != nil {
+		return s.errf("%v", err)
+	}
+	if s.Governor != nil {
+		if _, err := powerneutral.BuildGovernor(s.Governor.Policy, toParams(s.Governor.Params)); err != nil {
+			return s.errf("%v", err)
+		}
+	}
+	if s.Storage.C <= 0 {
+		return s.errf("storage.c must be positive (got %g F)", float64(s.Storage.C))
+	}
+	if _, err := s.modelParams(labModel{}); err != nil {
+		return s.errf("%v", err)
+	}
+	return nil
+}
+
+// Run implements Model — the execute-and-render path internal/result
+// historically owned, moved here verbatim so the report bytes (and the
+// golden corpus pinning them) are unchanged.
+func (labModel) Run(sp *Spec, opts RunOptions) (*ModelReport, error) {
+	rep := &ModelReport{}
+	var buf bytes.Buffer
+
+	if !sp.HasSweep() {
+		if canceled(opts.Cancel) {
+			return nil, sweep.ErrCanceled
+		}
+		s, err := sp.Setup()
+		if err != nil {
+			return nil, err
+		}
+		s.Abort = opts.Cancel
+		var rec *trace.Recorder
+		if opts.Trace {
+			rec = trace.NewRecorder()
+			s.Recorder = rec
+			s.RecordInterval = opts.interval()
+		}
+		res, err := lab.Run(s)
+		if errors.Is(err, lab.ErrAborted) {
+			return nil, sweep.ErrCanceled
+		}
+		if err != nil {
+			return nil, err
+		}
+		if opts.Progress != nil {
+			opts.Progress(1, 1)
+		}
+		fmt.Fprintln(&buf, SingleTitle(sp))
+		WriteSummary(&buf, res, float64(sp.Duration))
+		rep.Cases = []ModelCase{{Name: sp.Name, Lab: res}}
+		rep.SimSeconds = float64(sp.Duration)
+		rep.Trace = rec
+		rep.Text = buf.String()
+		return rep, nil
+	}
+
+	rep.Sweep = true
+	grid := sp.Grid()
+	cases := grid.Cases()
+	r := &sweep.Runner{Workers: opts.Workers, OnProgress: opts.Progress, Cancel: opts.Cancel}
+	results, err := sweep.MapGrid(r, grid, func(c sweep.Case) (lab.Result, error) {
+		s, err := sp.SetupAt(c)
+		if err != nil {
+			return lab.Result{}, err
+		}
+		s.Abort = opts.Cancel
+		return lab.Run(s)
+	})
+	if err != nil {
+		// A case interrupted mid-run by Cancel surfaces as its abort
+		// error; fold it into the uniform cancellation signal.
+		if errors.Is(err, lab.ErrAborted) {
+			return nil, sweep.ErrCanceled
+		}
+		return nil, err
+	}
+	fmt.Fprintf(&buf, "scenario %s: sweep over %s, %d cases\n",
+		sp.Name, SweepAxesLabel(sp), len(cases))
+	names := make([]string, len(cases))
+	rep.Cases = make([]ModelCase, len(cases))
+	for i, c := range cases {
+		names[i] = c.Name
+		rep.Cases[i] = ModelCase{Name: c.Name, Lab: results[i]}
+		rep.SimSeconds += caseDuration(sp, c)
+	}
+	WriteSweepTable(&buf, "case", 32, names, results)
+	rep.Text = buf.String()
+	return rep, nil
+}
+
+// caseDuration resolves one grid case's simulated duration: the spec's,
+// unless a "duration" axis overrides it.
+func caseDuration(sp *Spec, c sweep.Case) float64 {
+	if v, ok := c.Values["duration"]; ok {
+		if f, ok := v.(float64); ok {
+			return f
+		}
+	}
+	return float64(sp.Duration)
+}

@@ -1,0 +1,151 @@
+package scenario
+
+import (
+	"bytes"
+	"fmt"
+
+	"repro/internal/mpsoc"
+	"repro/internal/registry"
+	"repro/internal/sweep"
+	"repro/internal/trace"
+)
+
+func init() { RegisterModel("mpsoc", mpsocModel{}) }
+
+// mpsocModel is the paper's §II.C power-neutral MPSoC (Fig. 5 and
+// reference [11]): an ODROID XU-4-class big.LITTLE board whose runtime
+// policy picks, at every control step, the highest-FPS operating point
+// (per-cluster DVFS × hot-plugged core count) whose power fits the
+// instantaneously harvested budget. The spec's power source, scaled by
+// the "scale" param, is the budget; Storage and the lab blocks
+// (workload/device/runtime/governor) do not apply — the board's
+// decoupling storage is parasitic by definition (eq. 3 with T small).
+type mpsocModel struct{}
+
+func (mpsocModel) Desc() string {
+	return "power-neutral big.LITTLE MPSoC: operating-point governor tracking a harvested power budget (Fig. 5)"
+}
+
+func (mpsocModel) Params() []registry.ParamDoc {
+	return []registry.ParamDoc{
+		{Key: "scale", Default: 1, Desc: "multiplier from source power to board budget (W/W)"},
+	}
+}
+
+// mpsocDefaultDt is the control period when the spec leaves dt unset:
+// the governor of [11] re-selects operating points at a second-scale
+// cadence, far from the lab engine's microsecond stepping.
+const mpsocDefaultDt = 1.0
+
+// Validate implements Model.
+func (m mpsocModel) Validate(s *Spec) error {
+	if err := s.rejectLabFields(); err != nil {
+		return err
+	}
+	if err := s.rejectStorage(); err != nil {
+		return err
+	}
+	if _, err := s.buildPowerSource(); err != nil {
+		return err
+	}
+	p, err := s.modelParams(m)
+	if err != nil {
+		return s.errf("%v", err)
+	}
+	if p["scale"] <= 0 {
+		return s.errf("model param scale must be positive (got %g)", p["scale"])
+	}
+	return nil
+}
+
+// Run implements Model.
+func (m mpsocModel) Run(sp *Spec, opts RunOptions) (*ModelReport, error) {
+	if sp.HasSweep() {
+		return runTableSweep(sp, opts,
+			[]string{"frames", "mean-fps", "used-W", "util", "switches", "starved"},
+			func(cs *Spec) ([]string, float64, error) {
+				res, _, err := m.simulate(cs, nil, opts.Cancel)
+				if err != nil {
+					return nil, 0, err
+				}
+				return []string{
+					fmt.Sprintf("%.1f", res.Frames),
+					fmt.Sprintf("%.2f", res.MeanFPS),
+					fmt.Sprintf("%.3f", res.MeanUsedW),
+					fmt.Sprintf("%.1f%%", res.Utilization*100),
+					fmt.Sprintf("%d", res.Switches),
+					fmt.Sprintf("%d", res.Starved),
+				}, float64(cs.Duration), nil
+			})
+	}
+
+	var rec *trace.Recorder
+	if opts.Trace {
+		rec = trace.NewRecorder()
+		rec.SetInterval(opts.interval())
+	}
+	res, sel, err := m.simulate(sp, rec, opts.Cancel)
+	if err != nil {
+		return nil, err
+	}
+	if opts.Progress != nil {
+		opts.Progress(1, 1)
+	}
+
+	pts := mpsoc.XU4().OperatingPoints()
+	minW, maxW := mpsoc.PowerRange(pts)
+	var buf bytes.Buffer
+	fmt.Fprintf(&buf, "scenario %s: mpsoc power-neutral governor on %s, %gs\n",
+		sp.Name, sp.Source.Name, float64(sp.Duration))
+	fmt.Fprintf(&buf, "  operating points:   %d (pareto frontier %d)\n", len(pts), len(sel.Frontier))
+	fmt.Fprintf(&buf, "  power range:        %.2fW – %.2fW (%.1fx modulation)\n", minW, maxW, maxW/minW)
+	fmt.Fprintf(&buf, "  frames rendered:    %.1f (mean %.2f fps)\n", res.Frames, res.MeanFPS)
+	fmt.Fprintf(&buf, "  power budget:       mean %.3fW, used %.3fW (%.1f%% utilization)\n",
+		res.MeanBudgetW, res.MeanUsedW, res.Utilization*100)
+	fmt.Fprintf(&buf, "  peak budget:        %.3fW\n", res.MaxSustainedW)
+	fmt.Fprintf(&buf, "  op switches:        %d (starved %d of %d steps)\n",
+		res.Switches, res.Starved, res.Steps)
+	return &ModelReport{
+		Text:       buf.String(),
+		Cases:      []ModelCase{{Name: sp.Name}},
+		SimSeconds: float64(sp.Duration),
+		Trace:      rec,
+	}, nil
+}
+
+// simulate runs one sweep-free mpsoc case, optionally recording the
+// budget/used/fps trace.
+func (m mpsocModel) simulate(sp *Spec, rec *trace.Recorder, cancel <-chan struct{}) (mpsoc.SimResult, *mpsoc.Selector, error) {
+	p, err := sp.modelParams(m)
+	if err != nil {
+		return mpsoc.SimResult{}, nil, sp.errf("%v", err)
+	}
+	ps, err := sp.buildPowerSource()
+	if err != nil {
+		return mpsoc.SimResult{}, nil, err
+	}
+	scale := p["scale"]
+	budget := func(t float64) float64 { return scale * ps.Power(t) }
+
+	sel := mpsoc.NewSelector(mpsoc.XU4())
+	sel.Abort = cancel
+	if rec != nil {
+		budgetCh := rec.Channel("budget", "W")
+		usedCh := rec.Channel("used", "W")
+		fpsCh := rec.Channel("fps", "fps")
+		sel.Observe = func(t, w float64, op mpsoc.OperatingPoint, ok bool) {
+			budgetCh.Record(t, w)
+			usedCh.Record(t, op.PowerW)
+			fpsCh.Record(t, op.FPS)
+		}
+	}
+	dt := float64(sp.Dt)
+	if dt <= 0 {
+		dt = mpsocDefaultDt
+	}
+	res := sel.Simulate(budget, float64(sp.Duration), dt)
+	if res.Aborted {
+		return res, sel, sweep.ErrCanceled
+	}
+	return res, sel, nil
+}

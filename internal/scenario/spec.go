@@ -21,11 +21,7 @@ import (
 	"fmt"
 	"os"
 
-	"repro/internal/powerneutral"
-	"repro/internal/programs"
 	"repro/internal/registry"
-	"repro/internal/source"
-	"repro/internal/transient"
 	"repro/internal/units"
 )
 
@@ -111,6 +107,18 @@ type Spec struct {
 	// Paper maps the scenario to its source-paper artefact ("§III Fig. 7").
 	Paper string `json:"paper,omitempty"`
 
+	// Model selects the scenario family from the model registry
+	// (model.go): "lab" (the default when empty — every pre-model spec
+	// keeps its exact canonical encoding and content hash), "mpsoc",
+	// "taskburst", or "eneutral". The name folds into the canonical
+	// JSON, so setting it changes the spec's content address.
+	Model string `json:"model,omitempty"`
+
+	// Params holds the model-level tunables, validated against the
+	// model's documented parameter set (unknown keys are errors). The
+	// lab model takes none.
+	Params map[string]Value `json:"params,omitempty"`
+
 	Workload string        `json:"workload"`
 	Device   DeviceSpec    `json:"device,omitempty"`
 	Storage  StorageSpec   `json:"storage"`
@@ -177,37 +185,15 @@ func (s *Spec) errf(format string, args ...any) error {
 	return fmt.Errorf("scenario %q: %w", s.Name, fmt.Errorf(format, args...))
 }
 
-// Validate checks that every name resolves, every param key is known to
-// its registry entry, and the numeric fields are sane. It is called by
-// Parse; call it directly on specs constructed in Go.
+// Validate checks the model-independent invariants (duration, dt, sweep
+// shape and bounds), resolves the spec's model, and dispatches the
+// model-specific checks — every name resolves, every param key is known
+// to its registry entry. It is called by Parse; call it directly on
+// specs constructed in Go.
 func (s *Spec) Validate() error {
-	if s.Workload == "" {
-		return s.errf("workload is required")
-	}
-	if _, err := programs.Lookup(s.Workload); err != nil {
+	m, err := LookupModel(s.ModelName())
+	if err != nil {
 		return s.errf("%v", err)
-	}
-	switch s.Device.Profile {
-	case "", "default", "unified-nv":
-	default:
-		return s.errf("device profile %q (valid: default, unified-nv)", s.Device.Profile)
-	}
-	if s.Source.Name == "" {
-		return s.errf("source.name is required")
-	}
-	if _, err := source.Build(s.Source.Name, toParams(s.Source.Params)); err != nil {
-		return s.errf("%v", err)
-	}
-	if _, _, err := transient.RuntimeFactory(s.runtimeName(), 1e-6, toParams(s.Runtime.Params)); err != nil {
-		return s.errf("%v", err)
-	}
-	if s.Governor != nil {
-		if _, err := powerneutral.BuildGovernor(s.Governor.Policy, toParams(s.Governor.Params)); err != nil {
-			return s.errf("%v", err)
-		}
-	}
-	if s.Storage.C <= 0 {
-		return s.errf("storage.c must be positive (got %g F)", float64(s.Storage.C))
 	}
 	if s.Duration <= 0 {
 		return s.errf("duration must be positive (got %g s)", float64(s.Duration))
@@ -270,7 +256,7 @@ func (s *Spec) Validate() error {
 			}
 		}
 	}
-	return nil
+	return m.Validate(s)
 }
 
 // canonicalParam folds the storage-field aliases Apply accepts onto one
@@ -294,6 +280,7 @@ func (s *Spec) HasSweep() bool { return len(s.Sweep) > 0 }
 // per-case mutation via Apply cannot alias the base spec.
 func (s *Spec) clone() *Spec {
 	c := *s
+	c.Params = cloneParams(s.Params)
 	c.Source.Params = cloneParams(s.Source.Params)
 	c.Runtime.Params = cloneParams(s.Runtime.Params)
 	if s.Governor != nil {

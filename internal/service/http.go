@@ -12,6 +12,7 @@ import (
 	"repro/internal/programs"
 	"repro/internal/registry"
 	"repro/internal/result"
+	"repro/internal/scenario"
 	"repro/internal/source"
 	"repro/internal/transient"
 )
@@ -222,6 +223,11 @@ func docParams(ps []registry.ParamDoc) []registryParam {
 // facts `ehsim -list` prints, as JSON, so clients can discover valid
 // spec names and parameter defaults before submitting.
 func (s *Server) handleRegistry(w http.ResponseWriter, r *http.Request) {
+	var modelEntries []registryEntry
+	for _, n := range scenario.ModelNames() {
+		m, _ := scenario.LookupModel(n)
+		modelEntries = append(modelEntries, registryEntry{Name: n, Desc: m.Desc(), Params: docParams(m.Params())})
+	}
 	var workloads []registryEntry
 	for _, n := range programs.Names() {
 		f, _ := programs.Lookup(n)
@@ -248,6 +254,7 @@ func (s *Server) handleRegistry(w http.ResponseWriter, r *http.Request) {
 	}
 	writeJSON(w, http.StatusOK, map[string]any{
 		"engine":    result.EngineVersion,
+		"models":    modelEntries,
 		"workloads": workloads,
 		"sources":   sources,
 		"runtimes":  runtimes,
@@ -267,6 +274,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(w, "ehsimd_jobs_failed_total %d\n", m.JobsFailed)
 	fmt.Fprintf(w, "ehsimd_jobs_canceled_total %d\n", m.JobsCanceled)
 	fmt.Fprintf(w, "ehsimd_queue_depth %d\n", m.QueueDepth)
+	fmt.Fprintf(w, "ehsimd_queue_bound %d\n", m.QueueBound)
 	fmt.Fprintf(w, "ehsimd_queue_free %d\n", m.QueueCapacity)
 	fmt.Fprintf(w, "ehsimd_cache_hits_total %d\n", m.CacheHits)
 	fmt.Fprintf(w, "ehsimd_cache_misses_total %d\n", m.CacheMisses)

@@ -164,8 +164,9 @@ type Metrics struct {
 	CacheMisses   int64   // submissions that had to compute
 	CacheEntries  int     // resident cache entries
 	SimSeconds    float64 // total simulated seconds actually computed
-	QueueDepth    int     // configured bound
-	QueueCapacity int     // free queue slots
+	QueueDepth    int     // jobs currently pending in the queue
+	QueueBound    int     // configured queue bound (Config.QueueDepth)
+	QueueCapacity int     // free queue slots (bound − depth)
 }
 
 // HitRatio returns hits/(hits+misses), or 0 before any submission.
@@ -579,7 +580,8 @@ func (s *Server) Metrics() Metrics {
 		CacheMisses:   s.cacheMisses,
 		CacheEntries:  s.cache.Len(),
 		SimSeconds:    s.simSeconds,
-		QueueDepth:    s.cfg.queueDepth(),
+		QueueDepth:    len(s.pending),
+		QueueBound:    s.cfg.queueDepth(),
 		QueueCapacity: s.cfg.queueDepth() - len(s.pending),
 	}
 	for _, j := range s.jobs {

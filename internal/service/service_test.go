@@ -7,6 +7,8 @@ import (
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"os"
+	"path/filepath"
 	"strings"
 	"sync"
 	"testing"
@@ -137,6 +139,57 @@ func TestSubmitRunsAndResultMatchesSharedRenderer(t *testing.T) {
 	}
 	if body != rep.Text {
 		t.Errorf("daemon result diverges from the shared renderer:\n%s\n---\n%s", body, rep.Text)
+	}
+}
+
+// TestCuratedSpecsServeByteIdentical submits every curated spec in
+// examples/scenarios — all four scenario models — through the daemon
+// and requires the served report to match the shared renderer byte for
+// byte. This is the service half of the taxonomy-complete contract; the
+// CLI half is cmd/ehsim's golden test over the same files.
+func TestCuratedSpecsServeByteIdentical(t *testing.T) {
+	paths, err := filepath.Glob("../../examples/scenarios/*.json")
+	if err != nil || len(paths) == 0 {
+		t.Fatalf("no curated specs: %v", err)
+	}
+	_, ts := testServer(t, Config{})
+	for _, path := range paths {
+		t.Run(filepath.Base(path), func(t *testing.T) {
+			data, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			st, resp := submit(t, ts, string(data))
+			if resp.StatusCode != http.StatusAccepted {
+				t.Fatalf("submit status = %d", resp.StatusCode)
+			}
+			fin := await(t, ts, st.ID)
+			if fin.State != JobDone {
+				t.Fatalf("final status: %+v", fin)
+			}
+			code, body, _ := getBody(t, ts.URL+"/v1/jobs/"+st.ID+"/result")
+			if code != http.StatusOK {
+				t.Fatalf("result status = %d: %s", code, body)
+			}
+			sp, err := scenario.Parse(data)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rep, err := result.RunSpec(sp, result.Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if body != rep.Text {
+				t.Errorf("daemon result diverges from the shared renderer:\n%s\n---\n%s", body, rep.Text)
+			}
+			// Single-run jobs — every model — must also serve a trace.
+			if !sp.HasSweep() {
+				code, trc, _ := getBody(t, ts.URL+"/v1/jobs/"+st.ID+"/trace")
+				if code != http.StatusOK || !strings.HasPrefix(trc, "# spec-hash: "+st.Hash) {
+					t.Errorf("trace status %d / missing spec-hash header:\n%.80s", code, trc)
+				}
+			}
+		})
 	}
 }
 
@@ -421,6 +474,7 @@ func TestRegistryEndpoint(t *testing.T) {
 	}
 	var reg struct {
 		Engine    string          `json:"engine"`
+		Models    []registryEntry `json:"models"`
 		Workloads []registryEntry `json:"workloads"`
 		Sources   []registryEntry `json:"sources"`
 		Runtimes  []registryEntry `json:"runtimes"`
@@ -432,10 +486,13 @@ func TestRegistryEndpoint(t *testing.T) {
 	if reg.Engine != result.EngineVersion {
 		t.Errorf("engine = %q", reg.Engine)
 	}
-	if len(reg.Workloads) == 0 || len(reg.Sources) == 0 || len(reg.Runtimes) == 0 || len(reg.Governors) == 0 {
-		t.Fatalf("registry sections empty: %s", body)
+	if len(reg.Models) != 4 || len(reg.Workloads) == 0 || len(reg.Sources) == 0 || len(reg.Runtimes) == 0 || len(reg.Governors) == 0 {
+		t.Fatalf("registry sections empty or wrong: %s", body)
 	}
-	for _, frag := range []string{"fft64", "rectified-sine", "hibernus-pn", "hillclimb", `"margin"`} {
+	for _, frag := range []string{
+		`"lab"`, `"mpsoc"`, `"taskburst"`, `"eneutral"`, `"taskenergy"`,
+		"fft64", "rectified-sine", "hibernus-pn", "hillclimb", `"margin"`,
+	} {
 		if !strings.Contains(body, frag) {
 			t.Errorf("registry missing %q", frag)
 		}
@@ -463,6 +520,56 @@ func TestMetricsEndpoint(t *testing.T) {
 			t.Errorf("metrics missing %q:\n%s", frag, body)
 		}
 	}
+}
+
+// Regression: the queue-depth gauge used to report the *configured
+// bound* (a constant) instead of the number of pending jobs, and the
+// free-slot gauge was mislabelled as capacity. With jobs parked in the
+// queue (no workers started), depth must track them and depth + free
+// must equal the configured bound.
+func TestQueueDepthTracksPendingJobs(t *testing.T) {
+	s := New(Config{QueueDepth: 4}) // deliberately not Started: jobs stay queued
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	check := func(wantDepth int) {
+		t.Helper()
+		m := s.Metrics()
+		if m.QueueBound != 4 {
+			t.Fatalf("QueueBound = %d, want 4", m.QueueBound)
+		}
+		if m.QueueDepth != wantDepth {
+			t.Errorf("QueueDepth = %d, want %d", m.QueueDepth, wantDepth)
+		}
+		if m.QueueDepth+m.QueueCapacity != m.QueueBound {
+			t.Errorf("depth %d + free %d != bound %d", m.QueueDepth, m.QueueCapacity, m.QueueBound)
+		}
+	}
+	check(0)
+	submit(t, ts, tinySpec("svc-depth-a"))
+	check(1)
+	st, _ := submit(t, ts, tinySpec("svc-depth-b"))
+	check(2)
+
+	code, body, _ := getBody(t, ts.URL+"/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("status %d", code)
+	}
+	for _, frag := range []string{
+		"ehsimd_queue_depth 2",
+		"ehsimd_queue_bound 4",
+		"ehsimd_queue_free 2",
+	} {
+		if !strings.Contains(body, frag) {
+			t.Errorf("metrics missing %q:\n%s", frag, body)
+		}
+	}
+
+	// Canceling a queued job frees its slot immediately.
+	if _, ok := s.Cancel(st.ID); !ok {
+		t.Fatal("cancel failed")
+	}
+	check(1)
 }
 
 func TestJobsListing(t *testing.T) {

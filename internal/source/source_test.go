@@ -304,3 +304,81 @@ func TestLoadTraceCSVErrors(t *testing.T) {
 		})
 	}
 }
+
+// Edge cases the trace-driven models lean on: header detection, ragged
+// rows, degenerate sample counts, and loop wraparound.
+func TestLoadTraceCSVEdgeCases(t *testing.T) {
+	t.Run("numeric-looking header is data", func(t *testing.T) {
+		// A header whose first cell parses as a number is indistinguishable
+		// from data, so the loader reads it as data — and the non-numeric
+		// value cell fails, naming line 1.
+		_, err := LoadTraceCSV(strings.NewReader("0,vcc(V)\n1,2\n"), 1, false, 0)
+		if err == nil || !strings.Contains(err.Error(), "line 1") {
+			t.Errorf("numeric-first-cell header: got %v, want a line 1 error", err)
+		}
+	})
+	t.Run("trailing blank fields", func(t *testing.T) {
+		ts, err := LoadTraceCSV(strings.NewReader("t,v\n0,1,\n1,3,\n"), 1, false, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(ts.Times) != 2 || ts.Values[1] != 3 {
+			t.Errorf("rows with trailing blank fields: got %d samples %v", len(ts.Times), ts.Values)
+		}
+	})
+	t.Run("single sample", func(t *testing.T) {
+		ts, err := LoadTraceCSV(strings.NewReader("t,v\n2,5\n"), 1, false, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, at := range []float64{-1, 0, 2, 100} {
+			if got := ts.Voltage(at); got != 5 {
+				t.Errorf("single-sample trace at t=%g = %g, want 5", at, got)
+			}
+		}
+		// Looping a single sample must not divide by the zero span.
+		lts, err := LoadTraceCSV(strings.NewReader("2,5\n"), 1, true, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := lts.Power(7); got != 5 {
+			t.Errorf("looped single-sample trace = %g, want 5", got)
+		}
+	})
+	t.Run("loop wraparound", func(t *testing.T) {
+		ts, err := LoadTraceCSV(strings.NewReader("t,v\n0,0\n1,10\n2,0\n"), 1, true, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Span is 2 s: t=2.5 wraps to 0.5 (interp 5), t=-0.5 wraps to 1.5
+		// (interp 5), t=4 wraps to 0 exactly.
+		for _, tc := range []struct{ at, want float64 }{
+			{2.5, 5}, {-0.5, 5}, {4, 0}, {0.5, 5},
+		} {
+			if got := ts.Voltage(tc.at); math.Abs(got-tc.want) > 1e-12 {
+				t.Errorf("looped trace at t=%g = %g, want %g", tc.at, got, tc.want)
+			}
+		}
+	})
+}
+
+// Regression: errors used to number records, not file lines, so a CSV
+// with blank lines (which encoding/csv silently skips) pointed the user
+// at the wrong row of their dataset.
+func TestLoadTraceCSVErrorNamesFileLine(t *testing.T) {
+	// The bad value sits on file line 5; record counting would call it
+	// row 2 (header) or 3 (with it counted).
+	data := "t,v\n\n\n0,1\n1,oops\n"
+	_, err := LoadTraceCSV(strings.NewReader(data), 1, false, 0)
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	if !strings.Contains(err.Error(), "line 5") {
+		t.Errorf("error %q should name file line 5", err)
+	}
+	// Same for the backwards-time check.
+	_, err = LoadTraceCSV(strings.NewReader("t,v\n1,1\n\n0,2\n"), 1, false, 0)
+	if err == nil || !strings.Contains(err.Error(), "line 4") {
+		t.Errorf("backwards-time error %v should name file line 4", err)
+	}
+}

@@ -40,6 +40,16 @@ type Node struct {
 	Eta    float64 // usable fraction of stored energy (converter losses)
 
 	Events []float64 // firing timestamps
+
+	// Observe, if non-nil, is called by Simulate after every step with
+	// the time, the capacitor voltage, and whether a task fired on this
+	// step. It is a pure observer — tracing hooks in here.
+	Observe func(t, v float64, fired bool)
+
+	// Abort, if non-nil, stops Simulate early once the channel is
+	// closed; Aborted records that the run was cut short.
+	Abort   <-chan struct{}
+	Aborted bool
 }
 
 // NewNode builds a node and sizes VFire so that the energy stored between
@@ -80,8 +90,19 @@ func (e ErrCapacitorTooSmall) Error() string {
 // step dt, firing tasks as energy permits. Firing timestamps accumulate in
 // Events.
 func (n *Node) Simulate(duration, dt float64) {
+	n.Aborted = false
 	maxI := 1.0
+	step := 0
 	for t := 0.0; t < duration; t += dt {
+		if n.Abort != nil && step%1024 == 0 {
+			select {
+			case <-n.Abort:
+				n.Aborted = true
+				return
+			default:
+			}
+		}
+		step++
 		p := n.Harvest.Power(t)
 		if p > 0 {
 			v := math.Max(n.Cap.V, 0.1)
@@ -90,11 +111,16 @@ func (n *Node) Simulate(duration, dt float64) {
 		} else {
 			n.Cap.Step(0, dt)
 		}
+		fired := false
 		if n.Cap.V >= n.VFire {
 			drawn := n.Cap.DrawEnergy(n.Task.EnergyJ/n.Eta, n.VFloor)
 			if drawn >= n.Task.EnergyJ/n.Eta*0.999 {
 				n.Events = append(n.Events, t)
+				fired = true
 			}
+		}
+		if n.Observe != nil {
+			n.Observe(t, n.Cap.V, fired)
 		}
 	}
 }

@@ -149,7 +149,8 @@ func (s *Series) Sample(t float64) float64 {
 
 // Decimate returns a copy of the series keeping at most n points, chosen by
 // stride. It preserves the first and last samples. If the series already
-// has ≤ n points, the copy is exact.
+// has ≤ n points, the copy is exact; n == 1 keeps the last sample, and
+// n ≤ 0 yields an empty copy.
 func (s *Series) Decimate(n int) *Series {
 	out := NewSeries(s.Name, s.Unit)
 	ln := len(s.Points)
@@ -158,6 +159,12 @@ func (s *Series) Decimate(n int) *Series {
 	}
 	if ln <= n {
 		out.Points = append(out.Points, s.Points...)
+		return out
+	}
+	if n == 1 {
+		// The stride formula below needs n ≥ 2 (it divides by n-1); a
+		// one-point decimation keeps the most recent sample.
+		out.Points = append(out.Points, s.Points[ln-1])
 		return out
 	}
 	stride := float64(ln-1) / float64(n-1)

@@ -132,6 +132,27 @@ func TestDecimate(t *testing.T) {
 	}
 }
 
+// Regression: Decimate(1) used to divide by zero computing the stride
+// (ln-1)/(n-1), turning the first index into int(NaN) — a negative
+// slice index panic on any series longer than one point.
+func TestDecimateToOnePoint(t *testing.T) {
+	s := ramp(3)
+	d := s.Decimate(1)
+	if d.Len() != 1 {
+		t.Fatalf("Decimate(1) length = %d, want 1", d.Len())
+	}
+	if got := d.At(0); got != s.Last() {
+		t.Errorf("Decimate(1) kept %+v, want the last sample %+v", got, s.Last())
+	}
+	if got := ramp(3).Decimate(-2); got.Len() != 0 {
+		t.Errorf("Decimate(-2) length = %d, want 0", got.Len())
+	}
+	// A one-point series decimated to one point is an exact copy.
+	if got := ramp(1).Decimate(1); got.Len() != 1 || got.At(0) != ramp(1).At(0) {
+		t.Error("Decimate(1) of a single-point series must copy it")
+	}
+}
+
 func TestRecorderBasics(t *testing.T) {
 	r := NewRecorder()
 	r.Record("vcc", "V", 0, 3.3)

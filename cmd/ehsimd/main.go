@@ -10,15 +10,24 @@
 //	DELETE /v1/jobs/{id}          cancel
 //	GET    /v1/jobs/{id}/result   the report (byte-identical to ehsim -scenario)
 //	GET    /v1/jobs/{id}/trace    the V_CC trace, streamed as chunked CSV
+//	POST   /v1/batches            submit N specs; completions stream back as NDJSON
+//	GET    /v1/cache/{hash}       peer cache lookup (encoded result blob)
+//	PUT    /v1/cache/{hash}       peer cache push (replication to the hash's owner)
 //	GET    /v1/registry           machine-readable ehsim -list
-//	GET    /metrics               queue/cache/work counters
+//	GET    /metrics               queue/cache/work/disk/peer counters
+//
+// With -cache-dir, computed results are written through to a disk CAS
+// and survive restarts. With -peers/-self, nodes federate: each spec
+// hash has an owner on a rendezvous ring, lookups consult the owner's
+// cache before computing, and computed results replicate to their
+// owner.
 //
 // On SIGINT/SIGTERM the daemon stops accepting work, finishes every
 // accepted job, and exits.
 //
 // Usage:
 //
-//	ehsimd -addr :8080
+//	ehsimd -addr :8080 -cache-dir /var/cache/ehsimd
 //	curl -s -XPOST --data-binary @examples/scenarios/fig7-rectified-sine-hibernus.json localhost:8080/v1/jobs
 package main
 
@@ -32,11 +41,26 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
+	"repro/internal/cas"
 	"repro/internal/service"
 )
+
+// splitPeers parses the -peers list: comma-separated base URLs, blanks
+// skipped, trailing slashes trimmed so ring identities compare cleanly.
+func splitPeers(s string) []string {
+	var peers []string
+	for _, p := range strings.Split(s, ",") {
+		p = strings.TrimRight(strings.TrimSpace(p), "/")
+		if p != "" {
+			peers = append(peers, p)
+		}
+	}
+	return peers
+}
 
 func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -54,6 +78,11 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	jobs := fs.Int("jobs", 2, "jobs executed concurrently")
 	workers := fs.Int("workers", 0, "per-job sweep parallelism (0 = one per core)")
 	drainTimeout := fs.Duration("drain-timeout", 30*time.Second, "shutdown grace for in-flight HTTP requests")
+	cacheDir := fs.String("cache-dir", "", "disk result cache directory (empty = memory-only; survives restarts)")
+	cacheBytes := fs.Int64("cache-bytes", 256<<20, "disk cache byte budget (oldest results evicted beyond it)")
+	peersFlag := fs.String("peers", "", "comma-separated base URLs of the other cluster nodes")
+	self := fs.String("self", "", "this node's advertised base URL (required with -peers)")
+	peerTimeout := fs.Duration("peer-timeout", 2*time.Second, "per-peer cache operation bound; slower peers are treated as misses")
 	if err := fs.Parse(args); err != nil {
 		if err == flag.ErrHelp {
 			return 0
@@ -61,10 +90,30 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 
+	peers := splitPeers(*peersFlag)
+	if len(peers) > 0 && *self == "" {
+		fmt.Fprintln(stderr, "ehsimd: -peers requires -self (this node's advertised URL on the ring)")
+		return 2
+	}
+
+	var store *cas.Store
+	if *cacheDir != "" {
+		var err error
+		store, err = cas.Open(*cacheDir, cas.Options{BudgetBytes: *cacheBytes})
+		if err != nil {
+			fmt.Fprintf(stderr, "ehsimd: opening cache dir: %v\n", err)
+			return 1
+		}
+	}
+
 	svc := service.New(service.Config{
 		QueueDepth:   *queue,
 		JobWorkers:   *jobs,
 		SweepWorkers: *workers,
+		CAS:          store,
+		SelfURL:      strings.TrimRight(*self, "/"),
+		Peers:        peers,
+		PeerTimeout:  *peerTimeout,
 	}).Start()
 
 	ln, err := net.Listen("tcp", *addr)
@@ -73,6 +122,12 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		return 1
 	}
 	fmt.Fprintf(stdout, "ehsimd: listening on %s (queue=%d, jobs=%d)\n", ln.Addr(), *queue, *jobs)
+	if store != nil {
+		fmt.Fprintf(stdout, "ehsimd: disk cache at %s (%d entries resident, budget %d bytes)\n", *cacheDir, store.Len(), *cacheBytes)
+	}
+	if len(peers) > 0 {
+		fmt.Fprintf(stdout, "ehsimd: federated as %s with %d peer(s)\n", *self, len(peers))
+	}
 
 	hs := &http.Server{Handler: svc.Handler()}
 	serveErr := make(chan error, 1)

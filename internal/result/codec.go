@@ -1,0 +1,81 @@
+package result
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// codecVersion frames the serialised report format. Bump it when the
+// wire struct changes shape; decoders reject other versions so a stale
+// blob can never be half-read into the wrong fields.
+const codecVersion = 1
+
+// wireReport is the persisted/transferred form of a Report — the disk
+// CAS blob payload and the peer cache-transfer body. It carries the
+// rendered artifacts the service contract is about (Text, TraceCSV —
+// both served verbatim, byte for byte) plus the metadata the job layer
+// needs (hash, sweep flag, case names for progress accounting).
+// Structured per-case lab metrics are deliberately not persisted: they
+// feed live rendering only, and rendering already happened.
+type wireReport struct {
+	Codec      int      `json:"codec"`
+	Engine     string   `json:"engine"`
+	SpecHash   string   `json:"spec_hash"`
+	Sweep      bool     `json:"sweep,omitempty"`
+	Text       string   `json:"text"`
+	SimSeconds float64  `json:"sim_seconds"`
+	CaseNames  []string `json:"case_names,omitempty"`
+	TraceCSV   []byte   `json:"trace_csv,omitempty"`
+}
+
+// EncodeReport serialises a report for the disk CAS and peer transfer.
+func EncodeReport(rep *Report) ([]byte, error) {
+	w := wireReport{
+		Codec:      codecVersion,
+		Engine:     EngineVersion,
+		SpecHash:   rep.SpecHash,
+		Sweep:      rep.Sweep,
+		Text:       rep.Text,
+		SimSeconds: rep.SimSeconds,
+		TraceCSV:   rep.TraceCSV,
+	}
+	for _, c := range rep.Cases {
+		w.CaseNames = append(w.CaseNames, c.Name)
+	}
+	b, err := json.Marshal(w)
+	if err != nil {
+		return nil, fmt.Errorf("result: encoding report %s: %w", rep.SpecHash, err)
+	}
+	return b, nil
+}
+
+// DecodeReport deserialises an EncodeReport payload. It rejects unknown
+// codec versions and reports produced by a different engine version —
+// both would otherwise let a stale blob impersonate a current result.
+func DecodeReport(data []byte) (*Report, error) {
+	var w wireReport
+	if err := json.Unmarshal(data, &w); err != nil {
+		return nil, fmt.Errorf("result: decoding report: %w", err)
+	}
+	if w.Codec != codecVersion {
+		return nil, fmt.Errorf("result: report codec %d, want %d", w.Codec, codecVersion)
+	}
+	if w.Engine != EngineVersion {
+		return nil, fmt.Errorf("result: report from engine %q, current engine is %q", w.Engine, EngineVersion)
+	}
+	if w.SpecHash == "" || w.Text == "" {
+		return nil, fmt.Errorf("result: decoded report missing spec hash or text")
+	}
+	rep := &Report{
+		SpecHash:   w.SpecHash,
+		Sweep:      w.Sweep,
+		Text:       w.Text,
+		SimSeconds: w.SimSeconds,
+		TraceCSV:   w.TraceCSV,
+		Cases:      make([]CaseResult, len(w.CaseNames)),
+	}
+	for i, n := range w.CaseNames {
+		rep.Cases[i] = CaseResult{Name: n}
+	}
+	return rep, nil
+}

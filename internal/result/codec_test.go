@@ -1,0 +1,77 @@
+package result
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/scenario"
+)
+
+func codecSpec(t *testing.T) *scenario.Spec {
+	t.Helper()
+	sp, err := scenario.Parse([]byte(`{
+		"name": "codec-roundtrip",
+		"workload": "fib24",
+		"storage": {"c": "10u"},
+		"source": {"name": "dc"},
+		"duration": 0.002
+	}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sp
+}
+
+func TestReportCodecRoundTripsServedArtifacts(t *testing.T) {
+	rep, err := RunSpec(codecSpec(t), Options{Trace: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := EncodeReport(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeReport(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The service contract is byte identity of the served artifacts.
+	if got.Text != rep.Text {
+		t.Errorf("Text diverged across the codec:\n%s\n---\n%s", got.Text, rep.Text)
+	}
+	if !bytes.Equal(got.TraceCSV, rep.TraceCSV) {
+		t.Error("TraceCSV diverged across the codec")
+	}
+	if got.SpecHash != rep.SpecHash || got.Sweep != rep.Sweep || got.SimSeconds != rep.SimSeconds {
+		t.Errorf("metadata diverged: %+v vs %+v", got, rep)
+	}
+	if len(got.Cases) != len(rep.Cases) || got.Cases[0].Name != rep.Cases[0].Name {
+		t.Errorf("case names diverged: %v", got.Cases)
+	}
+}
+
+func TestDecodeRejectsForeignEngineAndCodec(t *testing.T) {
+	rep, err := RunSpec(codecSpec(t), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := EncodeReport(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stale := strings.Replace(string(data), `"engine":"`+EngineVersion+`"`, `"engine":"0-ancient"`, 1)
+	if _, err := DecodeReport([]byte(stale)); err == nil {
+		t.Error("report from a foreign engine version decoded cleanly")
+	}
+	wrongCodec := strings.Replace(string(data), `{"codec":1`, `{"codec":99`, 1)
+	if _, err := DecodeReport([]byte(wrongCodec)); err == nil {
+		t.Error("unknown codec version decoded cleanly")
+	}
+	if _, err := DecodeReport([]byte(`{"codec":1}`)); err == nil {
+		t.Error("empty report decoded cleanly")
+	}
+	if _, err := DecodeReport([]byte("not json")); err == nil {
+		t.Error("garbage decoded cleanly")
+	}
+}

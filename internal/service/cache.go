@@ -13,7 +13,8 @@ const (
 	// Lead: the key was absent; the caller owns the computation and must
 	// finish it with Complete or Abort.
 	Lead Claim = iota
-	// Wait: another caller is computing the key; wait on Entry.Done.
+	// Wait: another caller is computing the key; wait on Entry.Done,
+	// then release the ride with Release.
 	Wait
 	// Done: the key is already computed; Entry.Report is ready.
 	Done
@@ -30,6 +31,12 @@ type Entry struct {
 
 	// Err is the abort reason (nil after Complete).
 	Err error
+
+	// riders counts single-flight followers still resolving against this
+	// entry (claimed Wait, not yet Released). Guarded by Cache.mu. An
+	// entry with riders is exempt from cap eviction, and the job layer
+	// keeps the leader's record pollable while riders remain.
+	riders int
 }
 
 // Cache is the content-addressed result store: keys are canonical spec
@@ -41,7 +48,10 @@ type Entry struct {
 //
 // Completed entries are bounded: beyond the cap the oldest-completed
 // entry is evicted, so a long-running daemon's memory stays bounded.
-// In-flight entries are never evicted.
+// In-flight entries, and completed entries that still have riders (a
+// follower between its leader's completion and its own resolution), are
+// never evicted — eviction skips them and takes the next-oldest
+// completed entry instead.
 type Cache struct {
 	mu        sync.Mutex
 	cap       int
@@ -56,7 +66,9 @@ func NewCache(cap int) *Cache {
 }
 
 // Begin claims the key. The returned Entry is shared among everyone who
-// asked for this key; the Claim tells the caller its role.
+// asked for this key; the Claim tells the caller its role. A Wait claim
+// registers the caller as a rider — it must call Release once it has
+// read the entry's outcome.
 func (c *Cache) Begin(key string) (*Entry, Claim) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -65,6 +77,7 @@ func (c *Cache) Begin(key string) (*Entry, Claim) {
 		case <-e.Done:
 			return e, Done
 		default:
+			e.riders++
 			return e, Wait
 		}
 	}
@@ -73,8 +86,35 @@ func (c *Cache) Begin(key string) (*Entry, Claim) {
 	return e, Lead
 }
 
+// Probe returns the key's entry without claiming anything: no leader
+// election, no rider registration. Callers may wait on Entry.Done but
+// must not mutate the entry. It is the peer-lookup read path.
+func (c *Cache) Probe(key string) (*Entry, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.entries[key]
+	return e, ok
+}
+
+// Release ends a Wait claim's ride on e, making the entry evictable
+// again once no riders remain.
+func (c *Cache) Release(e *Entry) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if e.riders > 0 {
+		e.riders--
+	}
+}
+
+// Riders reports e's current rider count.
+func (c *Cache) Riders(e *Entry) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return e.riders
+}
+
 // Complete publishes the leader's report and releases all waiters,
-// evicting the oldest completed entry if the cap is exceeded.
+// evicting the oldest completed riderless entry if the cap is exceeded.
 func (c *Cache) Complete(key string, rep *result.Report) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -82,14 +122,62 @@ func (c *Cache) Complete(key string, rep *result.Report) {
 	if !ok {
 		return
 	}
+	select {
+	case <-e.Done:
+		return // already completed (e.g. adopted from a peer push)
+	default:
+	}
 	e.Report = rep
 	close(e.Done)
 	c.doneOrder = append(c.doneOrder, key)
-	for c.cap > 0 && len(c.doneOrder) > c.cap {
-		old := c.doneOrder[0]
-		c.doneOrder = c.doneOrder[1:]
-		delete(c.entries, old)
+	c.evictLocked()
+}
+
+// AdoptCompleted inserts an externally computed report under key — the
+// peer-push ingest path. The key must be absent: an in-flight local
+// computation keeps its leader (the push is dropped, reported false),
+// and a completed entry is left as is.
+func (c *Cache) AdoptCompleted(key string, rep *result.Report) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.entries[key]; ok {
+		return false
 	}
+	e := &Entry{Done: make(chan struct{}), Report: rep}
+	close(e.Done)
+	c.entries[key] = e
+	c.doneOrder = append(c.doneOrder, key)
+	c.evictLocked()
+	return true
+}
+
+// evictLocked enforces the completed-entry cap, oldest first, skipping
+// entries that still have riders. Callers hold c.mu.
+func (c *Cache) evictLocked() {
+	if c.cap <= 0 {
+		return
+	}
+	over := len(c.doneOrder) - c.cap
+	if over <= 0 {
+		return
+	}
+	keep := c.doneOrder[:0]
+	for i, key := range c.doneOrder {
+		e, ok := c.entries[key]
+		if over > 0 && i != len(c.doneOrder)-1 {
+			if !ok {
+				over-- // stale order slot (key already replaced); drop it
+				continue
+			}
+			if e.riders == 0 {
+				delete(c.entries, key)
+				over--
+				continue
+			}
+		}
+		keep = append(keep, key)
+	}
+	c.doneOrder = keep
 }
 
 // Abort evicts the in-flight key and releases its waiters with err.

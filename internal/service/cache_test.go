@@ -2,6 +2,7 @@ package service
 
 import (
 	"errors"
+	"fmt"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -133,5 +134,78 @@ func TestCacheDistinctKeysAreIndependent(t *testing.T) {
 	}
 	if c.Len() != n {
 		t.Errorf("cache holds %d entries, want %d", c.Len(), n)
+	}
+}
+
+// Regression: completed-entry cap eviction used to go purely by
+// completion order; an entry whose single-flight follower had not yet
+// resolved could be evicted out from under it. Eviction must skip
+// entries with active riders and take the next-oldest instead.
+func TestCacheCapEvictionSkipsEntriesWithRiders(t *testing.T) {
+	c := NewCache(2)
+	rep := &result.Report{Text: "r"}
+
+	if _, claim := c.Begin("ridden"); claim != Lead {
+		t.Fatal("claim not Lead")
+	}
+	e, claim := c.Begin("ridden")
+	if claim != Wait {
+		t.Fatalf("claim = %v, want Wait", claim)
+	}
+	c.Complete("ridden", rep)
+
+	// Two younger completions push the cap; "ridden" is oldest but must
+	// survive while its rider is unresolved. "b" pays instead.
+	for _, k := range []string{"b", "c"} {
+		c.Begin(k)
+		c.Complete(k, rep)
+	}
+	if _, claim := c.Begin("ridden"); claim != Done {
+		t.Fatalf("ridden entry evicted under an active rider; claim = %v", claim)
+	}
+	c.Release(e)
+	if _, claim := c.Begin("b"); claim != Lead {
+		t.Errorf("eviction should have taken the next-oldest riderless entry; b claim = %v", claim)
+	}
+
+	// Rider released: the entry is ordinary again and evictable.
+	c.Complete("b", rep)
+	c.Begin("d")
+	c.Complete("d", rep)
+	if _, claim := c.Begin("ridden"); claim != Lead {
+		t.Errorf("released entry should eventually evict; claim = %v", claim)
+	}
+}
+
+// A follower that claimed Wait must observe the completed entry even if
+// a burst of completions would otherwise evict it first — the vanished-
+// entry regression this cache's rider accounting exists to prevent.
+func TestFollowerNeverObservesVanishedEntry(t *testing.T) {
+	c := NewCache(1)
+	rep := &result.Report{Text: "the follower's report"}
+	if _, claim := c.Begin("k"); claim != Lead {
+		t.Fatal("claim not Lead")
+	}
+	e, claim := c.Begin("k")
+	if claim != Wait {
+		t.Fatalf("claim = %v, want Wait", claim)
+	}
+
+	resolved := make(chan string, 1)
+	go func() {
+		<-e.Done
+		resolved <- e.Report.Text
+		c.Release(e)
+	}()
+
+	c.Complete("k", rep)
+	// Flood the cap while the follower resolves.
+	for i := 0; i < 8; i++ {
+		k := fmt.Sprintf("flood-%d", i)
+		c.Begin(k)
+		c.Complete(k, rep)
+	}
+	if got := <-resolved; got != rep.Text {
+		t.Errorf("follower read %q", got)
 	}
 }

@@ -31,6 +31,9 @@ const traceChunk = 32 << 10
 //	DELETE /v1/jobs/{id}     cancel one job
 //	GET    /v1/jobs/{id}/result   the report, byte-identical to `ehsim -scenario`
 //	GET    /v1/jobs/{id}/trace    the captured V_CC trace, streamed as chunked CSV
+//	POST   /v1/batches       submit N specs; per-spec completions stream back as NDJSON
+//	GET    /v1/cache/{hash}  peer cache lookup: the encoded report for a spec hash
+//	PUT    /v1/cache/{hash}  peer cache push: adopt a report computed elsewhere
 //	GET    /v1/registry      machine-readable form of `ehsim -list`
 //	GET    /metrics          queue/cache/work counters, Prometheus text format
 //	GET    /healthz          liveness probe
@@ -42,6 +45,9 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
 	mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleResult)
 	mux.HandleFunc("GET /v1/jobs/{id}/trace", s.handleTrace)
+	mux.HandleFunc("POST /v1/batches", s.handleBatch)
+	mux.HandleFunc("GET /v1/cache/{hash}", s.handleCacheGet)
+	mux.HandleFunc("PUT /v1/cache/{hash}", s.handleCachePut)
 	mux.HandleFunc("GET /v1/registry", s.handleRegistry)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
@@ -280,5 +286,16 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(w, "ehsimd_cache_misses_total %d\n", m.CacheMisses)
 	fmt.Fprintf(w, "ehsimd_cache_entries %d\n", m.CacheEntries)
 	fmt.Fprintf(w, "ehsimd_cache_hit_ratio %g\n", m.HitRatio())
+	fmt.Fprintf(w, "ehsimd_disk_hits_total %d\n", m.DiskHits)
+	fmt.Fprintf(w, "ehsimd_disk_misses_total %d\n", m.DiskMisses)
+	fmt.Fprintf(w, "ehsimd_disk_entries %d\n", m.DiskEntries)
+	fmt.Fprintf(w, "ehsimd_disk_bytes %d\n", m.DiskBytes)
+	fmt.Fprintf(w, "ehsimd_disk_evictions_total %d\n", m.DiskEvictions)
+	fmt.Fprintf(w, "ehsimd_disk_corrupt_total %d\n", m.DiskCorrupt)
+	fmt.Fprintf(w, "ehsimd_disk_write_errors_total %d\n", m.DiskWriteErrors)
+	fmt.Fprintf(w, "ehsimd_peer_hits_total %d\n", m.PeerHits)
+	fmt.Fprintf(w, "ehsimd_peer_misses_total %d\n", m.PeerMisses)
+	fmt.Fprintf(w, "ehsimd_peer_errors_total %d\n", m.PeerErrors)
+	fmt.Fprintf(w, "ehsimd_peer_pushes_total %d\n", m.PeerPushes)
 	fmt.Fprintf(w, "ehsimd_sim_seconds_total %g\n", m.SimSeconds)
 }

@@ -4,17 +4,29 @@
 // canonical spec hash plus engine version, and the REST surface that
 // exposes both (http.go).
 //
+// The cache is tiered. Tier 1 is the in-memory single-flight Cache
+// (cache.go). Tier 2, when configured, is a disk-backed CAS
+// (internal/cas) written through on every computed result, so a daemon
+// rebooted on the same cache directory serves prior results
+// byte-identically without recomputing. Tier 3, when peers are
+// configured, is the rest of the cluster: spec hashes are routed to an
+// owning node by rendezvous hashing, and a leader whose spec belongs to
+// a peer asks that peer's cache (bounded by a timeout) before falling
+// back to computing locally (peer.go).
+//
 // Execution goes through internal/result — the same path the ehsim CLI
 // prints from — so a job's result body is byte-identical to
 // `ehsim -scenario` output for the same spec.
 package service
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
 	"time"
 
+	"repro/internal/cas"
 	"repro/internal/result"
 	"repro/internal/scenario"
 	"repro/internal/sweep"
@@ -57,6 +69,30 @@ type Config struct {
 	// RetryAfter is the backoff hint returned with backpressure
 	// responses. Default 1s.
 	RetryAfter time.Duration
+
+	// CAS, if non-nil, is the disk-backed persistence tier: every
+	// computed result is written through to it, and a memory-cache miss
+	// consults it before computing. The Server owns lookups and
+	// write-throughs but not the store's lifecycle.
+	CAS *cas.Store
+
+	// SelfURL is this node's advertised base URL (e.g.
+	// "http://10.0.0.1:8080") — its identity on the rendezvous ring.
+	// Required when Peers is non-empty, and it must be the URL the peers
+	// reach this node at, or the ring views diverge.
+	SelfURL string
+
+	// Peers lists the other cluster nodes' base URLs. Non-empty enables
+	// the federation tier: spec hashes are routed to an owner node by
+	// rendezvous hashing over {SelfURL} ∪ Peers, leaders consult the
+	// owner's cache before computing, and computed results owned by a
+	// peer are pushed to it.
+	Peers []string
+
+	// PeerTimeout bounds each peer cache operation (lookup or push). A
+	// peer that cannot answer in time is treated as a miss and the job
+	// falls back to local compute. Default 2s.
+	PeerTimeout time.Duration
 }
 
 func (c Config) queueDepth() int {
@@ -94,6 +130,19 @@ func (c Config) retryAfter() time.Duration {
 	return c.RetryAfter
 }
 
+func (c Config) peerTimeout() time.Duration {
+	if c.PeerTimeout <= 0 {
+		return 2 * time.Second
+	}
+	return c.PeerTimeout
+}
+
+// CacheKey builds the cache/CAS key for a spec hash under the current
+// engine version — the content address the whole tiered cache speaks.
+func CacheKey(specHash string) string {
+	return specHash + "|engine=" + result.EngineVersion
+}
+
 // JobState is a job's lifecycle phase.
 type JobState string
 
@@ -103,6 +152,14 @@ const (
 	JobDone     JobState = "done"
 	JobFailed   JobState = "failed"
 	JobCanceled JobState = "canceled"
+)
+
+// Result provenance values for JobStatus.Source.
+const (
+	SourceCompute = "compute" // executed on this node
+	SourceCache   = "cache"   // in-memory cache hit or single-flight ride
+	SourceDisk    = "disk"    // disk CAS hit
+	SourcePeer    = "peer"    // fetched from the owning peer's cache
 )
 
 // job is the server-side record. All fields are guarded by Server.mu
@@ -115,14 +172,18 @@ type job struct {
 	key  string // cache key: hash + engine version
 
 	state    JobState
-	cached   bool // served by the cache (hit or single-flight dedup)
-	lead     bool // owns the cache computation for key
-	done     int  // progress: cases finished
-	total    int  // progress: cases overall (0 until known)
+	cached   bool   // served without computing (any cache tier)
+	source   string // result provenance, set on completion
+	lead     bool   // owns the cache computation for key
+	done     int    // progress: cases finished
+	total    int    // progress: cases overall (0 until known)
 	report   *result.Report
 	errText  string
 	cancel   chan struct{}
-	canceled bool // cancel closed
+	canceled bool   // cancel closed
+	entry    *Entry // the cache entry this job resolved against
+	finished chan struct{}
+	ended    bool // finished closed
 }
 
 // JobStatus is the JSON-facing snapshot of one job.
@@ -133,6 +194,7 @@ type JobStatus struct {
 	Hash   string   `json:"hash"`
 	Sweep  bool     `json:"sweep"`
 	Cached bool     `json:"cached"`
+	Source string   `json:"source,omitempty"`
 	Done   int      `json:"done"`
 	Total  int      `json:"total"`
 	Error  string   `json:"error,omitempty"`
@@ -146,6 +208,7 @@ func (j *job) status() JobStatus {
 		Hash:   j.hash,
 		Sweep:  j.spec.HasSweep(),
 		Cached: j.cached,
+		Source: j.source,
 		Done:   j.done,
 		Total:  j.total,
 		Error:  j.errText,
@@ -160,13 +223,28 @@ type Metrics struct {
 	JobsDone      int64   // jobs completed successfully (cache hits included)
 	JobsFailed    int64   // jobs that errored
 	JobsCanceled  int64   // jobs canceled before completing
-	CacheHits     int64   // submissions served by the cache (incl. dedup waits)
-	CacheMisses   int64   // submissions that had to compute
-	CacheEntries  int     // resident cache entries
+	CacheHits     int64   // submissions served by the memory cache (incl. dedup waits)
+	CacheMisses   int64   // submissions that missed the memory cache
+	CacheEntries  int     // resident memory-cache entries
 	SimSeconds    float64 // total simulated seconds actually computed
 	QueueDepth    int     // jobs currently pending in the queue
 	QueueBound    int     // configured queue bound (Config.QueueDepth)
 	QueueCapacity int     // free queue slots (bound − depth)
+
+	// Disk tier (zero-valued when no CAS is configured).
+	DiskHits        int64 // CAS reads served
+	DiskMisses      int64 // CAS reads that found nothing servable
+	DiskEntries     int   // resident CAS blobs
+	DiskBytes       int64 // resident CAS bytes
+	DiskEvictions   int64 // CAS blobs evicted by the byte budget
+	DiskCorrupt     int64 // CAS blobs dropped for checksum/framing failures
+	DiskWriteErrors int64 // CAS writes that failed
+
+	// Peer tier (zero-valued when no peers are configured).
+	PeerHits   int64 // jobs served from a peer's cache
+	PeerMisses int64 // peer lookups answered "not cached"
+	PeerErrors int64 // peer operations that failed (down, slow, bad body)
+	PeerPushes int64 // computed results pushed to their owning peer
 }
 
 // HitRatio returns hits/(hits+misses), or 0 before any submission.
@@ -179,11 +257,12 @@ func (m Metrics) HitRatio() float64 {
 }
 
 // Server is the daemon core: job registry, bounded queue, worker pool,
-// and result cache. Construct with New, launch the workers with Start,
-// stop with Drain.
+// and tiered result cache. Construct with New, launch the workers with
+// Start, stop with Drain.
 type Server struct {
 	cfg   Config
 	cache *Cache
+	peers *peerSet // nil when no peers are configured
 
 	mu       sync.Mutex
 	cond     *sync.Cond // wakes workers; tied to mu
@@ -200,6 +279,13 @@ type Server struct {
 	cacheMisses  int64
 	simSeconds   float64
 
+	diskHits   int64
+	diskMisses int64
+	peerHits   int64
+	peerMisses int64
+	peerErrors int64
+	peerPushes int64
+
 	started  bool
 	workerWG sync.WaitGroup // queue workers
 	followWG sync.WaitGroup // single-flight followers
@@ -212,9 +298,16 @@ func New(cfg Config) *Server {
 		cache: NewCache(cfg.cacheEntries()),
 		jobs:  make(map[string]*job),
 	}
+	if len(cfg.Peers) > 0 {
+		s.peers = newPeerSet(cfg.SelfURL, cfg.Peers, cfg.peerTimeout())
+	}
 	s.cond = sync.NewCond(&s.mu)
 	return s
 }
+
+// ResultCache exposes the in-memory cache tier — read/introspection
+// surface for the peer endpoints and the test harness.
+func (s *Server) ResultCache() *Cache { return s.cache }
 
 // Start launches the worker pool. It is idempotent.
 func (s *Server) Start() *Server {
@@ -250,9 +343,9 @@ func (s *Server) Drain() {
 func (s *Server) RetryAfter() time.Duration { return s.cfg.retryAfter() }
 
 // Submit parses, validates, and accepts one scenario spec. The returned
-// status is the job's initial state: "done" immediately on a cache hit,
-// "queued" otherwise. Submission errors: spec errors (reject with 400),
-// ErrQueueFull (429), ErrDraining (503).
+// status is the job's initial state: "done" immediately on a memory
+// cache hit, "queued" otherwise. Submission errors: spec errors (reject
+// with 400), ErrQueueFull (429), ErrDraining (503).
 func (s *Server) Submit(specJSON []byte) (JobStatus, error) {
 	sp, err := scenario.Parse(specJSON)
 	if err != nil {
@@ -276,26 +369,30 @@ func (s *Server) Submit(specJSON []byte) (JobStatus, error) {
 	}
 	s.nextID++
 	j := &job{
-		id:     fmt.Sprintf("job-%06d", s.nextID),
-		spec:   sp,
-		hash:   hash,
-		key:    hash + "|engine=" + result.EngineVersion,
-		state:  JobQueued,
-		total:  total,
-		cancel: make(chan struct{}),
+		id:       fmt.Sprintf("job-%06d", s.nextID),
+		spec:     sp,
+		hash:     hash,
+		key:      CacheKey(hash),
+		state:    JobQueued,
+		total:    total,
+		cancel:   make(chan struct{}),
+		finished: make(chan struct{}),
 	}
 
 	// All cache.Begin calls happen under s.mu, so a Lead claim aborted
 	// before this function returns can have no waiters yet.
 	entry, claim := s.cache.Begin(j.key)
+	j.entry = entry
 	switch claim {
 	case Done:
 		s.cacheHits++
 		s.jobsDone++
 		j.cached = true
+		j.source = SourceCache
 		j.state = JobDone
 		j.report = entry.Report
 		j.done, j.total = len(entry.Report.Cases), len(entry.Report.Cases)
+		s.markFinishedLocked(j)
 	case Wait:
 		// Followers ride the in-flight computation instead of the queue,
 		// so an identical spec is accepted even when the queue is full —
@@ -303,11 +400,13 @@ func (s *Server) Submit(specJSON []byte) (JobStatus, error) {
 		// limit, so they get their own bound, independent of how
 		// saturated the queue and workers are.
 		if s.followersLocked() >= s.cfg.queueDepth() {
+			s.cache.Release(entry) // undo the ride Begin registered
 			return JobStatus{}, ErrQueueFull
 		}
 		// cacheHits is counted in follow() once the ride succeeds — a
 		// canceled or failed leader must not register phantom hits.
 		j.cached = true
+		j.source = SourceCache
 		s.followWG.Add(1)
 		go s.follow(j, entry)
 	case Lead:
@@ -326,6 +425,54 @@ func (s *Server) Submit(specJSON []byte) (JobStatus, error) {
 	return j.status(), nil
 }
 
+// SubmitWait behaves like Submit but, instead of failing fast on a full
+// queue, waits for a slot until ctx is done. It is the batch endpoint's
+// intake: a batch client asked for N specs in one round trip, so
+// backpressure should pace the stream, not reject its tail.
+func (s *Server) SubmitWait(ctx context.Context, specJSON []byte) (JobStatus, error) {
+	for {
+		st, err := s.Submit(specJSON)
+		if !errors.Is(err, ErrQueueFull) {
+			return st, err
+		}
+		select {
+		case <-ctx.Done():
+			return JobStatus{}, ctx.Err()
+		case <-time.After(5 * time.Millisecond):
+		}
+	}
+}
+
+// WaitJob blocks until the job reaches a terminal state (done, failed,
+// canceled) or ctx is done, and returns its final status. ok is false
+// for unknown ids.
+func (s *Server) WaitJob(ctx context.Context, id string) (JobStatus, bool, error) {
+	s.mu.Lock()
+	j, ok := s.jobs[id]
+	if !ok {
+		s.mu.Unlock()
+		return JobStatus{}, false, nil
+	}
+	fin := j.finished
+	s.mu.Unlock()
+	select {
+	case <-fin:
+	case <-ctx.Done():
+		return JobStatus{}, true, ctx.Err()
+	}
+	st, _ := s.Job(id)
+	return st, true, nil
+}
+
+// markFinishedLocked closes the job's finished channel exactly once.
+// Callers hold s.mu and have already moved the job to a terminal state.
+func (s *Server) markFinishedLocked(j *job) {
+	if !j.ended {
+		j.ended = true
+		close(j.finished)
+	}
+}
+
 // followersLocked counts single-flight followers: non-leader jobs still
 // waiting on their leader's computation. (A leader popped from pending
 // but not yet marked running is lead, so it never miscounts here.)
@@ -341,11 +488,13 @@ func (s *Server) followersLocked() int {
 }
 
 // pruneJobsLocked drops the oldest finished job records once the
-// registry exceeds the configured history bound. Queued and running
-// jobs (and single-flight waiters, which stay queued) are never pruned,
-// and neither is the newest record — Submit calls this right after
-// registering a job that may already be finished (cache hit), and the
-// id it is about to return must stay pollable. Callers hold s.mu.
+// registry exceeds the configured history bound. Never pruned: queued
+// and running jobs (single-flight waiters stay queued), the newest
+// record — Submit calls this right after registering a job that may
+// already be finished (cache hit), and the id it is about to return
+// must stay pollable — and finished jobs whose cache entry still has
+// active riders: a follower resolving against that entry must find the
+// leader's world intact, not a vanished record. Callers hold s.mu.
 func (s *Server) pruneJobsLocked() {
 	excess := len(s.order) - s.cfg.jobHistory()
 	if excess <= 0 {
@@ -356,7 +505,8 @@ func (s *Server) pruneJobsLocked() {
 	for i, id := range s.order {
 		j := s.jobs[id]
 		if excess > 0 && i != last &&
-			(j.state == JobDone || j.state == JobFailed || j.state == JobCanceled) {
+			(j.state == JobDone || j.state == JobFailed || j.state == JobCanceled) &&
+			(j.entry == nil || s.cache.Riders(j.entry) == 0) {
 			delete(s.jobs, id)
 			excess--
 			continue
@@ -375,10 +525,12 @@ func (s *Server) follow(j *job, e *Entry) {
 	case <-j.cancel:
 		// Cancel already moved the state under s.mu; the job stays
 		// canceled even if the entry completes a moment later.
+		s.cache.Release(e)
 		return
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	defer s.cache.Release(e)
 	if j.state != JobQueued {
 		return // canceled while waiting
 	}
@@ -398,6 +550,7 @@ func (s *Server) follow(j *job, e *Entry) {
 		j.errText = e.Err.Error()
 		s.jobsFailed++
 	}
+	s.markFinishedLocked(j)
 }
 
 // worker pops pending jobs until the queue is empty and Drain has been
@@ -421,7 +574,8 @@ func (s *Server) worker() {
 }
 
 // runJob executes one leader job and publishes its outcome to the job
-// record and the cache.
+// record and the cache: first the colder cache tiers (disk, then the
+// owning peer), then actual computation.
 func (s *Server) runJob(j *job) {
 	s.mu.Lock()
 	if j.state != JobQueued {
@@ -430,6 +584,32 @@ func (s *Server) runJob(j *job) {
 	}
 	j.state = JobRunning
 	s.mu.Unlock()
+
+	// Cold tiers — outside s.mu: disk and network I/O must not stall
+	// submissions or polling.
+	if rep, src := s.fetchCold(j); rep != nil {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		if j.state != JobRunning {
+			// Canceled mid-lookup: the Cancel path closed j.cancel but the
+			// state flip is ours. Honor the cancellation; the entry must
+			// not be completed by a job already written off.
+			j.state = JobCanceled
+			s.jobsCanceled++
+			s.cache.Abort(j.key, sweep.ErrCanceled)
+			s.markFinishedLocked(j)
+			return
+		}
+		j.state = JobDone
+		j.cached = true
+		j.source = src
+		j.report = rep
+		j.done, j.total = len(rep.Cases), len(rep.Cases)
+		s.jobsDone++
+		s.cache.Complete(j.key, rep)
+		s.markFinishedLocked(j)
+		return
+	}
 
 	rep, err := result.RunSpec(j.spec, result.Options{
 		Workers:       s.cfg.SweepWorkers,
@@ -443,26 +623,100 @@ func (s *Server) runJob(j *job) {
 		},
 	})
 
+	// Write-through to disk before publishing (still off s.mu): once the
+	// job is visible as done, a crash must not lose the only copy.
+	if err == nil && s.cfg.CAS != nil {
+		if data, encErr := result.EncodeReport(rep); encErr == nil {
+			s.cfg.CAS.Put(j.key, data) // failures are counted in the store's stats
+		}
+	}
+
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	switch {
 	case errors.Is(err, sweep.ErrCanceled):
 		j.state = JobCanceled
 		s.jobsCanceled++
 		s.cache.Abort(j.key, err)
+		s.markFinishedLocked(j)
 	case err != nil:
 		j.state = JobFailed
 		j.errText = err.Error()
 		s.jobsFailed++
 		s.cache.Abort(j.key, err)
+		s.markFinishedLocked(j)
 	default:
 		j.state = JobDone
+		j.source = SourceCompute
 		j.report = rep
 		j.done, j.total = len(rep.Cases), len(rep.Cases)
 		s.jobsDone++
 		s.simSeconds += rep.SimSeconds
 		s.cache.Complete(j.key, rep)
+		s.markFinishedLocked(j)
 	}
+	s.mu.Unlock()
+
+	// Replicate to the owning peer (best-effort, bounded by the peer
+	// timeout) so the ring converges: the next lookup for this hash on
+	// any node finds it at its owner.
+	if err == nil && s.peers != nil {
+		if owner := s.peers.owner(j.hash); owner != s.peers.self {
+			if pushErr := s.peers.push(owner, j.hash, rep); pushErr == nil {
+				s.addPeerCounts(func() { s.peerPushes++ })
+			} else {
+				s.addPeerCounts(func() { s.peerErrors++ })
+			}
+		}
+	}
+}
+
+// fetchCold consults the cold cache tiers for a leader job's key: the
+// disk CAS, then the owning peer. It returns a decoded report and its
+// provenance, or nil to compute locally.
+func (s *Server) fetchCold(j *job) (*result.Report, string) {
+	if s.cfg.CAS != nil {
+		if data, ok := s.cfg.CAS.Get(j.key); ok {
+			if rep, err := result.DecodeReport(data); err == nil {
+				s.addPeerCounts(func() { s.diskHits++ })
+				return rep, SourceDisk
+			}
+			// Undecodable despite a clean checksum (stale codec): miss.
+			s.addPeerCounts(func() { s.diskMisses++ })
+		} else {
+			s.addPeerCounts(func() { s.diskMisses++ })
+		}
+	}
+	if s.peers != nil {
+		if owner := s.peers.owner(j.hash); owner != s.peers.self {
+			rep, err := s.peers.lookup(owner, j.hash, j.cancel)
+			switch {
+			case rep != nil:
+				s.addPeerCounts(func() { s.peerHits++ })
+				// Write through to disk: a peer hit should survive our own
+				// restarts too.
+				if s.cfg.CAS != nil {
+					if data, encErr := result.EncodeReport(rep); encErr == nil {
+						s.cfg.CAS.Put(j.key, data)
+					}
+				}
+				return rep, SourcePeer
+			case err == nil:
+				s.addPeerCounts(func() { s.peerMisses++ })
+			default:
+				s.addPeerCounts(func() { s.peerErrors++ })
+			}
+		}
+	}
+	return nil, ""
+}
+
+// addPeerCounts runs a counter mutation under s.mu — tiny helper so the
+// cold path's counting stays race-free without holding the lock across
+// I/O.
+func (s *Server) addPeerCounts(fn func()) {
+	s.mu.Lock()
+	fn()
+	s.mu.Unlock()
 }
 
 // maxTraceSamples bounds a captured trace's length: the daemon records
@@ -541,6 +795,7 @@ func (s *Server) Cancel(id string) (JobStatus, bool) {
 			s.cache.Abort(j.key, sweep.ErrCanceled)
 		}
 		s.closeCancelLocked(j)
+		s.markFinishedLocked(j)
 	case JobRunning:
 		s.closeCancelLocked(j) // state flips when the worker observes it
 	}
@@ -571,7 +826,6 @@ func (s *Server) closeCancelLocked(j *job) {
 // Metrics snapshots the server counters.
 func (s *Server) Metrics() Metrics {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	m := Metrics{
 		JobsDone:      s.jobsDone,
 		JobsFailed:    s.jobsFailed,
@@ -583,6 +837,12 @@ func (s *Server) Metrics() Metrics {
 		QueueDepth:    len(s.pending),
 		QueueBound:    s.cfg.queueDepth(),
 		QueueCapacity: s.cfg.queueDepth() - len(s.pending),
+		DiskHits:      s.diskHits,
+		DiskMisses:    s.diskMisses,
+		PeerHits:      s.peerHits,
+		PeerMisses:    s.peerMisses,
+		PeerErrors:    s.peerErrors,
+		PeerPushes:    s.peerPushes,
 	}
 	for _, j := range s.jobs {
 		if j.state == JobRunning {
@@ -593,5 +853,17 @@ func (s *Server) Metrics() Metrics {
 	// separately so the queue gauges stay mutually consistent.
 	m.JobsQueued = len(s.pending)
 	m.JobsWaiting = s.followersLocked()
+	s.mu.Unlock()
+
+	// The CAS keeps its own counters; snapshot them outside s.mu (the
+	// store has its own lock).
+	if s.cfg.CAS != nil {
+		st := s.cfg.CAS.Stats()
+		m.DiskEntries = st.Entries
+		m.DiskBytes = st.Bytes
+		m.DiskEvictions = st.Evictions
+		m.DiskCorrupt = st.Corrupt
+		m.DiskWriteErrors = st.WriteErrors
+	}
 	return m
 }

@@ -14,6 +14,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/cas"
 	"repro/internal/result"
 	"repro/internal/scenario"
 )
@@ -867,5 +868,200 @@ func TestUnknownJobIs404(t *testing.T) {
 		if code, _, _ := getBody(t, ts.URL+path); code != http.StatusNotFound {
 			t.Errorf("%s: status %d, want 404", path, code)
 		}
+	}
+}
+
+// Regression: job-history pruning used to drop finished records purely
+// by insertion order. A finished leader whose cache entry still has an
+// unresolved single-flight follower must stay pollable until the rider
+// releases — its id is what the follower's client correlates against.
+func TestPruneSkipsFinishedJobWithActiveRider(t *testing.T) {
+	srv, ts := testServer(t, Config{JobWorkers: 2, JobHistory: 1})
+	st, _ := submit(t, ts, tinySpec("prune-rider"))
+	fin := await(t, ts, st.ID)
+	if fin.State != JobDone {
+		t.Fatalf("job state = %s, want done", fin.State)
+	}
+
+	// Pin an artificial rider on the finished job's entry — a stand-in
+	// for a follower between its leader's completion and its own resolve.
+	e, ok := srv.cache.Probe(CacheKey(fin.Hash))
+	if !ok {
+		t.Fatal("finished job has no cache entry")
+	}
+	srv.cache.mu.Lock()
+	e.riders++
+	srv.cache.mu.Unlock()
+
+	for i := 0; i < 4; i++ {
+		fst, _ := submit(t, ts, tinySpec(fmt.Sprintf("prune-filler-%d", i)))
+		await(t, ts, fst.ID)
+	}
+	if _, ok := srv.Job(st.ID); !ok {
+		t.Fatal("finished job with an active rider was pruned from history")
+	}
+
+	srv.cache.Release(e)
+	lst, _ := submit(t, ts, tinySpec("prune-last"))
+	await(t, ts, lst.ID)
+	if _, ok := srv.Job(st.ID); ok {
+		t.Error("job record not pruned after its rider released")
+	}
+}
+
+// The disk CAS is the warm-restart tier: a fresh server process opening
+// the same cache directory must serve previously computed results
+// byte-identically, marked cached with source "disk".
+func TestDiskCASServesAcrossServerRestart(t *testing.T) {
+	dir := t.TempDir()
+	store1, err := cas.Open(dir, cas.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1 := New(Config{JobWorkers: 2, CAS: store1}).Start()
+	ts1 := httptest.NewServer(s1.Handler())
+	st, _ := submit(t, ts1, tinySpec("disk-restart"))
+	fin := await(t, ts1, st.ID)
+	if fin.State != JobDone || fin.Cached {
+		t.Fatalf("first run: state=%s cached=%v, want fresh done", fin.State, fin.Cached)
+	}
+	code, body1, _ := getBody(t, ts1.URL+"/v1/jobs/"+st.ID+"/result")
+	if code != http.StatusOK {
+		t.Fatalf("first result: status %d", code)
+	}
+	ts1.Close()
+	s1.Drain()
+
+	// "Restart": a new process = new store handle over the same dir.
+	store2, err := cas.Open(dir, cas.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if store2.Len() == 0 {
+		t.Fatal("CAS empty after reopen; write-through did not persist")
+	}
+	srv2, ts2 := testServer(t, Config{JobWorkers: 2, CAS: store2})
+	st2, _ := submit(t, ts2, tinySpec("disk-restart"))
+	fin2 := await(t, ts2, st2.ID)
+	if fin2.State != JobDone || !fin2.Cached || fin2.Source != SourceDisk {
+		t.Fatalf("after restart: state=%s cached=%v source=%q, want done/cached/disk", fin2.State, fin2.Cached, fin2.Source)
+	}
+	code, body2, _ := getBody(t, ts2.URL+"/v1/jobs/"+st2.ID+"/result")
+	if code != http.StatusOK {
+		t.Fatalf("restart result: status %d", code)
+	}
+	if body2 != body1 {
+		t.Errorf("disk-served result differs from computed result:\n%s\n---\n%s", body2, body1)
+	}
+	if m := srv2.Metrics(); m.DiskHits != 1 {
+		t.Errorf("DiskHits = %d, want 1", m.DiskHits)
+	}
+}
+
+// A corrupted blob must read as a miss — the spec recomputes and the
+// result stays byte-identical, never a served wrong body.
+func TestDiskCASCorruptionForcesRecompute(t *testing.T) {
+	dir := t.TempDir()
+	store, err := cas.Open(dir, cas.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1 := New(Config{JobWorkers: 2, CAS: store}).Start()
+	ts1 := httptest.NewServer(s1.Handler())
+	st, _ := submit(t, ts1, tinySpec("disk-corrupt"))
+	await(t, ts1, st.ID)
+	_, body1, _ := getBody(t, ts1.URL+"/v1/jobs/"+st.ID+"/result")
+	ts1.Close()
+	s1.Drain()
+
+	// Flip bytes in the stored blob directly, then restart over it.
+	path := store.BlobPath(CacheKey(st.Hash))
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob[len(blob)-1] ^= 0xff
+	if err := os.WriteFile(path, blob, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	store2, err := cas.Open(dir, cas.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv2, ts2 := testServer(t, Config{JobWorkers: 2, CAS: store2})
+	st2, _ := submit(t, ts2, tinySpec("disk-corrupt"))
+	fin2 := await(t, ts2, st2.ID)
+	if fin2.State != JobDone {
+		t.Fatalf("recompute state = %s", fin2.State)
+	}
+	if fin2.Cached {
+		t.Errorf("corrupt blob served as a cache hit (source %q)", fin2.Source)
+	}
+	_, body2, _ := getBody(t, ts2.URL+"/v1/jobs/"+st2.ID+"/result")
+	if body2 != body1 {
+		t.Error("recomputed result differs from original")
+	}
+	if m := srv2.Metrics(); m.DiskMisses == 0 {
+		t.Errorf("DiskMisses = %d, want ≥1", m.DiskMisses)
+	}
+}
+
+// POST /v1/batches streams one NDJSON line per spec as it completes,
+// with per-line errors for invalid members and full report text for
+// done ones.
+func TestBatchEndpointStreamsCompletions(t *testing.T) {
+	_, ts := testServer(t, Config{JobWorkers: 2})
+	specs := []string{
+		tinySpec("batch-a"),
+		`{"this is": "not a scenario"}`,
+		tinySweepSpec("batch-b"),
+	}
+	req := fmt.Sprintf(`{"specs":[%s]}`, strings.Join(specs, ","))
+	resp, err := http.Post(ts.URL+"/v1/batches", "application/json", strings.NewReader(req))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("batch status %d", resp.StatusCode)
+	}
+	if got := resp.Header.Get("Content-Type"); got != "application/x-ndjson" {
+		t.Errorf("Content-Type = %q", got)
+	}
+	if got := resp.Header.Get("X-Batch-Size"); got != "3" {
+		t.Errorf("X-Batch-Size = %q", got)
+	}
+
+	byIndex := map[int]batchItem{}
+	dec := json.NewDecoder(resp.Body)
+	for i := 0; i < len(specs); i++ {
+		var item batchItem
+		if err := dec.Decode(&item); err != nil {
+			t.Fatalf("decoding stream line %d: %v", i, err)
+		}
+		byIndex[item.Index] = item
+	}
+	if dec.More() {
+		t.Error("stream has extra lines past the batch size")
+	}
+
+	for _, idx := range []int{0, 2} {
+		item := byIndex[idx]
+		if item.State != JobDone || item.Error != "" {
+			t.Fatalf("spec %d: state=%s err=%q", idx, item.State, item.Error)
+		}
+		// The streamed result must be byte-identical to the result
+		// endpoint's body for the same job.
+		code, want, _ := getBody(t, ts.URL+"/v1/jobs/"+item.ID+"/result")
+		if code != http.StatusOK {
+			t.Fatalf("spec %d result status %d", idx, code)
+		}
+		if item.Result != want {
+			t.Errorf("spec %d: streamed result differs from /result body", idx)
+		}
+	}
+	if bad := byIndex[1]; bad.Error == "" || bad.State == JobDone {
+		t.Errorf("invalid spec: error=%q state=%s, want per-line error", bad.Error, bad.State)
 	}
 }

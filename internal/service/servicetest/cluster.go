@@ -1,0 +1,286 @@
+package servicetest
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/cas"
+	"repro/internal/scenario"
+	"repro/internal/service"
+)
+
+// PeerTimeout is the cluster-wide peer operation bound. Fault tests
+// inject latency well past it to force timeouts without slowing the
+// suite.
+const PeerTimeout = 500 * time.Millisecond
+
+// Node is one in-process daemon: a service.Server on a real loopback
+// listener, a disk CAS in its own directory, and a fault proxy in front
+// of everything its peers (and, by advertised URL, its clients) see.
+type Node struct {
+	t     *testing.T
+	Proxy *Proxy
+
+	dir   string   // CAS directory; survives Restart
+	self  string   // advertised URL (the proxy)
+	peers []string // the other nodes' advertised URLs
+
+	mu      sync.Mutex
+	diskErr error // non-nil: injected CAS write fault
+
+	srv    *service.Server
+	store  *cas.Store
+	hs     *http.Server
+	direct string // the real listener's base URL (bypasses the proxy)
+}
+
+// FailDiskWrites makes every CAS write on this node fail with err (nil
+// clears the fault). Reads are unaffected — the fault models a full or
+// read-only disk, not a missing one.
+func (n *Node) FailDiskWrites(err error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.diskErr = err
+}
+
+func (n *Node) writeFault() error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.diskErr
+}
+
+// Server exposes the node's service for white-box assertions (metrics,
+// cache claims).
+func (n *Node) Server() *service.Server { return n.srv }
+
+// Store exposes the node's disk CAS.
+func (n *Node) Store() *cas.Store { return n.store }
+
+// URL is the node's advertised base URL — traffic through it is subject
+// to the proxy's faults.
+func (n *Node) URL() string { return n.self }
+
+// DirectURL bypasses the fault proxy; tests use it for client traffic
+// so injected peer faults don't corrupt the test's own plumbing.
+func (n *Node) DirectURL() string { return n.direct }
+
+func (n *Node) start() {
+	n.t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		n.t.Fatal(err)
+	}
+	store, err := cas.Open(n.dir, cas.Options{WriteFault: n.writeFault})
+	if err != nil {
+		n.t.Fatal(err)
+	}
+	srv := service.New(service.Config{
+		JobWorkers:  2,
+		CAS:         store,
+		SelfURL:     n.self,
+		Peers:       n.peers,
+		PeerTimeout: PeerTimeout,
+	}).Start()
+	hs := &http.Server{Handler: srv.Handler()}
+	go hs.Serve(ln)
+
+	n.srv, n.store, n.hs = srv, store, hs
+	n.direct = "http://" + ln.Addr().String()
+	n.Proxy.SetBackend(ln.Addr().String())
+}
+
+func (n *Node) stop() {
+	n.srv.Drain()
+	n.hs.Close()
+}
+
+// Restart drains and stops the node, then boots a fresh server process
+// image over the same CAS directory — the crash/upgrade cycle. The
+// advertised URL is stable (the proxy re-points at the new listener);
+// the memory cache is gone; the disk tier persists.
+func (n *Node) Restart() {
+	n.t.Helper()
+	n.stop()
+	n.start()
+}
+
+// Submit POSTs a spec to the node (direct, unfaulted) and returns the
+// accepted status.
+func (n *Node) Submit(spec string) service.JobStatus {
+	n.t.Helper()
+	resp, err := http.Post(n.direct+"/v1/jobs", "application/json", strings.NewReader(spec))
+	if err != nil {
+		n.t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusAccepted {
+		body, _ := io.ReadAll(resp.Body)
+		n.t.Fatalf("submit: status %d: %s", resp.StatusCode, body)
+	}
+	var st service.JobStatus
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		n.t.Fatal(err)
+	}
+	return st
+}
+
+// Await polls a job until it leaves queued/running, then returns its
+// terminal status.
+func (n *Node) Await(id string) service.JobStatus {
+	n.t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for time.Now().Before(deadline) {
+		resp, err := http.Get(n.direct + "/v1/jobs/" + id)
+		if err != nil {
+			n.t.Fatal(err)
+		}
+		var st service.JobStatus
+		err = json.NewDecoder(resp.Body).Decode(&st)
+		resp.Body.Close()
+		if err != nil {
+			n.t.Fatal(err)
+		}
+		if st.State != service.JobQueued && st.State != service.JobRunning {
+			return st
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	n.t.Fatalf("job %s did not finish in time", id)
+	return service.JobStatus{}
+}
+
+// ResultBody fetches a done job's rendered report and the spec-hash
+// header.
+func (n *Node) ResultBody(id string) (string, string) {
+	n.t.Helper()
+	resp, err := http.Get(n.direct + "/v1/jobs/" + id + "/result")
+	if err != nil {
+		n.t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		n.t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		n.t.Fatalf("result: status %d: %s", resp.StatusCode, body)
+	}
+	return string(body), resp.Header.Get("X-Spec-Hash")
+}
+
+// Run submits a spec and waits it out, failing the test unless it ends
+// done. Returns the terminal status and the result body.
+func (n *Node) Run(spec string) (service.JobStatus, string) {
+	n.t.Helper()
+	st := n.Submit(spec)
+	fin := n.Await(st.ID)
+	if fin.State != service.JobDone {
+		n.t.Fatalf("job %s: state=%s err=%q, want done", st.ID, fin.State, fin.Error)
+	}
+	body, _ := n.ResultBody(st.ID)
+	return fin, body
+}
+
+// Cluster is N federated nodes, each peered with all others through
+// their fault proxies.
+type Cluster struct {
+	t     *testing.T
+	Nodes []*Node
+}
+
+// NewCluster boots n nodes on loopback, fully peered. Cleanup is
+// registered on t.
+func NewCluster(t *testing.T, n int) *Cluster {
+	t.Helper()
+	proxies := make([]*Proxy, n)
+	urls := make([]string, n)
+	for i := range proxies {
+		p, err := NewProxy()
+		if err != nil {
+			t.Fatal(err)
+		}
+		proxies[i] = p
+		urls[i] = p.URL()
+	}
+	c := &Cluster{t: t}
+	for i := 0; i < n; i++ {
+		var peers []string
+		for j, u := range urls {
+			if j != i {
+				peers = append(peers, u)
+			}
+		}
+		node := &Node{
+			t:     t,
+			Proxy: proxies[i],
+			dir:   t.TempDir(),
+			self:  urls[i],
+			peers: peers,
+		}
+		node.start()
+		c.Nodes = append(c.Nodes, node)
+	}
+	t.Cleanup(c.Close)
+	return c
+}
+
+// Close drains every node and stops the proxies.
+func (c *Cluster) Close() {
+	for _, n := range c.Nodes {
+		n.stop()
+		n.Proxy.Close()
+	}
+}
+
+// Ring is the cluster's advertised URL set — the rendezvous ring every
+// node routes over.
+func (c *Cluster) Ring() []string {
+	urls := make([]string, len(c.Nodes))
+	for i, n := range c.Nodes {
+		urls[i] = n.self
+	}
+	return urls
+}
+
+// Spec returns a fast-running scenario document salted with name.
+func Spec(name string) string {
+	return fmt.Sprintf(`{
+		"name": %q,
+		"workload": "fib24",
+		"storage": {"c": "10u"},
+		"source": {"name": "dc"},
+		"duration": 0.002
+	}`, name)
+}
+
+// OwnedSpec mints a spec whose hash rendezvous-routes to the given
+// node, by salting the scenario name until the ring agrees. Returns the
+// spec document and its canonical hash.
+func (c *Cluster) OwnedSpec(owner int, salt string) (string, string) {
+	c.t.Helper()
+	ring := c.Ring()
+	want := c.Nodes[owner].self
+	for i := 0; i < 4096; i++ {
+		spec := Spec(fmt.Sprintf("%s-%d", salt, i))
+		sp, err := scenario.Parse([]byte(spec))
+		if err != nil {
+			c.t.Fatal(err)
+		}
+		hash, err := sp.Hash()
+		if err != nil {
+			c.t.Fatal(err)
+		}
+		if service.Owner(ring, hash) == want {
+			return spec, hash
+		}
+	}
+	c.t.Fatalf("no spec routed to node %d in 4096 salts", owner)
+	return "", ""
+}

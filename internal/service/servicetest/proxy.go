@@ -1,0 +1,144 @@
+// Package servicetest boots multi-node ehsimd clusters in-process for
+// integration tests: every node is a real service.Server behind a real
+// loopback listener, and all peer traffic flows through a per-node
+// fault-injection proxy so tests can make a peer refuse connections,
+// answer slowly, or disconnect mid-body without touching the node
+// itself.
+package servicetest
+
+import (
+	"io"
+	"net"
+	"sync"
+	"time"
+)
+
+// Proxy is a TCP relay with switchable faults. It sits between a node's
+// advertised address (the proxy listener — what peers dial) and the
+// node's actual HTTP listener (the backend), so injected faults affect
+// exactly the traffic a real network fault would: everything addressed
+// to the node from outside.
+//
+// Faults are sampled once per connection, when it is accepted; flipping
+// a fault never disturbs connections already relaying.
+type Proxy struct {
+	ln net.Listener
+
+	mu       sync.Mutex
+	backend  string        // node's real listener address
+	refuse   bool          // drop connections on accept (node "down")
+	latency  time.Duration // sleep before dialing the backend (node "slow")
+	cutAfter int64         // >0: close both ends after relaying this many response bytes
+}
+
+// NewProxy starts a relay on a fresh loopback port. The backend is set
+// later (SetBackend) — the proxy's address must exist before the node
+// boots, because it is the node's advertised identity on the ring.
+func NewProxy() (*Proxy, error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	p := &Proxy{ln: ln}
+	go p.acceptLoop()
+	return p, nil
+}
+
+// URL is the proxy's base URL — the node's advertised address.
+func (p *Proxy) URL() string { return "http://" + p.ln.Addr().String() }
+
+// SetBackend points the relay at the node's real listener. Called on
+// boot and again on every restart (the backend port changes).
+func (p *Proxy) SetBackend(addr string) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.backend = addr
+}
+
+// Refuse makes new connections fail immediately, like a dead host.
+func (p *Proxy) Refuse(v bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.refuse = v
+}
+
+// SetLatency delays each new connection before the backend dial — a
+// slow peer. Set it past the cluster's peer timeout to force timeouts.
+func (p *Proxy) SetLatency(d time.Duration) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.latency = d
+}
+
+// CutResponseAfter relays only n bytes of each response (headers
+// included) and then drops both ends — a mid-body disconnect.
+func (p *Proxy) CutResponseAfter(n int64) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.cutAfter = n
+}
+
+// Reset clears all injected faults.
+func (p *Proxy) Reset() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.refuse, p.latency, p.cutAfter = false, 0, 0
+}
+
+// Close stops accepting. Existing relays finish on their own.
+func (p *Proxy) Close() { p.ln.Close() }
+
+func (p *Proxy) acceptLoop() {
+	for {
+		conn, err := p.ln.Accept()
+		if err != nil {
+			return
+		}
+		go p.relay(conn)
+	}
+}
+
+func (p *Proxy) relay(client net.Conn) {
+	p.mu.Lock()
+	refuse, latency, cut, backend := p.refuse, p.latency, p.cutAfter, p.backend
+	p.mu.Unlock()
+
+	if refuse || backend == "" {
+		client.Close()
+		return
+	}
+	if latency > 0 {
+		time.Sleep(latency)
+	}
+	server, err := net.Dial("tcp", backend)
+	if err != nil {
+		client.Close()
+		return
+	}
+
+	done := make(chan struct{}, 2)
+	go func() { // request direction
+		io.Copy(server, client)
+		if tc, ok := server.(*net.TCPConn); ok {
+			tc.CloseWrite()
+		}
+		done <- struct{}{}
+	}()
+	go func() { // response direction — where the cut applies
+		if cut > 0 {
+			io.CopyN(client, server, cut)
+			client.Close()
+			server.Close()
+		} else {
+			io.Copy(client, server)
+			if tc, ok := client.(*net.TCPConn); ok {
+				tc.CloseWrite()
+			}
+		}
+		done <- struct{}{}
+	}()
+	<-done
+	<-done
+	client.Close()
+	server.Close()
+}

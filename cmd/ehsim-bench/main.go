@@ -4,15 +4,21 @@
 // per second, and allocation counts per cell.
 //
 // With -baseline it additionally compares the fresh measurement against
-// a committed BENCH_*.json and exits non-zero when any cell regressed
-// beyond -tolerance. Cross-machine comparisons are indicative only; use
-// a generous tolerance in CI and exact before/after pairs (same host)
-// when quoting speedups. See docs/BENCHMARKS.md.
+// a committed BENCH_*.json: a per-cell speedup column (new/old steps per
+// second) is printed for every cell present in both files, and the exit
+// code is non-zero when any cell regressed beyond -tolerance.
+// Cross-machine comparisons are indicative only; use a generous tolerance
+// in CI and exact before/after pairs (same host) when quoting speedups.
+// See docs/BENCHMARKS.md.
+//
+// -cpuprofile/-memprofile capture pprof profiles of the measurement
+// itself, for digging into where a hot-path regression (or win) lives.
 //
 // Usage:
 //
 //	ehsim-bench -rev $(git rev-parse --short HEAD)
 //	ehsim-bench -out BENCH_pr.json -baseline BENCH_baseline.json -tolerance 1.0
+//	ehsim-bench -runs 1 -cpuprofile cpu.pprof -memprofile mem.pprof
 package main
 
 import (
@@ -20,6 +26,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"repro/internal/bench"
 )
@@ -39,11 +47,27 @@ func run(args []string, stdout, stderr io.Writer) int {
 	baseline := fs.String("baseline", "", "BENCH_*.json to compare against")
 	tolerance := fs.Float64("tolerance", 0.5, "allowed ns/sim-second growth vs baseline (0.5 = 50%)")
 	quiet := fs.Bool("q", false, "suppress per-cell progress")
+	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile of the measured runs to this file")
+	memprofile := fs.String("memprofile", "", "write an allocation profile (after the runs) to this file")
 	if err := fs.Parse(args); err != nil {
 		if err == flag.ErrHelp {
 			return 0
 		}
 		return 2
+	}
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintf(stderr, "ehsim-bench: %v\n", err)
+			return 1
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(stderr, "ehsim-bench: %v\n", err)
+			return 1
+		}
+		defer pprof.StopCPUProfile()
 	}
 
 	progress := func(cell string) {
@@ -72,11 +96,31 @@ func run(args []string, stdout, stderr io.Writer) int {
 			r.Name, r.Workers, r.NsPerSimSecond, r.StepsPerSecond, r.AllocsPerRun)
 	}
 
+	if *memprofile != "" {
+		mf, err := os.Create(*memprofile)
+		if err != nil {
+			fmt.Fprintf(stderr, "ehsim-bench: %v\n", err)
+			return 1
+		}
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(mf); err != nil {
+			mf.Close()
+			fmt.Fprintf(stderr, "ehsim-bench: %v\n", err)
+			return 1
+		}
+		mf.Close()
+	}
+
 	if *baseline != "" {
 		base, err := bench.LoadFile(*baseline)
 		if err != nil {
 			fmt.Fprintf(stderr, "ehsim-bench: %v\n", err)
 			return 1
+		}
+		fmt.Fprintf(stdout, "speedup vs %s (rev %s):\n", *baseline, base.Rev)
+		for _, s := range bench.Speedups(base, f) {
+			fmt.Fprintf(stdout, "  %-32s workers=%d  %11.0f -> %11.0f steps/s  %5.2fx\n",
+				s.Name, s.Workers, s.BaseStepsPerSecond, s.StepsPerSecond, s.Ratio)
 		}
 		regs := bench.Compare(base, f, *tolerance)
 		if len(regs) > 0 {

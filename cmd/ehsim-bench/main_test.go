@@ -47,6 +47,29 @@ func TestRunWritesBenchFile(t *testing.T) {
 	}
 }
 
+func TestRunWritesProfiles(t *testing.T) {
+	dir := writeTiny(t)
+	tmp := t.TempDir()
+	out := filepath.Join(tmp, "BENCH_x.json")
+	cpu := filepath.Join(tmp, "cpu.pprof")
+	mem := filepath.Join(tmp, "mem.pprof")
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-scenarios", dir, "-runs", "1", "-out", out, "-q",
+		"-cpuprofile", cpu, "-memprofile", mem}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, stderr.String())
+	}
+	for _, p := range []string{cpu, mem} {
+		st, err := os.Stat(p)
+		if err != nil {
+			t.Fatalf("profile missing: %v", err)
+		}
+		if st.Size() == 0 {
+			t.Errorf("profile %s is empty", p)
+		}
+	}
+}
+
 func TestRunBaselineGate(t *testing.T) {
 	dir := writeTiny(t)
 	tmp := t.TempDir()
@@ -66,6 +89,9 @@ func TestRunBaselineGate(t *testing.T) {
 	}
 	if !strings.Contains(stdout.String(), "no regressions") {
 		t.Errorf("missing pass notice: %s", stdout.String())
+	}
+	if !strings.Contains(stdout.String(), "speedup vs") || !strings.Contains(stdout.String(), "x\n") {
+		t.Errorf("missing speedup ratio column: %s", stdout.String())
 	}
 
 	// A doctored too-fast baseline must trip the gate.

@@ -182,6 +182,47 @@ func (r Regression) String() string {
 		r.Name, r.Workers, r.Base, r.Current, r.Ratio)
 }
 
+// Speedup is one suite cell present in both a baseline and a fresh
+// measurement, expressed as a throughput ratio.
+type Speedup struct {
+	Name    string
+	Workers int
+	// BaseStepsPerSecond and StepsPerSecond are the old and new
+	// throughput; Ratio is new/old, so >1 means faster.
+	BaseStepsPerSecond float64
+	StepsPerSecond     float64
+	Ratio              float64
+}
+
+// Speedups pairs every cell of current with its baseline counterpart and
+// reports the steps/s ratio (new/old) for each, in current's order.
+// Cells missing from either file, or with non-positive throughput, are
+// skipped — the suite's shape may grow across PRs.
+func Speedups(base, current *File) []Speedup {
+	type key struct {
+		name    string
+		workers int
+	}
+	baseBy := make(map[key]Result, len(base.Results))
+	for _, r := range base.Results {
+		baseBy[key{r.Name, r.Workers}] = r
+	}
+	var out []Speedup
+	for _, cur := range current.Results {
+		b, ok := baseBy[key{cur.Name, cur.Workers}]
+		if !ok || b.StepsPerSecond <= 0 || cur.StepsPerSecond <= 0 {
+			continue
+		}
+		out = append(out, Speedup{
+			Name: cur.Name, Workers: cur.Workers,
+			BaseStepsPerSecond: b.StepsPerSecond,
+			StepsPerSecond:     cur.StepsPerSecond,
+			Ratio:              cur.StepsPerSecond / b.StepsPerSecond,
+		})
+	}
+	return out
+}
+
 // Compare checks current against base: any cell whose ns/sim-second grew
 // by more than tolerance (0.5 = 50% slower) is reported. Cells present
 // in only one file are ignored — the suite's shape may grow across PRs.

@@ -339,6 +339,18 @@ func (r *Rail) PeekIdle(n int, dt, iLoad float64) float64 {
 	return vEnd
 }
 
+// advanceClock adds n steps of dt to the rail clock one step at a time —
+// the same additions in the same order as n Step calls — so a skipped
+// run samples time-discontinuous sources (square waves, gated bursts) at
+// bit-identical instants to stepwise integration. A single aggregated
+// n·dt add rounds differently, and at a waveform edge that last-ulp shift
+// can move the sampled discontinuity to the neighbouring step.
+func (r *Rail) advanceClock(n int, dt float64) {
+	for k := 0; k < n; k++ {
+		r.now += dt
+	}
+}
+
 // AdvanceIdle advances the rail by n steps of dt in closed form, under the
 // caller-guaranteed assumptions that the source is not conducting (diode
 // blocked, or no source at all) and the attached loads draw a constant
@@ -356,7 +368,7 @@ func (r *Rail) AdvanceIdle(n int, dt, iLoad float64) float64 {
 		return r.Cap.V
 	}
 	if r.Cap.C <= 0 {
-		r.now += float64(n) * dt
+		r.advanceClock(n, dt)
 		return r.Cap.V
 	}
 	a, b := r.idleCoeffs(dt, iLoad)
@@ -364,7 +376,105 @@ func (r *Rail) AdvanceIdle(n int, dt, iLoad float64) float64 {
 	r.Cap.V = vEnd
 	r.ConsumedJ += iLoad * sumV * dt
 	r.LastSourceI, r.LastLoadI = 0, iLoad
-	r.now += float64(n) * dt
+	r.advanceClock(n, dt)
+	for _, c := range r.Comps {
+		c.Observe(r.Cap.V, r.now)
+	}
+	return r.Cap.V
+}
+
+// drivenCoeffs returns the affine per-step recurrence V' = a·V + b that
+// Step integrates while the bound voltage source conducts at a constant
+// vs through its series resistance into a constant load iLoad:
+//
+//	V' = V + dt/C · ((vs−V)/rs − iLoad − V/LeakR)
+//
+// matching Capacitor.Step's pre-step leak exactly.
+func (r *Rail) drivenCoeffs(dt, iLoad, vs float64) (a, b float64) {
+	c := r.Cap.C
+	a = 1 - dt/(r.rs*c)
+	if r.Cap.LeakR > 0 {
+		a -= dt / (r.Cap.LeakR * c)
+	}
+	b = (vs/r.rs - iLoad) * dt / c
+	return a, b
+}
+
+// drivenSeries evaluates n steps of V' = a·V + b for 0 < a < 1, returning
+// the final voltage plus the sum and sum-of-squares of the n pre-step
+// voltages — the integrals behind the load- and harvest-energy telemetry.
+// The trajectory is monotone between v0 and the fixed point b/(1−a); the
+// caller guarantees it stays inside the capacitor's clamp range.
+func drivenSeries(v0, a, b float64, n int) (vEnd, sumV, sumV2 float64) {
+	vStar := b / (1 - a)
+	c := v0 - vStar
+	an := math.Pow(a, float64(n))
+	fn := float64(n)
+	g1 := (1 - an) / (1 - a)      // Σ a^k, k = 0..n−1
+	g2 := (1 - an*an) / (1 - a*a) // Σ a^2k
+	vEnd = c*an + vStar
+	sumV = c*g1 + fn*vStar
+	sumV2 = c*c*g2 + 2*c*vStar*g1 + fn*vStar*vStar
+	return vEnd, sumV, sumV2
+}
+
+// PeekDriven predicts, without mutating any state, the rail voltage after
+// n steps of dt with the voltage source conducting at the constant
+// plateau voltage vs and the loads drawing a constant iLoad. ok=false
+// means the affine recurrence has no stable closed form here (no
+// capacitance, no voltage source, or dt too coarse against the source RC
+// constant) and the caller must integrate stepwise.
+func (r *Rail) PeekDriven(n int, dt, iLoad, vs float64) (float64, bool) {
+	if !r.bound {
+		r.bind()
+	}
+	if r.Cap.C <= 0 || r.voltFn == nil {
+		return r.Cap.V, false
+	}
+	a, b := r.drivenCoeffs(dt, iLoad, vs)
+	if a <= 0 || a >= 1 {
+		return r.Cap.V, false
+	}
+	vEnd, _, _ := drivenSeries(r.Cap.V, a, b, n)
+	return vEnd, true
+}
+
+// AdvanceDriven advances the rail by n steps of dt in closed form while
+// the voltage source conducts at the constant plateau voltage vs into a
+// constant load iLoad — the charging counterpart of AdvanceIdle. The
+// caller guarantees what PeekDriven checked (a stable recurrence) plus
+// that neither the zero clamp nor MaxV is reached inside the hop and that
+// the source plateau covers it. The diode cannot stop conducting on its
+// own: the recurrence's fixed point lies strictly below vs, so a
+// trajectory starting below vs stays below it. Telemetry matches n Step
+// calls to closed-form accuracy — HarvestedJ integrates (vs−V)·V/rs·dt
+// and ConsumedJ integrates iLoad·V·dt over the pre-step voltages, and
+// the Last* observables reflect the final step. Comparators observe only
+// the final voltage, as with AdvanceIdle.
+func (r *Rail) AdvanceDriven(n int, dt, iLoad, vs float64) float64 {
+	if n <= 0 || dt <= 0 {
+		return r.Cap.V
+	}
+	if !r.bound {
+		r.bind()
+	}
+	if r.Cap.C <= 0 {
+		r.advanceClock(n, dt)
+		return r.Cap.V
+	}
+	a, b := r.drivenCoeffs(dt, iLoad, vs)
+	v0 := r.Cap.V
+	vEnd, sumV, sumV2 := drivenSeries(v0, a, b, n)
+	vPen := v0 // pre-step voltage of the final step
+	if n > 1 {
+		vPen, _, _ = drivenSeries(v0, a, b, n-1)
+	}
+	r.Cap.V = vEnd
+	r.HarvestedJ += (vs*sumV - sumV2) / r.rs * dt
+	r.ConsumedJ += iLoad * sumV * dt
+	r.LastSourceI = (vs - vPen) / r.rs
+	r.LastLoadI = iLoad
+	r.advanceClock(n, dt)
 	for _, c := range r.Comps {
 		c.Observe(r.Cap.V, r.now)
 	}

@@ -1,6 +1,9 @@
 package isa
 
-import "fmt"
+import (
+	"bytes"
+	"fmt"
+)
 
 // Bus is the memory system the core executes against. The MCU layer
 // implements it with distinct SRAM/FRAM regions, per-access wait states,
@@ -97,6 +100,19 @@ type Core struct {
 	// leaves the window.
 	win   FetchWindow
 	winOK bool
+
+	// Superblock cache (see RunBudget): straight-line runs decoded into
+	// one precompiled handler list, revalidated wholesale against live
+	// memory before any effect is committed. Allocated lazily on the
+	// first RunBudget call; plain Step never touches it.
+	sbsets  [][sbWays]sblock
+	sbHits  uint64 // block executions served by a revalidated cached block
+	sbBuild uint64 // block (re)constructions
+
+	// Last store site, recorded by execOne for the superblock runner's
+	// self-modification check.
+	storeAddr uint16
+	storeLen  uint16
 }
 
 // icBits sizes the direct-mapped decode cache: 8192 lines covers any
@@ -113,6 +129,72 @@ type icLine struct {
 	raw  [4]byte
 	in   Instr
 	size uint8 // encoded length (2 or 4); 0 marks an empty line
+}
+
+// Superblock cache geometry. Sets are indexed by (pc>>1) & sbMask —
+// instructions are 2-byte aligned, so the shift keeps all index bits
+// useful — and each set holds two ways so a pair of PCs that alias the
+// same set (any 2 KiB multiple apart, which includes the 8 KiB distance
+// that aliases the direct-mapped icache) can coexist instead of
+// thrashing rebuilds. sbMaxInstrs is the fusion cap, the "cache-line
+// boundary" of the block cache.
+const (
+	sbBits      = 10
+	sbMask      = 1<<sbBits - 1
+	sbWays      = 2
+	sbMaxInstrs = 32
+)
+
+// sbEntry is one pre-decoded instruction of a superblock, with its base
+// cycle cost and encoded length hoisted out of the dispatch loop. fast
+// marks register-only ops (sbFast) whose cycle cost and fall-through
+// successor are fully known at decode time, letting the dispatch loop
+// skip the cycle-delta and exec-kind bookkeeping.
+type sbEntry struct {
+	in   Instr
+	cyc  uint64
+	ln   uint16
+	fast bool
+}
+
+// sblock is a decoded straight-line run starting at start: the raw bytes
+// it was decoded from (for wholesale revalidation) and the entry list. A
+// zero rawLen marks an empty/unbuildable slot.
+type sblock struct {
+	start   uint16
+	rawLen  uint16
+	raw     []byte
+	entries []sbEntry
+}
+
+// sbStop marks opcodes that terminate a superblock: control transfers
+// and traps (the trap handlers may change mode, bus contents, or the
+// core itself, so a block never runs past one).
+var sbStop [opMax]bool
+
+// sbFast marks register-only instructions: no bus access (so execOne
+// adds exactly the entry's base cycle cost and never sets a wait state),
+// no stores, no control transfer — execOne always returns the
+// fall-through PC and kind 0. The dispatch loop exploits this to charge
+// budget from the pre-decoded cost without the before/after Cycles diff
+// or any exec-kind tests. Keep this list in sync with execOne: an op
+// belongs here only if its case touches nothing but registers and flags.
+var sbFast [opMax]bool
+
+func init() {
+	for _, op := range []Op{
+		OpJMP, OpJZ, OpJNZ, OpJC, OpJNC, OpJN, OpJGE, OpJLT,
+		OpCALL, OpRET, OpSYS, OpCHK, OpHALT,
+	} {
+		sbStop[op] = true
+	}
+	for _, op := range []Op{
+		OpNOP, OpMOV, OpMOVI, OpADD, OpADDI, OpSUB, OpSUBI,
+		OpAND, OpOR, OpXOR, OpNOT, OpNEG, OpSHL, OpSHR, OpSAR,
+		OpMUL, OpQMUL, OpCMP, OpCMPI,
+	} {
+		sbFast[op] = true
+	}
 }
 
 // Reset returns the core to its power-on state (registers and flags
@@ -139,13 +221,7 @@ func (c *Core) setZN(v uint16) {
 func (c *Core) fetch() (Instr, uint64, error) {
 	pc := c.PC
 	if c.Bus != c.knownBus {
-		c.knownBus = c.Bus
-		c.fetchBus, _ = c.Bus.(FetchBus)
-		c.winBus, _ = c.Bus.(WindowBus)
-		c.winOK = false
-		if c.icache == nil {
-			c.icache = make([]icLine, 1<<icBits)
-		}
+		c.resolveBus()
 	}
 	var raw [4]byte
 	var wait uint64
@@ -189,6 +265,19 @@ func (c *Core) fetch() (Instr, uint64, error) {
 	return in, wait, nil
 }
 
+// resolveBus re-resolves the optional bus interfaces after Bus changed.
+// Cached decode state survives a bus swap: every icache line and every
+// superblock is revalidated against the (new) live bytes before use.
+func (c *Core) resolveBus() {
+	c.knownBus = c.Bus
+	c.fetchBus, _ = c.Bus.(FetchBus)
+	c.winBus, _ = c.Bus.(WindowBus)
+	c.winOK = false
+	if c.icache == nil {
+		c.icache = make([]icLine, 1<<icBits)
+	}
+}
+
 // probeWindow asks the WindowBus for a fetch window containing pc, and
 // reports whether a usable one (pc+3 inside it) was cached.
 func (c *Core) probeWindow(pc uint16) bool {
@@ -207,6 +296,14 @@ func decodeChecked(buf []byte, addr uint16) (Instr, error) {
 	return in, err
 }
 
+// Execution-outcome bits returned by execOne.
+const (
+	execTrap  = 1 << iota // SYS/CHK: PC already committed, handler already ran
+	execHalt              // HALT: core halted, caller commits the returned PC
+	execBad               // undefined opcode: core halted, PC must not advance
+	execStore             // instruction wrote memory (see storeAddr/storeLen)
+)
+
 // Step executes one instruction. It returns the executed instruction and
 // an error for invalid opcodes (which also halt the core). A halted core
 // returns immediately.
@@ -223,12 +320,28 @@ func (c *Core) Step() (Instr, error) {
 	// in.Op is a decoded (hence defined) opcode, so direct table indexing
 	// is safe.
 	c.Cycles += opCycles[in.Op] + wait
-	next := c.PC + opLen[in.Op]
+	next, kind := c.execOne(in, c.PC+opLen[in.Op])
+	if kind&execBad != 0 {
+		return in, fmt.Errorf("isa: unimplemented opcode %v", in.Op)
+	}
+	if kind&execTrap == 0 {
+		c.PC = next
+	}
+	return in, nil
+}
 
+// execOne executes one decoded instruction whose base cycles (and fetch
+// wait states) have already been charged, and returns the next PC plus
+// outcome bits. It is the single source of instruction semantics, shared
+// by Step and the superblock runner. The caller commits the returned PC
+// unless execTrap (committed here, before the handler ran) or execBad
+// (the PC must stay on the faulting instruction) is set.
+func (c *Core) execOne(in Instr, next uint16) (uint16, int) {
 	switch in.Op {
 	case OpNOP:
 	case OpHALT:
 		c.Halted = true
+		return next, execHalt
 	case OpMOV:
 		c.R[in.Dst] = c.R[in.Src]
 	case OpMOVI:
@@ -241,6 +354,8 @@ func (c *Core) Step() (Instr, error) {
 		addr := c.R[in.Dst] + in.Imm
 		c.Bus.Write16(addr, c.R[in.Src])
 		c.Cycles += c.Bus.AccessCycles(addr, true)
+		c.storeAddr, c.storeLen = addr, 2
+		return next, execStore
 	case OpLDB:
 		addr := c.R[in.Src] + in.Imm
 		c.R[in.Dst] = uint16(c.Bus.Read8(addr))
@@ -249,10 +364,14 @@ func (c *Core) Step() (Instr, error) {
 		addr := c.R[in.Dst] + in.Imm
 		c.Bus.Write8(addr, byte(c.R[in.Src]))
 		c.Cycles += c.Bus.AccessCycles(addr, true)
+		c.storeAddr, c.storeLen = addr, 1
+		return next, execStore
 	case OpPUSH:
 		c.R[SP] -= 2
 		c.Bus.Write16(c.R[SP], c.R[in.Dst])
 		c.Cycles += c.Bus.AccessCycles(c.R[SP], true)
+		c.storeAddr, c.storeLen = c.R[SP], 2
+		return next, execStore
 	case OpPOP:
 		c.R[in.Dst] = c.Bus.Read16(c.R[SP])
 		c.Cycles += c.Bus.AccessCycles(c.R[SP], false)
@@ -365,7 +484,8 @@ func (c *Core) Step() (Instr, error) {
 		c.R[SP] -= 2
 		c.Bus.Write16(c.R[SP], next)
 		c.Cycles += c.Bus.AccessCycles(c.R[SP], true)
-		next = in.Imm
+		c.storeAddr, c.storeLen = c.R[SP], 2
+		return in.Imm, execStore
 	case OpRET:
 		next = c.Bus.Read16(c.R[SP])
 		c.Cycles += c.Bus.AccessCycles(c.R[SP], false)
@@ -375,19 +495,227 @@ func (c *Core) Step() (Instr, error) {
 		if c.Sys != nil {
 			c.Sys(in.Imm, c)
 		}
-		return in, nil
+		return next, execTrap
 	case OpCHK:
 		c.PC = next // checkpoint captures the resume point past the trap
 		if c.Checkpoint != nil {
 			c.Checkpoint(c)
 		}
-		return in, nil
+		return next, execTrap
 	default:
 		c.Halted = true
-		return in, fmt.Errorf("isa: unimplemented opcode %v", in.Op)
+		return next, execBad
 	}
-	c.PC = next
-	return in, nil
+	return next, 0
+}
+
+// RunBudget executes instructions while budget >= 1 cycles remain and the
+// core is not halted, using superblock execution: straight-line runs are
+// decoded once into a cached block and replayed with a single fetch-path
+// entry per block instead of one per instruction. It returns the budget
+// left, the cycles actually retired (spent), and any guest fault.
+//
+// Semantics are step-for-step identical to calling Step in a loop and
+// subtracting each instruction's cycle delta from the budget:
+//
+//   - a block revalidates every constituent instruction's raw bytes
+//     against live memory before committing any effect, so guest stores,
+//     snapshot restores and SRAM scrambling need no invalidation protocol
+//     (the same property the per-fetch byte compare gives the icache);
+//   - a store into the not-yet-executed remainder of the running block
+//     aborts the replay at the next instruction boundary and re-enters
+//     through revalidation;
+//   - SYS/CHK return immediately after their handler (the handler may
+//     have changed device mode — the caller must recheck its own gates);
+//   - a faulting instruction's cycles are charged to the core but not to
+//     budget/spent, matching the historical stepwise accounting;
+//   - the budget check happens after every instruction, so the stop
+//     decision lands on exactly the same instruction as the stepwise
+//     loop (per-instruction deltas are small integers, so the float
+//     subtractions are exact).
+func (c *Core) RunBudget(budget float64) (float64, uint64, error) {
+	if c.Bus != c.knownBus {
+		c.resolveBus()
+	}
+	if c.sbsets == nil {
+		c.sbsets = make([][sbWays]sblock, 1<<sbBits)
+	}
+	var spent uint64
+	for budget >= 1 && !c.Halted {
+		blk := c.lookupBlock(c.PC)
+		if blk == nil {
+			// MMIO fetch, window tail, or undecodable bytes: the plain
+			// step path handles them exactly as before.
+			before := c.Cycles
+			if _, err := c.Step(); err != nil {
+				return budget, spent, err
+			}
+			d := c.Cycles - before
+			budget -= float64(d)
+			spent += d
+			continue
+		}
+		var wait uint64
+		if c.win.Wait != nil {
+			wait = *c.win.Wait
+		}
+		pc := blk.start
+		for i := range blk.entries {
+			e := &blk.entries[i]
+			if e.fast {
+				// Register-only op: execOne adds no cycles beyond the
+				// pre-decoded cost, never stores, never redirects the PC
+				// (sbFast's contract), so the budget charge is known up
+				// front and the exec-kind tests below cannot fire. The
+				// hottest ALU ops are dispatched right here to skip the
+				// execOne call; each case is the same statement as the
+				// corresponding execOne case (same helpers, same order),
+				// with execOne itself as the fallback for the rest.
+				d := e.cyc + wait
+				c.Cycles += d
+				in := &e.in
+				switch in.Op {
+				case OpMOV:
+					c.R[in.Dst] = c.R[in.Src]
+				case OpMOVI:
+					c.R[in.Dst] = in.Imm
+				case OpADD:
+					c.add(in.Dst, c.R[in.Src])
+				case OpADDI:
+					c.add(in.Dst, in.Imm)
+				case OpSUB:
+					c.R[in.Dst] = c.sub(c.R[in.Dst], c.R[in.Src])
+				case OpSUBI:
+					c.R[in.Dst] = c.sub(c.R[in.Dst], in.Imm)
+				case OpCMP:
+					c.sub(c.R[in.Dst], c.R[in.Src])
+				case OpCMPI:
+					c.sub(c.R[in.Dst], in.Imm)
+				default:
+					c.execOne(e.in, 0)
+				}
+				pc += e.ln
+				budget -= float64(d)
+				spent += d
+				if budget < 1 {
+					break
+				}
+				continue
+			}
+			before := c.Cycles
+			c.Cycles += e.cyc + wait
+			pcNext, kind := c.execOne(e.in, pc+e.ln)
+			if kind&execBad != 0 {
+				c.PC = pc // stay on the faulting instruction, like Step
+				return budget, spent, fmt.Errorf("isa: unimplemented opcode %v", e.in.Op)
+			}
+			d := c.Cycles - before
+			budget -= float64(d)
+			spent += d
+			if kind&execTrap != 0 {
+				return budget, spent, nil
+			}
+			pc = pcNext
+			if kind&execHalt != 0 {
+				break
+			}
+			if kind&execStore != 0 && storeHitsBlock(blk, pcNext, c.storeAddr, c.storeLen) {
+				break
+			}
+			if budget < 1 {
+				break
+			}
+		}
+		c.PC = pc
+	}
+	return budget, spent, nil
+}
+
+// SuperblockStats reports superblock cache activity: hits are block
+// executions served by a revalidated cached block, builds are block
+// (re)constructions. Diagnostic only.
+func (c *Core) SuperblockStats() (hits, builds uint64) { return c.sbHits, c.sbBuild }
+
+// storeHitsBlock reports whether a store of n bytes at addr may overlap
+// the not-yet-executed remainder [from, start+rawLen) of the running
+// block. A store that wraps the address space is conservatively treated
+// as overlapping.
+func storeHitsBlock(blk *sblock, from uint16, addr uint16, n uint16) bool {
+	a := int(addr)
+	e := a + int(n)
+	if e > 0x10000 {
+		return true
+	}
+	return e > int(from) && a < int(blk.start)+int(blk.rawLen)
+}
+
+// lookupBlock returns a revalidated superblock starting at pc, building
+// or rebuilding one as needed, or nil when pc has no usable fetch window
+// or the bytes at pc do not decode (the caller falls back to Step).
+func (c *Core) lookupBlock(pc uint16) *sblock {
+	i := int(pc) - int(c.win.Base)
+	if !c.winOK || i < 0 || i+3 >= len(c.win.Mem) {
+		if c.winBus == nil || !c.probeWindow(pc) {
+			return nil
+		}
+		i = int(pc) - int(c.win.Base)
+	}
+	set := &c.sbsets[(pc>>1)&sbMask]
+	if set[0].start != pc || set[0].rawLen == 0 {
+		if set[1].start == pc && set[1].rawLen != 0 {
+			set[0], set[1] = set[1], set[0] // MRU to way 0
+		} else {
+			// Build into the LRU way, then promote. Freshly decoded from
+			// live bytes, so no revalidation pass is needed this time.
+			c.buildBlock(&set[1], pc, i)
+			c.sbBuild++
+			if set[1].rawLen == 0 {
+				return nil
+			}
+			set[0], set[1] = set[1], set[0]
+			return &set[0]
+		}
+	}
+	blk := &set[0]
+	if i+int(blk.rawLen) > len(c.win.Mem) || !bytes.Equal(blk.raw, c.win.Mem[i:i+int(blk.rawLen)]) {
+		c.buildBlock(blk, pc, i)
+		c.sbBuild++
+		if blk.rawLen == 0 {
+			return nil
+		}
+		return blk
+	}
+	c.sbHits++
+	return blk
+}
+
+// buildBlock decodes a straight-line run from the cached window starting
+// at pc (window offset i) into b, reusing b's backing storage. The block
+// ends at a control transfer or trap (included as the final entry), at
+// the fusion cap, at the window's fetch boundary, or at undecodable
+// bytes (excluded — the fallback path reports them exactly like fetch).
+func (c *Core) buildBlock(b *sblock, pc uint16, i int) {
+	b.start = pc
+	b.rawLen = 0
+	b.raw = b.raw[:0]
+	b.entries = b.entries[:0]
+	mem := c.win.Mem
+	addr := pc
+	off := i
+	for len(b.entries) < sbMaxInstrs && off+3 < len(mem) {
+		in, n, err := Decode(mem[off:off+4], addr)
+		if err != nil {
+			break
+		}
+		b.entries = append(b.entries, sbEntry{in: in, cyc: opCycles[in.Op], ln: uint16(n), fast: sbFast[in.Op]})
+		b.raw = append(b.raw, mem[off:off+n]...)
+		off += n
+		addr += uint16(n)
+		if sbStop[in.Op] {
+			break
+		}
+	}
+	b.rawLen = uint16(len(b.raw))
 }
 
 // add performs dst += v with flag updates.

@@ -414,3 +414,54 @@ neg:
 		t.Errorf("JGE/JN: r2=%d r4=%d, want 1,1", c.R[2], c.R[4])
 	}
 }
+
+// TestSuperblockAliasHazard pins alias safety of both decode caches at
+// once. PCs 0x4000 and 0x6000 collide in the direct-mapped icache
+// (0x4000 & icMask == 0x6000 & icMask) AND map to the same superblock
+// set ((pc>>1) & sbMask), so a tight ping-pong between them is the
+// worst-case thrash pattern: the icache line flips owner on every
+// bounce and the superblock set holds both hot blocks only because it
+// is 2-way. Raw-byte revalidation must keep every replay correct, and
+// in steady state block executions must be served from cache — hits
+// vastly outnumbering builds proves neither block evicts the other.
+func TestSuperblockAliasHazard(t *testing.T) {
+	const rounds = 2000
+	if 0x4000&icMask != 0x6000&icMask {
+		t.Fatal("test premise broken: PCs no longer alias the icache")
+	}
+	if (0x4000>>1)&sbMask != (0x6000>>1)&sbMask {
+		t.Fatal("test premise broken: PCs no longer share a superblock set")
+	}
+	c := runAsm(t, `
+start:
+    MOVI r1, #2000     ; ping-pong rounds
+    MOVI r2, #0        ; accumulator
+    JMP  ping
+.org 0x4000
+ping:
+    ADDI r2, #3
+    JMP  pong
+.org 0x6000
+pong:
+    ADDI r2, #4
+    SUBI r1, #1
+    JNZ  ping
+    HALT
+`)
+	// Drive execution through the superblock engine, as the device does.
+	for !c.Halted {
+		if _, _, err := c.RunBudget(4096); err != nil {
+			t.Fatalf("run: %v", err)
+		}
+	}
+	if want := uint16(rounds * 7); c.R[2] != want {
+		t.Fatalf("accumulator = %d, want %d — stale decode survived aliasing", c.R[2], want)
+	}
+	hits, builds := c.SuperblockStats()
+	if builds > 8 {
+		t.Errorf("superblock builds = %d; aliased blocks are evicting each other", builds)
+	}
+	if hits < rounds {
+		t.Errorf("superblock hits = %d, want >= %d (steady-state replay from cache)", hits, rounds)
+	}
+}

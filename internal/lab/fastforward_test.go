@@ -90,9 +90,13 @@ func TestFastForwardMatchesFullIntegration(t *testing.T) {
 	}
 }
 
-// TestFastForwardNoopOnContinuousSupply: with a supply that never blocks
-// the diode the device never idles, so fast-forward must change nothing.
-func TestFastForwardNoopOnContinuousSupply(t *testing.T) {
+// TestFastForwardContinuousSupplyActiveHop: a DC supply never blocks the
+// diode, so the device executes continuously — the stretch the adaptive
+// active-phase stepper covers. Execution must be bit-exact (the device's
+// cycle budget advances step by step inside a hop), so completion counts
+// AND timestamps match full integration exactly; the rail telemetry is
+// closed-form and agrees to floating-point accuracy.
+func TestFastForwardContinuousSupplyActiveHop(t *testing.T) {
 	mk := func(ff bool) Setup {
 		return Setup{
 			Workload:    programs.Fib(24, programs.DefaultLayout()),
@@ -111,9 +115,36 @@ func TestFastForwardNoopOnContinuousSupply(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if ff.Completions != full.Completions || ff.ConsumedJ != full.ConsumedJ ||
-		ff.FinalV != full.FinalV {
-		t.Errorf("continuous supply runs diverged: ff %+v full %+v", ff, full)
+	if ff.Completions != full.Completions || ff.WrongResults != full.WrongResults ||
+		ff.Stats.CyclesRun != full.Stats.CyclesRun {
+		t.Fatalf("execution diverged: ff %d/%d/%d full %d/%d/%d (completions/wrong/cycles)",
+			ff.Completions, ff.WrongResults, ff.Stats.CyclesRun,
+			full.Completions, full.WrongResults, full.Stats.CyclesRun)
+	}
+	if full.Completions == 0 {
+		t.Fatal("testbed never completed a workload iteration")
+	}
+	for i := range full.CompletionTimes {
+		if ff.CompletionTimes[i] != full.CompletionTimes[i] {
+			t.Fatalf("completion %d timestamp diverged: ff %.17g full %.17g",
+				i, ff.CompletionTimes[i], full.CompletionTimes[i])
+		}
+	}
+	if ff.Stats.ActiveSec != full.Stats.ActiveSec {
+		t.Errorf("ActiveSec diverged: ff %.17g full %.17g", ff.Stats.ActiveSec, full.Stats.ActiveSec)
+	}
+	relClose := func(name string, a, b, tol float64) {
+		t.Helper()
+		denom := math.Max(math.Abs(b), 1e-12)
+		if math.Abs(a-b)/denom > tol {
+			t.Errorf("%s: ff %.12g vs full %.12g (rel err %.3g > %g)",
+				name, a, b, math.Abs(a-b)/denom, tol)
+		}
+	}
+	relClose("ConsumedJ", ff.ConsumedJ, full.ConsumedJ, 1e-9)
+	relClose("HarvestedJ", ff.HarvestedJ, full.HarvestedJ, 1e-9)
+	if math.Abs(ff.FinalV-full.FinalV) > 1e-9 {
+		t.Errorf("FinalV: ff %.12f vs full %.12f", ff.FinalV, full.FinalV)
 	}
 }
 
@@ -219,4 +250,239 @@ func intermittentSetupAt(dur float64) Setup {
 	s := intermittentSetup(true)
 	s.Duration = dur
 	return s
+}
+
+// TestFastForwardSupplyRegistry sweeps every entry in the source registry
+// through full integration vs fast-forward with the standard hibernus
+// runtime. The contract under test is uniform: discrete outcomes (event
+// counts) agree exactly for every supply, and for plateau supplies —
+// where the adaptive active-phase stepper engages — execution is
+// bit-exact (completion timestamps, cycle counts, active seconds).
+// Power-envelope supplies (PSource) refuse fast-forward entirely, so
+// those runs must be bit-identical throughout.
+func TestFastForwardSupplyRegistry(t *testing.T) {
+	// Simulated length per supply, tuned so the device actually powers
+	// on and runs (slow chargers and scheduled bursts need more time).
+	durations := map[string]float64{
+		"dc":             0.05,
+		"solar":          0.30,
+		"square":         0.50,
+		"sine":           0.30,
+		"rectified-sine": 0.30,
+		"wind":           1.20,
+		"rf":             0.60,
+		"pv":             0.30,
+		"const-power":    0.20,
+	}
+	for _, name := range source.Names() {
+		t.Run(name, func(t *testing.T) {
+			dur, ok := durations[name]
+			if !ok {
+				t.Fatalf("no duration tuned for new source %q — add it to this sweep", name)
+			}
+			mk := func(ff bool) Setup {
+				built, err := source.Build(name, nil)
+				if err != nil {
+					t.Fatalf("build %q: %v", name, err)
+				}
+				return Setup{
+					Workload: programs.Fib(20, programs.DefaultLayout()),
+					Params:   mcu.DefaultParams(),
+					MakeRuntime: func(d *mcu.Device) mcu.Runtime {
+						return transient.NewHibernus(d, 10e-6, 1.1, 0.35)
+					},
+					VSource:     built.V,
+					PSource:     built.P,
+					C:           10e-6,
+					Duration:    dur,
+					FastForward: ff,
+				}
+			}
+			full, err := Run(mk(false))
+			if err != nil {
+				t.Fatal(err)
+			}
+			ff, err := Run(mk(true))
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			// Discrete outcomes: exact for every supply kind.
+			if ff.Completions != full.Completions || ff.WrongResults != full.WrongResults {
+				t.Errorf("completions %d/%d wrong %d/%d (ff/full)",
+					ff.Completions, full.Completions, ff.WrongResults, full.WrongResults)
+			}
+			if ff.Stats.BrownOuts != full.Stats.BrownOuts ||
+				ff.Stats.SavesDone != full.Stats.SavesDone ||
+				ff.Stats.Restores != full.Stats.Restores ||
+				ff.Stats.PowerOns != full.Stats.PowerOns {
+				t.Errorf("event counts diverged:\n  ff   %+v\n  full %+v", ff.Stats, full.Stats)
+			}
+			if full.Completions == 0 && full.Stats.PowerOns == 0 {
+				t.Errorf("testbed inert: device never powered on under %q", name)
+			}
+
+			s := mk(false)
+			_, plateau := s.VSource.(source.PlateauVoltage)
+			exact := s.PSource != nil // fast-forward fully refused: identical paths
+			if plateau || exact {
+				// Adaptive stepping advances the device step by step inside
+				// a hop, so execution must be bit-exact.
+				if ff.Stats.CyclesRun != full.Stats.CyclesRun {
+					t.Errorf("CyclesRun diverged: ff %d full %d", ff.Stats.CyclesRun, full.Stats.CyclesRun)
+				}
+				if ff.Stats.ActiveSec != full.Stats.ActiveSec {
+					t.Errorf("ActiveSec diverged: ff %.17g full %.17g",
+						ff.Stats.ActiveSec, full.Stats.ActiveSec)
+				}
+				if len(ff.CompletionTimes) == len(full.CompletionTimes) {
+					for i := range ff.CompletionTimes {
+						if ff.CompletionTimes[i] != full.CompletionTimes[i] {
+							t.Errorf("completion %d timestamp diverged: ff %.17g full %.17g",
+								i, ff.CompletionTimes[i], full.CompletionTimes[i])
+						}
+					}
+				}
+			}
+
+			relClose := func(metric string, a, b, tol float64) {
+				t.Helper()
+				denom := math.Max(math.Abs(b), 1e-12)
+				if math.Abs(a-b)/denom > tol {
+					t.Errorf("%s: ff %.9g vs full %.9g (rel err %.3g > %g)",
+						metric, a, b, math.Abs(a-b)/denom, tol)
+				}
+			}
+			tol := 1e-4
+			if exact {
+				tol = 0 // identical code path: any drift is a bug
+			}
+			if tol == 0 {
+				if ff.ConsumedJ != full.ConsumedJ || ff.HarvestedJ != full.HarvestedJ || ff.FinalV != full.FinalV {
+					t.Errorf("refused-path run diverged: consumed %.17g/%.17g harvested %.17g/%.17g finalV %.17g/%.17g",
+						ff.ConsumedJ, full.ConsumedJ, ff.HarvestedJ, full.HarvestedJ, ff.FinalV, full.FinalV)
+				}
+			} else {
+				relClose("ConsumedJ", ff.ConsumedJ, full.ConsumedJ, tol)
+				relClose("HarvestedJ", ff.HarvestedJ, full.HarvestedJ, tol)
+				if math.Abs(ff.FinalV-full.FinalV) > 1e-6 {
+					t.Errorf("FinalV: ff %.9f vs full %.9f", ff.FinalV, full.FinalV)
+				}
+			}
+		})
+	}
+}
+
+// TestFastForwardThresholdCrossingInsideChunk forces hibernus thresholds
+// to fall deep inside adaptive hops: a large capacitor discharging slowly
+// through an outage means the V_H save crossing and the V_Off collapse
+// arrive many steps after the hop begins, so the bisection must place
+// them — and the save/sleep transition they trigger — on exactly the
+// stepwise boundary. An interval-less recorder doubles as an engagement
+// probe: under fast-forward it samples chunk boundaries only, so a thin
+// trace proves hops actually covered the run.
+func TestFastForwardThresholdCrossingInsideChunk(t *testing.T) {
+	mk := func(ff bool) Setup {
+		return Setup{
+			Workload: programs.Fib(20, programs.DefaultLayout()),
+			Params:   mcu.DefaultParams(),
+			MakeRuntime: func(d *mcu.Device) mcu.Runtime {
+				return transient.NewHibernus(d, 47e-6, 1.1, 0.35)
+			},
+			VSource:     &source.SquareWaveVoltage{High: 3.3, OnTime: 0.02, OffTime: 0.05, Rs: 100},
+			C:           47e-6,
+			Duration:    1.0,
+			FastForward: ff,
+			Recorder:    trace.NewRecorder(),
+		}
+	}
+	full, err := Run(mk(false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sf := mk(true)
+	ff, err := Run(sf)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The testbed must actually exercise in-chunk crossings: every save
+	// is a falling V_H crossing found inside an active-phase hop (the big
+	// capacitor rides out each outage asleep, so there are no restores —
+	// the wake path is a V_R crossing inside a sleeping hop instead).
+	if full.Stats.SavesDone == 0 || full.Stats.PowerOns == 0 {
+		t.Fatalf("testbed too tame: saves=%d powerons=%d", full.Stats.SavesDone, full.Stats.PowerOns)
+	}
+	// …and fast-forward must actually engage.
+	if n := sf.Recorder.Series("vcc").Len(); n > full.Steps/4 {
+		t.Fatalf("fast-forward barely engaged: %d samples of %d steps", n, full.Steps)
+	}
+
+	if ff.Completions != full.Completions || ff.WrongResults != full.WrongResults ||
+		ff.Stats.CyclesRun != full.Stats.CyclesRun {
+		t.Fatalf("execution diverged: ff %d/%d/%d full %d/%d/%d (completions/wrong/cycles)",
+			ff.Completions, ff.WrongResults, ff.Stats.CyclesRun,
+			full.Completions, full.WrongResults, full.Stats.CyclesRun)
+	}
+	if ff.Stats.BrownOuts != full.Stats.BrownOuts ||
+		ff.Stats.SavesDone != full.Stats.SavesDone ||
+		ff.Stats.Restores != full.Stats.Restores ||
+		ff.Stats.PowerOns != full.Stats.PowerOns {
+		t.Errorf("event counts diverged:\n  ff   %+v\n  full %+v", ff.Stats, full.Stats)
+	}
+	if ff.Stats.ActiveSec != full.Stats.ActiveSec {
+		t.Errorf("ActiveSec diverged: ff %.17g full %.17g", ff.Stats.ActiveSec, full.Stats.ActiveSec)
+	}
+	if len(ff.CompletionTimes) != len(full.CompletionTimes) {
+		t.Fatalf("completion count diverged: %d vs %d", len(ff.CompletionTimes), len(full.CompletionTimes))
+	}
+	for i := range ff.CompletionTimes {
+		if ff.CompletionTimes[i] != full.CompletionTimes[i] {
+			t.Fatalf("completion %d timestamp diverged: ff %.17g full %.17g",
+				i, ff.CompletionTimes[i], full.CompletionTimes[i])
+		}
+	}
+}
+
+// TestFastForwardActiveCadence pins the interpolated-sample contract on
+// an active-phase hop: with a DC supply the device executes continuously
+// under adaptive stepping, and an interval-gated recorder must see the
+// same cadence as full integration — same timestamps, closed-form V_CC
+// agreeing with iterated Euler to floating-point accuracy.
+func TestFastForwardActiveCadence(t *testing.T) {
+	run := func(ff bool) *trace.Recorder {
+		s := Setup{
+			Workload:       programs.Fib(24, programs.DefaultLayout()),
+			Params:         mcu.DefaultParams(),
+			VSource:        &source.ConstantVoltage{V: 3.3, Rs: 50},
+			C:              10e-6,
+			Duration:       0.05,
+			FastForward:    ff,
+			Recorder:       trace.NewRecorder(),
+			RecordInterval: 1e-3,
+		}
+		if _, err := Run(s); err != nil {
+			t.Fatal(err)
+		}
+		return s.Recorder
+	}
+	full := run(false).Series("vcc")
+	ffd := run(true).Series("vcc")
+
+	if d := full.Len() - ffd.Len(); d < -2 || d > 2 {
+		t.Fatalf("cadence diverged: %d vs %d samples", ffd.Len(), full.Len())
+	}
+	n := full.Len()
+	if ffd.Len() < n {
+		n = ffd.Len()
+	}
+	for i := 0; i < n; i++ {
+		pf, pd := full.At(i), ffd.At(i)
+		if math.Abs(pf.T-pd.T) > 1e-9 {
+			t.Fatalf("sample %d timestamp diverged: ff %.12g full %.12g", i, pd.T, pf.T)
+		}
+		if math.Abs(pf.V-pd.V) > 1e-9 {
+			t.Fatalf("sample %d V_CC diverged: ff %.12g full %.12g at t=%.4fs", i, pd.V, pf.V, pf.T)
+		}
+	}
 }

@@ -64,22 +64,33 @@ type Setup struct {
 	// default) everywhere determinism benchmarks matter.
 	Abort <-chan struct{}
 
-	// FastForward lets the stepping loop skip idle stretches analytically
-	// instead of integrating them at Dt: while the device is off (or
-	// sleeping with no runtime attached) and the source diode is blocked,
-	// the rail is a pure RC decay with a constant micro-amp load, which has
-	// a closed form. The skip proceeds in bounded chunks, probing the
-	// source at each boundary and falling back to per-step integration the
-	// moment it might conduct, so supply features longer than a chunk
-	// (ffChunk·Dt, 0.5 ms at the default step) are never missed.
+	// FastForward lets the stepping loop advance analytically instead of
+	// integrating at Dt wherever the rail has a closed form:
 	//
-	// Results agree with full integration to floating-point evaluation of
-	// the decay series, not bit-exactly. A Recorder with a positive
-	// RecordInterval keeps its full sampling cadence through skips: the
-	// skip emits interpolated samples (evaluated on the same closed form)
-	// at every instant the stepwise loop would have recorded. OnTick and
-	// interval-less recorders observe chunk boundaries only. Leave it
-	// false (the default) where byte-identical output matters.
+	//   - Idle decay: the device is off (or asleep under an mcu.SleepWaker
+	//     runtime) and the source diode is blocked — a pure RC decay with
+	//     a constant micro-amp load.
+	//   - Plateau phases: the supply advertises an exactly constant
+	//     stretch (source.PlateauVoltage — DC and square-wave supplies),
+	//     making the rail an affine per-step recurrence whether the diode
+	//     conducts or not. This covers active execution too: the device's
+	//     cycle budget advances step-exactly (completion timestamps,
+	//     ActiveSec, and the cycle remainder match stepwise bit-for-bit)
+	//     while the rail moves in one closed-form hop, provided any
+	//     attached runtime publishes its thresholds via
+	//     mcu.ActiveThresholds.
+	//
+	// Skips proceed in bounded chunks and end strictly before any voltage
+	// threshold crossing (V_On, V_Off, runtime thresholds, diode
+	// engagement, clamp limits), so every crossing is integrated stepwise
+	// on exactly the boundary full integration would use — discrete event
+	// counts and orderings are preserved exactly. Continuous telemetry
+	// (energies, voltages) agrees to closed-form evaluation of the series,
+	// not bit-exactly. A Recorder with a positive RecordInterval keeps its
+	// full sampling cadence through skips via interpolated closed-form
+	// samples. OnTick and interval-less recorders observe chunk boundaries
+	// only. Leave it false (the default) where byte-identical output
+	// matters.
 	FastForward bool
 }
 
@@ -243,31 +254,44 @@ func Run(s Setup) (Result, error) {
 	return res, nil
 }
 
+// crossedTh reports whether a monotone move from v0 to v reached or
+// passed the threshold th. Touching the threshold exactly counts as
+// crossing: the stepwise loop must own every comparison against th,
+// whichever way its own inequalities are written. v0 == th is excluded
+// by the caller (the hop refuses to start on a threshold).
+func crossedTh(v0, v, th float64) bool {
+	if v0 > th {
+		return v <= th
+	}
+	return v >= th
+}
+
 // tryFastForward attempts to consume up to ffChunk simulation steps
 // analytically. It returns the number of steps skipped, or 0 when the
-// coming interval must be integrated stepwise (device runnable, source
-// conducting or about to, or too few steps left to be worth it).
+// coming interval must be integrated stepwise.
+//
+// Two families of stretches are skippable:
+//
+//   - Idle decay (device off, or asleep under an mcu.SleepWaker runtime)
+//     with the source diode blocked — the original fast-forward.
+//   - Any phase, active execution included, while the supply sits on an
+//     exact plateau (source.PlateauVoltage): the rail follows an affine
+//     per-step recurrence whether the diode conducts (AdvanceDriven) or
+//     not (AdvanceIdle), and the device's cycle budget advances without
+//     per-step rail coupling (mcu.Device.AdvanceActive). Active hops
+//     additionally require the runtime (if any) to publish its voltage
+//     thresholds via mcu.ActiveThresholds and to be settled at the
+//     present voltage.
+//
+// Every voltage threshold that can change behaviour — V_On, V_Off, the
+// runtime's wake/active thresholds, the plateau voltage itself (diode
+// engagement), the capacitor's clamp range — bounds the hop: the skip
+// ends strictly before the first predicted crossing, so the crossing
+// step is integrated stepwise and lands on exactly the same step
+// boundary as full integration.
 func (s *Setup) tryFastForward(d *mcu.Device, rail *circuit.Rail, obs *observer, remaining int) int {
-	// Only a device that cannot change its own state is skippable: off, or
-	// in retention sleep with either no runtime or one that declares (via
-	// mcu.SleepWaker) that it only waits for a wake voltage the decaying
-	// rail cannot reach. Power sources charge unconditionally, so only
-	// diode-gated voltage supplies qualify.
-	switch d.Mode() {
-	case mcu.ModeOff:
-		if rail.V() >= d.P.VOn {
-			return 0 // about to power on; let the stepwise path take it
-		}
-	case mcu.ModeSleep:
-		if rt := d.Runtime(); rt != nil {
-			sw, ok := rt.(mcu.SleepWaker)
-			if !ok || rail.V() >= sw.WakeThreshold() {
-				return 0
-			}
-		}
-	default:
-		return 0
-	}
+	// Power sources charge unconditionally with a rail-voltage-dependent
+	// conversion, which no affine closed form covers.
 	if s.PSource != nil {
 		return 0
 	}
@@ -278,43 +302,181 @@ func (s *Setup) tryFastForward(d *mcu.Device, rail *circuit.Rail, obs *observer,
 	if n < 2 {
 		return 0
 	}
-
 	t0 := rail.Now()
 	v0 := rail.V()
-	iLoad := d.Current(v0, t0) // constant while off/asleep
+
+	// Resolve the supply's plateau around t0, when it advertises one.
+	// The hop keeps a full step of margin inside the plateau, so the
+	// accumulated-clock instants the stepwise loop would have sampled can
+	// never reach past its end.
+	var vs float64
+	hasPlat := false
 	if s.VSource != nil {
-		// Cheapest refusal first: the source is conducting right now.
+		if pv, ok := s.VSource.(source.PlateauVoltage); ok {
+			if pV, until, ok := pv.Plateau(t0); ok {
+				if span := until - t0; span >= float64(n+1)*s.Dt {
+					vs, hasPlat = pV, true
+				} else if maxK := int(span/s.Dt) - 1; maxK >= 2 {
+					vs, hasPlat = pV, true
+					n = maxK
+				}
+			}
+		}
+	}
+	conducting := hasPlat && vs > v0
+
+	// Collect the thresholds whose crossings must land on exact step
+	// boundaries; a mode that cannot hop at all returns 0 instead.
+	var ths [8]float64
+	nth := 0
+	switch d.Mode() {
+	case mcu.ModeOff:
+		if v0 >= d.P.VOn {
+			return 0 // about to power on; let the stepwise path take it
+		}
+		ths[nth] = d.P.VOn
+		nth++
+	case mcu.ModeSleep:
+		if rt := d.Runtime(); rt != nil {
+			sw, ok := rt.(mcu.SleepWaker)
+			if !ok {
+				return 0
+			}
+			if v0 >= sw.WakeThreshold() {
+				return 0 // about to wake
+			}
+			ths[nth] = sw.WakeThreshold()
+			nth++
+		}
+		ths[nth] = d.P.VOff
+		nth++
+	case mcu.ModeActive:
+		if s.VSource != nil && !hasPlat {
+			return 0 // executing against a non-analytic supply
+		}
+		if rt := d.Runtime(); rt != nil {
+			at, ok := rt.(mcu.ActiveThresholds)
+			if !ok || !at.ActiveSettled(v0) {
+				return 0
+			}
+			for _, th := range at.ActiveThresholds() {
+				if nth == len(ths)-3 {
+					return 0 // more thresholds than the hop tracks
+				}
+				ths[nth] = th
+				nth++
+			}
+		}
+		ths[nth] = d.P.VOff
+		nth++
+	default:
+		return 0 // saving/restoring: short, DMA-coupled, never skipped
+	}
+
+	if s.VSource != nil && !hasPlat {
+		// Non-analytic supply (off/asleep only, from the gates above):
+		// the legacy probe-based refusal. The source is blocked now; the
+		// rail only decays, so its chunk minimum is the predicted end
+		// voltage — if the source could exceed that at any probe (start,
+		// midpoint, end), the diode may engage mid-chunk and the stretch
+		// integrates stepwise instead.
+		iOff := d.Current(v0, t0)
 		if s.VSource.Voltage(t0) > v0 {
 			return 0
 		}
-		// The rail only decays across the chunk, so its minimum is the
-		// predicted end voltage; if the source could exceed that anywhere
-		// we probe (start, midpoint, end), integrate stepwise instead —
-		// the diode may start conducting mid-chunk.
-		vEnd := rail.PeekIdle(n, s.Dt, iLoad)
+		vEnd := rail.PeekIdle(n, s.Dt, iOff)
 		span := float64(n) * s.Dt
 		if s.VSource.Voltage(t0+span/2) > vEnd || s.VSource.Voltage(t0+span) > vEnd {
 			return 0
 		}
 	}
+	if hasPlat && !conducting && vs > 0 {
+		ths[nth] = vs // the diode engages if the rail decays to the plateau
+		nth++
+	}
+	if conducting {
+		ths[nth] = 0 // the capacitor clamps: the recurrence breaks there
+		nth++
+		if mv := rail.Cap.MaxV; mv > 0 {
+			ths[nth] = mv
+			nth++
+		}
+	}
+
+	// Loads draw a constant current through the hop: the mode is fixed,
+	// the clock is fixed (governors observe chunk boundaries only, as
+	// documented on FastForward), and Device.Current ignores the voltage
+	// above zero.
+	iLoad := d.Current(v0, t0)
+	var peek func(k int) float64
+	if conducting {
+		if _, ok := rail.PeekDriven(1, s.Dt, iLoad, vs); !ok {
+			return 0 // no stable closed form at this step size
+		}
+		peek = func(k int) float64 {
+			v, _ := rail.PeekDriven(k, s.Dt, iLoad, vs)
+			return v
+		}
+	} else {
+		peek = func(k int) float64 { return rail.PeekIdle(k, s.Dt, iLoad) }
+	}
+
+	for _, th := range ths[:nth] {
+		if v0 == th {
+			return 0 // sitting exactly on a threshold: stepwise owns equality
+		}
+	}
+	// The trajectory is monotone, so the hop is safe up to (exclusive)
+	// the first step whose end voltage reaches any threshold. Bisect for
+	// that step and stop just before it.
+	for _, th := range ths[:nth] {
+		if !crossedTh(v0, peek(n), th) {
+			continue
+		}
+		lo, hi := 1, n
+		for lo < hi {
+			mid := (lo + hi) / 2
+			if crossedTh(v0, peek(mid), th) {
+				hi = mid
+			} else {
+				lo = mid + 1
+			}
+		}
+		n = lo - 1
+		if n < 2 {
+			return 0
+		}
+	}
+
+	hop := n
+	active := d.Mode() == mcu.ModeActive
+	if active {
+		// Execute the device's per-step cycle budget first — simulated
+		// time, ActiveSec, and completion timestamps advance exactly as
+		// stepwise — then move the rail through the same span in closed
+		// form.
+		hop = d.AdvanceActive(n, s.Dt)
+		if hop == 0 {
+			return 0
+		}
+	}
 
 	// An interval-gated recorder keeps its sampling cadence through the
-	// skip: emit a sample, evaluated on the same closed form AdvanceIdle
+	// skip: emit a sample, evaluated on the same closed form the advance
 	// integrates, at every instant the stepwise loop would have recorded.
-	// The device cannot change mode or frequency inside the skip (that is
-	// the skip's precondition), so only V_CC needs interpolating.
+	// Mode and frequency cannot change inside the skip, so only V_CC
+	// needs interpolating.
 	if obs != nil && obs.vcc != nil {
 		if iv := s.Recorder.Interval(); iv > 0 {
 			last := obs.vcc.LastT()
 			fMHz := d.Freq() / 1e6
 			mode := float64(d.Mode())
-			for k := 1; k < n; k++ {
+			for k := 1; k < hop; k++ {
 				tk := t0 + float64(k)*s.Dt
 				if tk-last < iv {
 					continue
 				}
-				vk := rail.PeekIdle(k, s.Dt, iLoad)
-				obs.vcc.Record(tk, vk)
+				obs.vcc.Record(tk, peek(k))
 				obs.freq.Record(tk, fMHz)
 				obs.mode.Record(tk, mode)
 				last = tk
@@ -322,10 +484,23 @@ func (s *Setup) tryFastForward(d *mcu.Device, rail *circuit.Rail, obs *observer,
 		}
 	}
 
-	v := rail.AdvanceIdle(n, s.Dt, iLoad)
-	d.Tick(v, float64(n)*s.Dt) // aggregates off/sleep time; v < VOn, so no power-on
+	var v float64
+	if conducting {
+		v = rail.AdvanceDriven(hop, s.Dt, iLoad, vs)
+	} else {
+		v = rail.AdvanceIdle(hop, s.Dt, iLoad)
+	}
+	if active {
+		d.NoteRailV(v)
+	} else {
+		// Account the skipped off/sleep time with per-step clock rounding,
+		// so device-local timestamps stay bit-identical to stepwise. No
+		// threshold was crossed, so nothing can power on, wake, or brown
+		// out inside the span.
+		d.TickSpan(v, s.Dt, hop)
+	}
 	obs.observe(rail.Now(), v, d, rail)
-	return n
+	return hop
 }
 
 // observer is the per-run observation state, resolved once before the

@@ -174,6 +174,54 @@ func (b *Bus) AccessCycles(addr uint16, _ bool) uint64 {
 	return 0
 }
 
+// ReadRange fills dst with the bytes at addr..addr+len(dst)-1, exactly
+// as len(dst) successive Read8 calls would (including address wrap and
+// open-bus zeros), but block-copying the spans that fall inside SRAM or
+// FRAM. MMIO bytes still go through Read8 so peripheral side effects and
+// ordering are preserved.
+func (b *Bus) ReadRange(addr uint16, dst []byte) {
+	for len(dst) > 0 {
+		if i := int(addr) - int(b.SRAMBase); i >= 0 && i < len(b.SRAM) {
+			n := copy(dst, b.SRAM[i:])
+			dst = dst[n:]
+			addr += uint16(n)
+			continue
+		}
+		if i := int(addr) - int(b.FRAMBase); i >= 0 && i < len(b.FRAM) {
+			n := copy(dst, b.FRAM[i:])
+			dst = dst[n:]
+			addr += uint16(n)
+			continue
+		}
+		dst[0] = b.Read8(addr)
+		dst = dst[1:]
+		addr++
+	}
+}
+
+// WriteRange stores src at addr..addr+len(src)-1, exactly as len(src)
+// successive Write8 calls would (wrap, dropped open-bus writes), with
+// SRAM/FRAM spans block-copied and MMIO bytes routed through Write8.
+func (b *Bus) WriteRange(addr uint16, src []byte) {
+	for len(src) > 0 {
+		if i := int(addr) - int(b.SRAMBase); i >= 0 && i < len(b.SRAM) {
+			n := copy(b.SRAM[i:], src)
+			src = src[n:]
+			addr += uint16(n)
+			continue
+		}
+		if i := int(addr) - int(b.FRAMBase); i >= 0 && i < len(b.FRAM) {
+			n := copy(b.FRAM[i:], src)
+			src = src[n:]
+			addr += uint16(n)
+			continue
+		}
+		b.Write8(addr, src[0])
+		src = src[1:]
+		addr++
+	}
+}
+
 // ScrambleSRAM overwrites all SRAM with a decaying-retention pattern,
 // modelling the loss of volatile contents during a brown-out. The pattern
 // is deliberately non-zero so code that "accidentally works" with zeroed

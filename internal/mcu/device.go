@@ -162,6 +162,32 @@ type SleepWaker interface {
 	WakeThreshold() float64
 }
 
+// ActiveThresholds is optionally implemented by runtimes whose behaviour
+// while the device executes is governed purely by rail-voltage
+// thresholds. Implementations promise that, in ModeActive:
+//
+//   - OnTick mutates state only on a tick whose voltage lies on the
+//     other side of one of the returned thresholds than the previous
+//     tick's voltage did, and is a guaranteed no-op in between; and
+//   - OnCheckpointTrap never mutates device or runtime state.
+//
+// ActiveSettled refines the first promise for hop entry: it reports
+// whether OnTick is already a no-op at rail voltages on v's side of
+// every threshold (hibernus, for example, is unsettled right after a
+// restore completes above V_H, because its first tick re-arms the
+// falling-edge detector). Simulation harnesses use the contract to
+// execute whole active stretches against a closed-form rail trajectory,
+// ending each stretch strictly before a threshold crossing so the
+// runtime observes every crossing on its exact step boundary.
+type ActiveThresholds interface {
+	// ActiveThresholds returns the rail-voltage thresholds governing the
+	// runtime's active-mode behaviour.
+	ActiveThresholds() []float64
+	// ActiveSettled reports whether active-mode OnTick is a guaranteed
+	// no-op at voltages on v's side of every threshold.
+	ActiveSettled(v float64) bool
+}
+
 // Device is the simulated MCU.
 type Device struct {
 	P    Params
@@ -348,25 +374,81 @@ func (d *Device) Tick(v, dt float64) {
 	}
 }
 
+// AdvanceActive advances an executing device by n steps of dt without
+// per-step rail coupling: simulated time, ActiveSec, and the execution
+// budget advance step by step exactly as n Tick calls would, but the
+// runtime's OnTick is not invoked and LastV is not refreshed. The caller
+// (the lab's adaptive stepper) has verified via the ActiveThresholds
+// contract that no threshold crossing — brown-out included — can occur
+// inside the span, so every skipped OnTick would have been a no-op; it
+// must advance the rail by the same count afterwards and publish the
+// resulting voltage with NoteRailV. The return value is the number of
+// steps actually taken: fewer than n only if the device left ModeActive
+// mid-span (a guest fault cannot do this; only a contract breach can).
+func (d *Device) AdvanceActive(n int, dt float64) int {
+	for k := 0; k < n; k++ {
+		if d.mode != ModeActive {
+			return k
+		}
+		d.now += dt
+		d.Stats.ActiveSec += dt
+		d.executeFor(dt)
+	}
+	return n
+}
+
+// NoteRailV records the rail voltage after an externally advanced active
+// stretch, keeping LastV coherent for runtimes and governors without
+// re-running the tick's mode machinery.
+func (d *Device) NoteRailV(v float64) { d.lastV = v }
+
+// TickSpan advances an off or sleeping device through n steps of dt
+// ending at rail voltage v, with the clock and the time-in-mode stats
+// accumulated per step so their floating-point rounding matches n
+// successive Tick calls bit-for-bit. The caller guarantees no
+// mode-changing threshold is crossed inside the span (v and every
+// intermediate voltage stay on the quiescent side of V_On / V_Off / the
+// runtime's wake threshold); a sleeping runtime's OnTick is invoked
+// once, at the end, where the SleepWaker contract makes it a no-op.
+func (d *Device) TickSpan(v, dt float64, n int) {
+	for k := 0; k < n; k++ {
+		d.now += dt
+	}
+	d.lastV = v
+	switch d.mode {
+	case ModeOff:
+		for k := 0; k < n; k++ {
+			d.Stats.OffSec += dt
+		}
+	case ModeSleep:
+		for k := 0; k < n; k++ {
+			d.Stats.SleepSec += dt
+		}
+		if d.rt != nil {
+			d.rt.OnTick(d, v)
+		}
+	}
+}
+
 // executeFor runs guest instructions for dt seconds of core time. The
 // budget carries a fractional remainder so slow ticks against fast clocks
 // stay cycle-exact on average.
 func (d *Device) executeFor(dt float64) {
 	budget := d.freq*dt + d.cycleRemainder
-	for budget >= 1 && d.mode == ModeActive {
-		if d.Core.Halted {
-			break
-		}
-		before := d.Core.Cycles
-		if _, err := d.Core.Step(); err != nil {
+	// RunBudget replays cached superblocks with per-instruction budget
+	// accounting identical to a Step loop; it returns after every SYS/CHK
+	// trap so the mode gate below is re-checked exactly where the
+	// stepwise loop would have checked it.
+	for budget >= 1 && d.mode == ModeActive && !d.Core.Halted {
+		rem, spent, err := d.Core.RunBudget(budget)
+		budget = rem
+		d.Stats.CyclesRun += spent
+		if err != nil {
 			if d.Err == nil {
 				d.Err = fmt.Errorf("mcu: guest fault at t=%.6fs: %w", d.now, err)
 			}
 			break
 		}
-		spent := float64(d.Core.Cycles - before)
-		budget -= spent
-		d.Stats.CyclesRun += uint64(spent)
 	}
 	if budget < 0 {
 		budget = 0

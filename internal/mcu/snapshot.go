@@ -31,6 +31,16 @@ type snapshotStore struct {
 	bus  *Bus
 	base uint16
 	seq  uint16
+
+	// nextSave is the slot the next save will target, maintained
+	// host-side so BeginSave does not have to read back and checksum
+	// both slots (a full SRAM-sized traversal each) on every save just
+	// to find which one to overwrite. Initialised lazily from newest()
+	// and advanced by write(); an interrupted save leaves it unchanged,
+	// so the retry targets the same (invalidated) slot, exactly as the
+	// read-back computed it.
+	nextSave int
+	haveNext bool
 }
 
 func newSnapshotStore(bus *Bus, base uint16) *snapshotStore {
@@ -51,10 +61,9 @@ func (s *snapshotStore) slotAddr(i int) uint16 {
 // into a host-side buffer. kind controls whether SRAM is included.
 func (d *Device) capture(kind SnapshotKind) []byte {
 	core, bus := d.Core, d.Bus
-	var sram []byte
+	sramLen := 0
 	if kind == SnapFull {
-		sram = make([]byte, len(bus.SRAM))
-		copy(sram, bus.SRAM)
+		sramLen = len(bus.SRAM)
 	}
 	var aux []byte
 	if d.SnapshotAux && d.Aux != nil {
@@ -63,12 +72,12 @@ func (d *Device) capture(kind SnapshotKind) []byte {
 			aux = aux[:maxAuxBytes]
 		}
 	}
-	buf := make([]byte, 0, headerLen+regBytes+len(sram)+len(aux)+trailerLen)
+	buf := make([]byte, 0, headerLen+regBytes+sramLen+len(aux)+trailerLen)
 	put16 := func(v uint16) { buf = append(buf, byte(v), byte(v>>8)) }
 	put16(snapMagic)
 	put16(0) // seq patched at write time
 	buf = append(buf, byte(kind), 0)
-	put16(uint16(len(sram)))
+	put16(uint16(sramLen))
 	put16(uint16(len(aux)))
 	for _, r := range core.R {
 		put16(r)
@@ -89,14 +98,34 @@ func (d *Device) capture(kind SnapshotKind) []byte {
 		flags |= 8
 	}
 	put16(flags)
-	buf = append(buf, sram...)
+	if kind == SnapFull {
+		buf = append(buf, bus.SRAM...)
+	}
 	buf = append(buf, aux...)
 	return buf
 }
 
-// checksum is a simple additive checksum over the payload.
+// checksum is a simple multiplicative checksum over the payload:
+// sum_{k} payload[k]·31^(n-1-k) mod 2^16 (Horner's rule). The loop is
+// unrolled four bytes per iteration with precomputed powers of 31; all
+// arithmetic is exact mod 2^16 (the widest intermediate fits uint32), so
+// the result is bit-identical to the byte-at-a-time recurrence. Snapshot
+// saves checksum a whole SRAM image per save, which is why the loop is
+// worth unrolling.
 func checksum(payload []byte) uint16 {
+	const (
+		p1 = 31
+		p2 = p1 * p1 % (1 << 16)
+		p3 = p2 * p1 % (1 << 16)
+		p4 = p3 * p1 % (1 << 16)
+	)
 	var sum uint16
+	for len(payload) >= 4 {
+		sum = uint16(uint32(sum)*p4 +
+			uint32(payload[0])*p3 + uint32(payload[1])*p2 +
+			uint32(payload[2])*p1 + uint32(payload[3]))
+		payload = payload[4:]
+	}
 	for _, b := range payload {
 		sum = sum*31 + uint16(b)
 	}
@@ -112,6 +141,18 @@ func (s *snapshotStore) invalidate(i int) {
 	s.bus.Write16(addr+size-2, 0)
 }
 
+// nextSlot returns the slot the next save should overwrite: the one
+// that does not hold the newest valid snapshot. After the first lookup
+// the answer is tracked host-side (see snapshotStore.nextSave), since a
+// completed write makes its own slot the newest by sequence number.
+func (s *snapshotStore) nextSlot() int {
+	if !s.haveNext {
+		_, s.nextSave = s.newest()
+		s.haveNext = true
+	}
+	return s.nextSave
+}
+
 // write stores payload into slot i with the next sequence number,
 // checksum, and commit flag. Called at save completion.
 func (s *snapshotStore) write(i int, payload []byte) {
@@ -119,13 +160,12 @@ func (s *snapshotStore) write(i int, payload []byte) {
 	payload[2] = byte(s.seq)
 	payload[3] = byte(s.seq >> 8)
 	addr := s.slotAddr(i)
-	for j, b := range payload {
-		s.bus.Write8(addr+uint16(j), b)
-	}
+	s.bus.WriteRange(addr, payload)
 	sum := checksum(payload)
 	size := s.slotSize()
 	s.bus.Write16(addr+size-4, sum)
 	s.bus.Write16(addr+size-2, snapCommit)
+	s.nextSave, s.haveNext = 1-i, true
 }
 
 // read validates slot i and returns its payload, or nil.
@@ -145,9 +185,7 @@ func (s *snapshotStore) read(i int) []byte {
 		return nil
 	}
 	payload := make([]byte, payloadLen)
-	for j := range payload {
-		payload[j] = s.bus.Read8(addr + uint16(j))
-	}
+	s.bus.ReadRange(addr, payload)
 	if checksum(payload) != s.bus.Read16(addr+size-4) {
 		return nil
 	}
@@ -270,6 +308,7 @@ func (d *Device) HasSnapshot() bool {
 func (d *Device) InvalidateSnapshots() {
 	d.snaps.invalidate(0)
 	d.snaps.invalidate(1)
+	d.snaps.nextSave, d.snaps.haveNext = 0, true
 }
 
 // BeginSave starts an asynchronous snapshot: the device enters ModeSaving
@@ -282,7 +321,7 @@ func (d *Device) BeginSave(kind SnapshotKind, onDone func()) bool {
 	if d.mode != ModeActive && d.mode != ModeSleep {
 		return false
 	}
-	_, slot := d.snaps.newest()
+	slot := d.snaps.nextSlot()
 	d.snaps.invalidate(slot)
 	payload := d.capture(kind)
 	d.Stats.SavesStarted++

@@ -149,6 +149,12 @@ func (p *HibernusPN) OnTick(d *mcu.Device, v float64) {
 // the lab there is no voltage below which ticks can be elided.
 func (p *HibernusPN) WakeThreshold() float64 { return math.Inf(-1) }
 
+// ActiveSettled shadows the promoted hibernus implementation to opt OUT
+// of mcu.ActiveThresholds adaptive stepping for the same reason: the
+// governor acts on every active tick (not just at V_H crossings), so no
+// active stretch is ever skippable. Never settled means never hopped.
+func (p *HibernusPN) ActiveSettled(float64) bool { return false }
+
 // TrackingStats measures how well eq. (3) held over a run. Because an
 // instantaneous P_h(t) = P_c(t) is unattainable for pulsed sources (the
 // paper itself relaxes T to "a sufficiently small period"), the metric is

@@ -56,29 +56,42 @@ func TestGoldenReports(t *testing.T) {
 	}
 }
 
-// TestGoldenTrace byte-compares the fig7 trace capture — recording must
+// TestGoldenTrace byte-compares pinned trace captures — recording must
 // not perturb the simulation, and the serialised CSV (spec-hash header
-// included) must be stable.
+// included) must be stable. The set covers the three run shapes: a
+// single lab case (fig7), a lab sweep where the first grid case is the
+// one traced (fram-vs-sram), and a duty-cycle model run (eneutral), so
+// interpolated-sample cadence is byte-pinned on all of them.
 func TestGoldenTrace(t *testing.T) {
-	const name = "fig7-rectified-sine-hibernus"
-	sp, err := scenario.Load(filepath.Join(scenarioDir, name+".json"))
-	if err != nil {
-		t.Fatal(err)
-	}
-	rep, err := RunSpec(sp, Options{Workers: 1, Trace: true})
-	if err != nil {
-		t.Fatal(err)
-	}
-	goldenCompare(t, filepath.Join(goldenDir, name+".trace.csv"), rep.TraceCSV)
+	for _, name := range []string{
+		"fig7-rectified-sine-hibernus",
+		"transient-fram-vs-sram",
+		"eneutral-duty-cycle",
+	} {
+		t.Run(name, func(t *testing.T) {
+			sp, err := scenario.Load(filepath.Join(scenarioDir, name+".json"))
+			if err != nil {
+				t.Fatal(err)
+			}
+			rep, err := RunSpec(sp, Options{Workers: 1, Trace: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(rep.TraceCSV) == 0 {
+				t.Fatal("no trace captured")
+			}
+			goldenCompare(t, filepath.Join(goldenDir, name+".trace.csv"), rep.TraceCSV)
 
-	// The summary must be identical with and without the recorder: a
-	// trace is a pure observer.
-	plain, err := RunSpec(sp, Options{Workers: 1})
-	if err != nil {
-		t.Fatal(err)
-	}
-	if plain.Text != rep.Text {
-		t.Errorf("attaching a recorder changed the report:\nplain:\n%s\ntraced:\n%s", plain.Text, rep.Text)
+			// The summary must be identical with and without the
+			// recorder: a trace is a pure observer.
+			plain, err := RunSpec(sp, Options{Workers: 1})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if plain.Text != rep.Text {
+				t.Errorf("attaching a recorder changed the report:\nplain:\n%s\ntraced:\n%s", plain.Text, rep.Text)
+			}
+		})
 	}
 }
 

@@ -43,8 +43,9 @@ type Options struct {
 	// Workers is the sweep parallelism (0 = one per core).
 	Workers int
 
-	// Trace captures a trace during the run. It applies to single-run
-	// specs only (sweeps have no single trace) and does not perturb the
+	// Trace captures a trace during the run. Single-run specs trace the
+	// run itself; sweeps trace their first grid case (sweep.Case.Index
+	// 0), a deterministic representative. Recording does not perturb the
 	// simulation — the recorder is a pure observer. What the trace
 	// carries is model-defined: V_CC/freq/mode for lab runs,
 	// budget/used/fps for mpsoc, vcap/events for taskburst,
@@ -95,8 +96,9 @@ type Report struct {
 	// service's work-done metric.
 	SimSeconds float64
 
-	// TraceCSV is the captured trace (Options.Trace, single runs only),
-	// serialised by WriteTrace: a spec-hash header comment, then CSV.
+	// TraceCSV is the captured trace (Options.Trace; on sweeps, the
+	// first grid case's), serialised by WriteTrace: a spec-hash header
+	// comment, then CSV.
 	TraceCSV []byte
 }
 

@@ -111,6 +111,11 @@ func (labModel) Run(sp *Spec, opts RunOptions) (*ModelReport, error) {
 	rep.Sweep = true
 	grid := sp.Grid()
 	cases := grid.Cases()
+	// On a sweep, Trace captures the first grid case (Case.Index == 0) —
+	// one representative waveform, deterministically chosen, so sweep
+	// shapes get a pinnable trace too. MapGrid's completion barrier
+	// orders the worker's writes before the read below.
+	var rec *trace.Recorder
 	r := &sweep.Runner{Workers: opts.Workers, OnProgress: opts.Progress, Cancel: opts.Cancel}
 	results, err := sweep.MapGrid(r, grid, func(c sweep.Case) (lab.Result, error) {
 		s, err := sp.SetupAt(c)
@@ -118,6 +123,11 @@ func (labModel) Run(sp *Spec, opts RunOptions) (*ModelReport, error) {
 			return lab.Result{}, err
 		}
 		s.Abort = opts.Cancel
+		if opts.Trace && c.Index == 0 {
+			rec = trace.NewRecorder()
+			s.Recorder = rec
+			s.RecordInterval = opts.interval()
+		}
 		return lab.Run(s)
 	})
 	if err != nil {
@@ -138,6 +148,7 @@ func (labModel) Run(sp *Spec, opts RunOptions) (*ModelReport, error) {
 		rep.SimSeconds += caseDuration(sp, c)
 	}
 	WriteSweepTable(&buf, "case", 32, names, results)
+	rep.Trace = rec
 	rep.Text = buf.String()
 	return rep, nil
 }

@@ -103,6 +103,11 @@ func (c *ConstantVoltage) Voltage(float64) float64 { return c.V }
 // SeriesResistance implements VoltageSource.
 func (c *ConstantVoltage) SeriesResistance() float64 { return c.Rs }
 
+// Plateau implements PlateauVoltage: the output is one endless plateau.
+func (c *ConstantVoltage) Plateau(float64) (float64, float64, bool) {
+	return c.V, math.Inf(1), true
+}
+
 // GatedVoltage turns a VoltageSource on and off according to a schedule of
 // [start, end) windows — used to model supply outages at controlled times
 // (e.g. the eq. 5 crossover sweep drives outages at a set frequency).
@@ -129,6 +134,43 @@ func (g *GatedVoltage) Voltage(t float64) float64 {
 
 // SeriesResistance implements VoltageSource.
 func (g *GatedVoltage) SeriesResistance() float64 { return g.Source.SeriesResistance() }
+
+// Plateau implements PlateauVoltage when the wrapped source does: the
+// constant stretch is the wrapped source's plateau intersected with the
+// window edges (which Voltage compares against t directly, so they bound
+// the stretch exactly).
+func (g *GatedVoltage) Plateau(t float64) (float64, float64, bool) {
+	pv, ok := g.Source.(PlateauVoltage)
+	if !ok {
+		return 0, 0, false
+	}
+	in := false
+	until := math.Inf(1)
+	for _, w := range g.Windows {
+		switch {
+		case t >= w[0] && t < w[1]:
+			in = true
+			if w[1] < until {
+				until = w[1]
+			}
+		case t < w[0]:
+			if w[0] < until {
+				until = w[0]
+			}
+		}
+	}
+	if in == g.Invert { // gated off: a zero plateau up to the next edge
+		return 0, until, true
+	}
+	v, u, ok := pv.Plateau(t)
+	if !ok {
+		return 0, 0, false
+	}
+	if u < until {
+		until = u
+	}
+	return v, until, true
+}
 
 // SquareWaveVoltage produces a square supply alternating between High for
 // OnTime seconds and 0 for OffTime seconds — the canonical controlled
@@ -159,3 +201,23 @@ func (s *SquareWaveVoltage) Voltage(t float64) float64 {
 
 // SeriesResistance implements VoltageSource.
 func (s *SquareWaveVoltage) SeriesResistance() float64 { return s.Rs }
+
+// Plateau implements PlateauVoltage: the half-cycle containing t. Voltage
+// computes the phase with math.Mod, which is exact, so every instant of
+// the half-cycle returns exactly High (or exactly 0); the boundary in
+// until carries the rounding of the additions that rebuild it from the
+// phase, which the interface's safety-margin requirement covers.
+func (s *SquareWaveVoltage) Plateau(t float64) (float64, float64, bool) {
+	period := s.OnTime + s.OffTime
+	if period <= 0 {
+		return s.High, math.Inf(1), true
+	}
+	phase := math.Mod(t, period)
+	if phase < 0 {
+		phase += period
+	}
+	if phase < s.OnTime {
+		return s.High, t + (s.OnTime - phase), true
+	}
+	return 0, t + (period - phase), true
+}

@@ -60,6 +60,49 @@ func VoltageFn(vs VoltageSource) func(t float64) float64 {
 			return 0
 		}
 	case *Rectified:
+		if gen, ok := s.Source.(*SignalGenerator); ok && !s.FullWave &&
+			gen.Frequency > 0 && gen.Amplitude > 0 {
+			// Fused half-wave rectified sine — the Fig. 7 supply, sampled
+			// once per step for the whole run, where math.Sin dominates
+			// the sampler cost. Roughly half of those calls land in the
+			// negative lobe, where the rectifier clamps the output to
+			// exactly 0 no matter what sin evaluates to; those calls can
+			// skip the sin entirely, provided the clamp is *provable*
+			// from the reduced phase alone.
+			//
+			// Proof obligation: for reduced phase θ ∈ [π+m, 2π−m],
+			// sin(θ) ≤ −sin(m), so off + amp·sin − drop ≤
+			// off − drop − amp·sin(m) ≤ 0 whenever off − drop ≤
+			// amp·sin(m) (checked once at bind time). The cheap
+			// floor-based reduction θ = x − ⌊x/2π⌋·2π carries rounding
+			// error ~ulp(x) plus ~2.4e-16/period of drift against
+			// math.Sin's internal reduction by the real π — the margin m
+			// dwarfs both for any plausible run length (math.Mod would be
+			// exact but costs several times a sin on common hardware).
+			// Everything outside the provable window evaluates the
+			// original expression on the unreduced argument,
+			// bit-identical to the method chain.
+			const m = 0.01
+			w := 2 * math.Pi * gen.Frequency
+			off, amp, phase := gen.Offset, gen.Amplitude, gen.Phase
+			drop := s.DiodeV
+			if off-drop <= amp*math.Sin(m) {
+				const twoPi = 2 * math.Pi
+				const inv2Pi = 1 / twoPi
+				lo, hi := math.Pi+m, twoPi-m
+				return func(t float64) float64 {
+					x := w*t + phase
+					if th := x - math.Floor(x*inv2Pi)*twoPi; th >= lo && th <= hi {
+						return 0
+					}
+					v := off + amp*math.Sin(x) - drop
+					if v < 0 {
+						return 0
+					}
+					return v
+				}
+			}
+		}
 		inner := VoltageFn(s.Source)
 		if s.FullWave {
 			drop := 2 * s.DiodeV

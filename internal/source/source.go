@@ -40,6 +40,23 @@ type PowerSource interface {
 	Power(t float64) float64
 }
 
+// PlateauVoltage is an optional VoltageSource extension for supplies that
+// are piecewise constant. Plateau returns the output voltage at time t and
+// the end of the constant stretch containing t, so analytic steppers can
+// substitute v for per-sample Voltage calls across the whole stretch.
+//
+// The contract is exact: Voltage(u) must equal v bit-for-bit for every u
+// in [t, until). until itself is accurate only to floating-point rounding
+// of the implementation's arithmetic, so callers must leave a safety
+// margin (at least one sampling step) before it rather than sampling
+// right up to the boundary. A source whose output is not genuinely
+// constant around t returns ok=false for that instant; a source that can
+// never make the guarantee must not implement the interface.
+type PlateauVoltage interface {
+	VoltageSource
+	Plateau(t float64) (v, until float64, ok bool)
+}
+
 // SignalGenerator is the controlled laboratory source used to validate
 // hibernus: a sine (optionally offset) between DC and tens of Hz. At
 // Frequency == 0 it produces a DC level equal to Amplitude + Offset.

@@ -118,6 +118,20 @@ func (h *Hibernus) OnCheckpointTrap(*mcu.Device) {}
 // only waits, so idle decay can be fast-forwarded.
 func (h *Hibernus) WakeThreshold() float64 { return h.VR }
 
+// ActiveThresholds implements mcu.ActiveThresholds: while executing,
+// hibernus reacts only to V_CC crossing V_H — falling triggers the
+// hibernate snapshot, rising re-arms the detector — so active stretches
+// away from V_H may be advanced analytically. (QuickRecall and NVP
+// inherit this: their active-mode logic is exactly hibernus'.)
+func (h *Hibernus) ActiveThresholds() []float64 { return []float64{h.VH} }
+
+// ActiveSettled implements mcu.ActiveThresholds: OnTick is a no-op
+// exactly when the falling-edge detector already matches which side of
+// V_H the voltage is on. Right after a restore completes above V_H the
+// detector is still disarmed, and the first tick arms it — that tick
+// must run stepwise.
+func (h *Hibernus) ActiveSettled(v float64) bool { return h.wasAboveVH == (v > h.VH) }
+
 // QuickRecall [8] is the unified-FRAM variant: program and data memory are
 // non-volatile, so a snapshot covers CPU registers only — tiny and fast —
 // at the price of FRAM's higher quiescent/active power (the device must be

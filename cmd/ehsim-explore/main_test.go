@@ -1,0 +1,94 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const goldenDir = "../../testdata/golden"
+
+// runCLI executes the CLI in-process and captures its streams.
+func runCLI(t *testing.T, args ...string) (code int, stdout, stderr string) {
+	t.Helper()
+	var out, errb bytes.Buffer
+	code = run(args, strings.NewReader(""), &out, &errb)
+	return code, out.String(), errb.String()
+}
+
+// The CLI half of the exploration golden corpus: ehsim-explore must
+// print exactly the bytes committed under testdata/golden for every
+// curated exploration. internal/result's golden test pins
+// RunExploration against the same files (and owns the -update flag), so
+// the CLI, the daemon's /v1/explorations result path, and the corpus
+// stay mutually byte-identical.
+func TestGoldenExplorationCLIOutput(t *testing.T) {
+	paths, err := filepath.Glob("../../examples/explorations/*.json")
+	if err != nil || len(paths) == 0 {
+		t.Fatalf("no exploration specs found: %v", err)
+	}
+	for _, path := range paths {
+		name := strings.TrimSuffix(filepath.Base(path), ".json")
+		if name == "eq5-crossover" && testing.Short() {
+			continue // tens of seconds of simulation; the result suite covers it
+		}
+		t.Run(name, func(t *testing.T) {
+			code, out, errb := runCLI(t, "-spec", path)
+			if code != 0 {
+				t.Fatalf("exit %d, stderr: %s", code, errb)
+			}
+			want, err := os.ReadFile(filepath.Join(goldenDir, "exploration-"+name+".txt"))
+			if err != nil {
+				t.Fatalf("missing golden file (go test ./internal/result -run TestGolden -update): %v", err)
+			}
+			if out != string(want) {
+				t.Errorf("CLI output differs from golden\n--- want\n%s\n--- got\n%s", want, out)
+			}
+		})
+	}
+}
+
+func TestSpecFromStdin(t *testing.T) {
+	data, err := os.ReadFile("../../examples/explorations/eq4-capacitor-topk.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out, errb bytes.Buffer
+	code := run([]string{"-spec", "-"}, bytes.NewReader(data), &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errb.String())
+	}
+	want, err := os.ReadFile(filepath.Join(goldenDir, "exploration-eq4-capacitor-topk.txt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.String() != string(want) {
+		t.Errorf("stdin run differs from golden")
+	}
+}
+
+func TestMissingSpecFlagIsUsageError(t *testing.T) {
+	code, _, errb := runCLI(t)
+	if code != 2 {
+		t.Fatalf("exit %d, want 2", code)
+	}
+	if !strings.Contains(errb, "-spec is required") {
+		t.Errorf("stderr %q lacks the usage hint", errb)
+	}
+}
+
+func TestBadSpecIsRuntimeError(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(path, []byte(`{"name": "x"}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	code, _, errb := runCLI(t, "-spec", path)
+	if code != 1 {
+		t.Fatalf("exit %d, want 1", code)
+	}
+	if errb == "" {
+		t.Error("no error message on stderr")
+	}
+}

@@ -293,6 +293,16 @@ func printList(w io.Writer) {
 	for _, n := range scenario.ModelNames() {
 		m, _ := scenario.LookupModel(n)
 		fmt.Fprintf(w, "  %-16s %s%s\n", n, m.Desc(), docs(m.Params()))
+		if ms := m.Metrics(); len(ms) > 0 {
+			keys := make([]string, len(ms))
+			for i, d := range ms {
+				keys[i] = d.Key
+				if d.Unit != "" {
+					keys[i] += "(" + d.Unit + ")"
+				}
+			}
+			fmt.Fprintf(w, "  %-16s metrics: %s\n", "", strings.Join(keys, " "))
+		}
 	}
 	fmt.Fprintln(w, "workloads:")
 	for _, n := range programs.Names() {

@@ -35,6 +35,7 @@ func TestListEnumeratesRegistries(t *testing.T) {
 		"models:", "workloads:", "sources:", "runtimes:", "governors:",
 		"lab", "mpsoc", "taskburst", "eneutral", "taskenergy=0.001",
 		"fft64", "wind", "hibernus-pn", "hillclimb", "margin=1.1",
+		"metrics:", "energy_per_op(J)", "mean_fps(fps)", "first_fire(s)", "worst_window(ratio)",
 	} {
 		if !strings.Contains(out, frag) {
 			t.Errorf("-list output missing %q", frag)

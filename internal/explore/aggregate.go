@@ -1,0 +1,220 @@
+package explore
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Eval is one completed probe: a derived case's display name, its
+// deterministic sequence number in the strategy's probe order, and the
+// metrics its model reported.
+type Eval struct {
+	Seq     int
+	Case    string
+	Metrics map[string]float64
+}
+
+// aggregator is one streaming reduction over the evaluation stream.
+// add must be called in strictly increasing Seq order — the strategies
+// guarantee it — so every aggregate is deterministic in the spec alone.
+type aggregator interface {
+	add(e Eval)
+	render(w io.Writer)
+	results() []Eval
+}
+
+// newAggregator builds the runtime form of one validated Aggregator.
+func newAggregator(a Aggregator) aggregator {
+	switch a.Kind {
+	case "topk":
+		return &topK{spec: a}
+	case "pareto":
+		cap := a.Capacity
+		if cap == 0 {
+			cap = DefaultParetoCapacity
+		}
+		senses := make([]bool, len(a.Senses))
+		for i, s := range a.Senses {
+			senses[i] = s == "max"
+		}
+		return &pareto{spec: a, capacity: cap, maxSense: senses}
+	}
+	panic("explore: unvalidated aggregator kind " + a.Kind)
+}
+
+// topK keeps the k best evaluations by one metric — bounded memory no
+// matter how many cases stream past. Ties break toward the earlier
+// sequence number, so the aggregate is order-deterministic.
+type topK struct {
+	spec    Aggregator
+	items   []Eval
+	skipped int // cases missing the metric (undefined objective)
+}
+
+func (t *topK) better(a, b Eval) bool {
+	av, bv := a.Metrics[t.spec.Metric], b.Metrics[t.spec.Metric]
+	if av != bv {
+		if t.spec.Goal == "max" {
+			return av > bv
+		}
+		return av < bv
+	}
+	return a.Seq < b.Seq
+}
+
+func (t *topK) add(e Eval) {
+	if _, ok := e.Metrics[t.spec.Metric]; !ok {
+		t.skipped++
+		return
+	}
+	t.items = append(t.items, e)
+	sort.Slice(t.items, func(i, j int) bool { return t.better(t.items[i], t.items[j]) })
+	if len(t.items) > t.spec.K {
+		t.items = t.items[:t.spec.K]
+	}
+}
+
+func (t *topK) results() []Eval { return t.items }
+
+func (t *topK) render(w io.Writer) {
+	goal := t.spec.Goal
+	if goal == "" {
+		goal = "min"
+	}
+	fmt.Fprintf(w, "  top %d by %s (%s):\n", t.spec.K, t.spec.Metric, goal)
+	fmt.Fprintf(w, "    %-4s %-36s %s\n", "rank", "case", t.spec.Metric)
+	for i, e := range t.items {
+		fmt.Fprintf(w, "    %-4d %-36s %s\n", i+1, e.Case, formatMetric(e.Metrics[t.spec.Metric]))
+	}
+	if t.skipped > 0 {
+		fmt.Fprintf(w, "    (%d cases skipped: %s undefined)\n", t.skipped, t.spec.Metric)
+	}
+}
+
+// pareto maintains the non-dominated frontier over several metrics in
+// bounded memory. Insertion is streaming: a new point is dropped if any
+// frontier point dominates it, else it evicts every point it dominates.
+// Overflow beyond capacity deterministically drops the worst point by
+// the first metric (ties toward the later sequence number), so the
+// surviving set depends only on the stream order — which the
+// strategies fix — never on timing.
+type pareto struct {
+	spec     Aggregator
+	capacity int
+	maxSense []bool
+	items    []Eval
+	skipped  int
+	dropped  int // capacity evictions, surfaced in the report
+}
+
+// dominates reports whether a is at least as good as b on every metric
+// and strictly better on one.
+func (p *pareto) dominates(a, b Eval) bool {
+	strict := false
+	for i, m := range p.spec.Metrics {
+		av, bv := a.Metrics[m], b.Metrics[m]
+		if p.maxSense[i] {
+			av, bv = -av, -bv
+		}
+		if av > bv {
+			return false
+		}
+		if av < bv {
+			strict = true
+		}
+	}
+	return strict
+}
+
+func (p *pareto) add(e Eval) {
+	for _, m := range p.spec.Metrics {
+		if _, ok := e.Metrics[m]; !ok {
+			p.skipped++
+			return
+		}
+	}
+	kept := p.items[:0]
+	for _, it := range p.items {
+		if p.dominates(it, e) {
+			return // e is dominated; the frontier is unchanged
+		}
+		if !p.dominates(e, it) {
+			kept = append(kept, it)
+		}
+	}
+	p.items = append(kept, e)
+	if len(p.items) > p.capacity {
+		worst := 0
+		for i := 1; i < len(p.items); i++ {
+			if p.frontierLess(p.items[worst], p.items[i]) {
+				worst = i
+			}
+		}
+		p.items = append(p.items[:worst], p.items[worst+1:]...)
+		p.dropped++
+	}
+}
+
+// frontierLess orders frontier points best-first by the first metric
+// (the conventional reading axis), ties toward the earlier sequence.
+func (p *pareto) frontierLess(a, b Eval) bool {
+	m := p.spec.Metrics[0]
+	av, bv := a.Metrics[m], b.Metrics[m]
+	if p.maxSense[0] {
+		av, bv = -av, -bv
+	}
+	if av != bv {
+		return av < bv
+	}
+	return a.Seq < b.Seq
+}
+
+func (p *pareto) results() []Eval {
+	out := append([]Eval(nil), p.items...)
+	sort.Slice(out, func(i, j int) bool { return p.frontierLess(out[i], out[j]) })
+	return out
+}
+
+func (p *pareto) render(w io.Writer) {
+	dims := make([]string, len(p.spec.Metrics))
+	for i, m := range p.spec.Metrics {
+		dims[i] = fmt.Sprintf("%s (%s)", m, p.spec.Senses[i])
+	}
+	pts := p.results()
+	fmt.Fprintf(w, "  pareto frontier over %s: %d points\n", joinDims(dims), len(pts))
+	fmt.Fprintf(w, "    %-36s", "case")
+	for _, m := range p.spec.Metrics {
+		fmt.Fprintf(w, " %-12s", m)
+	}
+	fmt.Fprintln(w)
+	for _, e := range pts {
+		fmt.Fprintf(w, "    %-36s", e.Case)
+		for _, m := range p.spec.Metrics {
+			fmt.Fprintf(w, " %-12s", formatMetric(e.Metrics[m]))
+		}
+		fmt.Fprintln(w)
+	}
+	if p.skipped > 0 {
+		fmt.Fprintf(w, "    (%d cases skipped: metric undefined)\n", p.skipped)
+	}
+	if p.dropped > 0 {
+		fmt.Fprintf(w, "    (%d points dropped: frontier capacity %d)\n", p.dropped, p.capacity)
+	}
+}
+
+// joinDims renders "a (min) × b (max)".
+func joinDims(dims []string) string {
+	out := ""
+	for i, d := range dims {
+		if i > 0 {
+			out += " × "
+		}
+		out += d
+	}
+	return out
+}
+
+// formatMetric renders one metric value for report tables: %.6g is
+// stable, compact, and round-trips every count exactly.
+func formatMetric(v float64) string { return fmt.Sprintf("%.6g", v) }

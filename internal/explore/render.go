@@ -1,0 +1,79 @@
+package explore
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+)
+
+// renderText builds the canonical exploration report. Everything here
+// is a pure function of the spec and the deterministic evaluation
+// stream — no wall clock, no cache state, no worker count — which is
+// what makes the CLI and the service byte-identical by construction.
+func (r *runner) renderText() string {
+	var buf bytes.Buffer
+	s := r.spec
+	st := &s.Strategy
+	fmt.Fprintf(&buf, "exploration %s: %s, model %s\n", s.Name, r.strategyLabel(), s.Base.ModelName())
+
+	switch st.Kind {
+	case "bisect":
+		c := r.crossover
+		fmt.Fprintf(&buf, "  objective:          Δ%s (%s - %s)\n", st.Objective, st.A.Name, st.B.Name)
+		fmt.Fprintf(&buf, "  crossover:          %s = %.6g (bracket [%.6g, %.6g])\n",
+			c.Param, c.Value, c.Lo, c.Hi)
+		fmt.Fprintf(&buf, "  at bracket ends:    Δ(lo) = %.6g, Δ(hi) = %.6g\n", c.DeltaLo, c.DeltaHi)
+		fmt.Fprintf(&buf, "  probes:             %d bracketing steps (%d evaluations; dense grid at this tolerance: %d)\n",
+			c.Probes, r.evals, r.denseEquivalent())
+	case "refine":
+		goal := st.Goal
+		if goal == "" {
+			goal = "min"
+		}
+		fmt.Fprintf(&buf, "  objective:          %s (%s)\n", st.Objective, goal)
+		fmt.Fprintf(&buf, "  incumbent:          %s → %s\n",
+			r.incumbent.Case, formatMetric(r.incumbent.Metrics[st.Objective]))
+		fmt.Fprintf(&buf, "  rounds:             %d (%d evaluations, %d memoized)\n",
+			st.rounds(), r.evals, r.memoized)
+	}
+	for _, a := range r.aggs {
+		a.render(&buf)
+	}
+	fmt.Fprintf(&buf, "  evaluations:        %d\n", r.evals)
+	return buf.String()
+}
+
+// strategyLabel renders the title line's strategy summary.
+func (r *runner) strategyLabel() string {
+	st := &r.spec.Strategy
+	switch st.Kind {
+	case "grid":
+		names := make([]string, len(st.Axes))
+		for i, ax := range st.Axes {
+			names[i] = ax.Param
+		}
+		return fmt.Sprintf("grid over %s, %d cases", strings.Join(names, " × "), r.total)
+	case "bisect":
+		return fmt.Sprintf("bisect %s in [%g, %g] to ±%g",
+			st.Param, float64(*st.Lo), float64(*st.Hi), float64(*st.Tolerance))
+	case "refine":
+		names := make([]string, len(st.Refine))
+		for i, ax := range st.Refine {
+			names[i] = ax.Param
+		}
+		return fmt.Sprintf("refine %s", strings.Join(names, " × "))
+	}
+	return st.Kind
+}
+
+// denseEquivalent is the evaluation count a dense grid scan would need
+// to locate the crossover at the bisection's tolerance: one case per
+// tolerance step across the bracket, times two variants. The report
+// carries it so the adaptive strategy's saving is visible (and
+// CI-checkable) next to the actual count.
+func (r *runner) denseEquivalent() int {
+	st := &r.spec.Strategy
+	span := float64(*st.Hi) - float64(*st.Lo)
+	tol := float64(*st.Tolerance)
+	return 2 * (int(span/tol) + 1)
+}

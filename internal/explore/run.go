@@ -1,0 +1,570 @@
+package explore
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/scenario"
+	"repro/internal/sweep"
+)
+
+// Outcome is what evaluating one derived case yields: the model's
+// structured metrics and the simulated seconds the evaluation covered
+// (zero when a cache tier served it — sim-seconds measure work done).
+type Outcome struct {
+	Metrics    map[string]float64
+	SimSeconds float64
+}
+
+// Evaluator maps one sweep-free scenario spec to its metrics. The CLI
+// injects a direct internal/result call; the service injects its
+// tiered result cache. The evaluator must be safe for concurrent use —
+// strategies fan probe batches out across workers.
+type Evaluator func(sp *scenario.Spec) (Outcome, error)
+
+// Options tunes one exploration run.
+type Options struct {
+	// Evaluate executes one probe (required).
+	Evaluate Evaluator
+
+	// Workers bounds the per-batch evaluation parallelism (0 = one per
+	// core). The report is identical for every worker count: batches
+	// are collected and aggregated in probe order.
+	Workers int
+
+	// Progress, if non-nil, is called as probes complete. total is the
+	// strategy's upper bound on evaluations (bisection and refinement
+	// may finish under it).
+	Progress func(done, total int)
+
+	// Cancel, if non-nil, aborts the exploration when closed: Run
+	// returns sweep.ErrCanceled.
+	Cancel <-chan struct{}
+}
+
+// Crossover is a bisection strategy's answer.
+type Crossover struct {
+	Param string
+
+	// Value is the bracket midpoint — the crossover estimate.
+	Value float64
+
+	// Lo, Hi is the final bracket (Hi-Lo ≤ tolerance), and DeltaLo,
+	// DeltaHi the objective difference A−B at its ends (opposite
+	// signs, or zero when a probe landed exactly on the crossing).
+	Lo, Hi           float64
+	DeltaLo, DeltaHi float64
+
+	// Probes counts bracketing steps; each costs two evaluations.
+	Probes int
+}
+
+// Report is one exploration's complete outcome.
+type Report struct {
+	// Text is the canonical rendering — byte-identical between
+	// `ehsim-explore` and the service's /result endpoint because it is
+	// a pure function of the spec and the (deterministic) evaluations.
+	Text string
+
+	// Evaluations counts evaluator calls; Memoized counts refinement
+	// probes answered from the in-run memo instead.
+	Evaluations int
+	Memoized    int
+
+	// SimSeconds totals the evaluators' reported simulated time — the
+	// service's work-done metric. It is the one field that legitimately
+	// differs between a cold and a warm run (cache hits do no work), so
+	// it stays out of Text.
+	SimSeconds float64
+
+	// Crossover is the bisection answer (nil for other strategies).
+	Crossover *Crossover
+
+	// Incumbent is the refinement winner (nil for other strategies).
+	Incumbent *Eval
+
+	// Aggregates holds each aggregator's surviving evaluations, in
+	// spec order.
+	Aggregates [][]Eval
+}
+
+// batchSize bounds how many derived specs exist at once: grids stream
+// through CaseAt in batches, so a million-case exploration holds a few
+// hundred cases in memory, not a slice of all of them.
+const batchSize = 256
+
+// Run executes a validated exploration spec.
+func Run(s *Spec, opts Options) (*Report, error) {
+	if opts.Evaluate == nil {
+		return nil, s.errf("explore.Run needs an Evaluator")
+	}
+	r := &runner{spec: s, opts: opts}
+	for _, a := range s.Aggregators {
+		r.aggs = append(r.aggs, newAggregator(a))
+	}
+	var err error
+	switch s.Strategy.Kind {
+	case "grid":
+		err = r.runGrid()
+	case "bisect":
+		r.crossover, err = r.runBisect()
+	case "refine":
+		err = r.runRefine()
+	default:
+		err = s.errf("unknown strategy kind %q", s.Strategy.Kind)
+	}
+	if err != nil {
+		return nil, err
+	}
+	rep := &Report{
+		Evaluations: r.evals,
+		Memoized:    r.memoized,
+		SimSeconds:  r.sim,
+		Crossover:   r.crossover,
+		Incumbent:   r.incumbent,
+	}
+	for _, a := range r.aggs {
+		rep.Aggregates = append(rep.Aggregates, a.results())
+	}
+	rep.Text = r.renderText()
+	return rep, nil
+}
+
+// runner carries one Run's state.
+type runner struct {
+	spec *Spec
+	opts Options
+
+	aggs      []aggregator
+	crossover *Crossover
+	incumbent *Eval // refinement winner
+
+	seq      int     // next evaluation sequence number
+	evals    int     // evaluator calls
+	memoized int     // refinement memo hits
+	sim      float64 // simulated seconds across evaluations
+	total    int     // progress upper bound
+
+	progressDone atomic.Int64
+	progressMu   sync.Mutex
+}
+
+// probe is one derived case awaiting evaluation.
+type probe struct {
+	name string
+	sp   *scenario.Spec
+}
+
+func (r *runner) canceled() bool {
+	if r.opts.Cancel == nil {
+		return false
+	}
+	select {
+	case <-r.opts.Cancel:
+		return true
+	default:
+		return false
+	}
+}
+
+// reportProgress is called from evaluation workers; the mutex
+// serialises the callback like sweep.mapCases does.
+func (r *runner) reportProgress() {
+	if r.opts.Progress == nil {
+		return
+	}
+	done := int(r.progressDone.Add(1))
+	r.progressMu.Lock()
+	r.opts.Progress(done, max(done, r.total))
+	r.progressMu.Unlock()
+}
+
+// evalBatch evaluates one probe batch across the worker pool and
+// returns the evaluations in probe order, sequence numbers assigned in
+// that same order — so downstream aggregation is worker-count
+// independent. The lowest-index error wins, matching sweep.Map.
+func (r *runner) evalBatch(probes []probe) ([]Eval, error) {
+	n := len(probes)
+	outs := make([]Outcome, n)
+	errs := make([]error, n)
+	workers := r.opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	workers = min(workers, n)
+
+	var (
+		next     atomic.Int64
+		failed   atomic.Bool
+		canceled atomic.Bool
+		wg       sync.WaitGroup
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n || failed.Load() {
+					return
+				}
+				if r.canceled() {
+					canceled.Store(true)
+					return
+				}
+				out, err := r.opts.Evaluate(probes[i].sp)
+				if err != nil {
+					errs[i] = err
+					failed.Store(true)
+					return
+				}
+				outs[i] = out
+				r.reportProgress()
+			}
+		}()
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("exploration %q: case %q: %w", r.spec.Name, probes[i].name, err)
+		}
+	}
+	if canceled.Load() {
+		return nil, sweep.ErrCanceled
+	}
+	evals := make([]Eval, n)
+	for i := range probes {
+		evals[i] = Eval{Seq: r.seq, Case: probes[i].name, Metrics: outs[i].Metrics}
+		r.seq++
+		r.evals++
+		r.sim += outs[i].SimSeconds
+	}
+	return evals, nil
+}
+
+// feed streams one evaluation to every aggregator, in spec order.
+func (r *runner) feed(e Eval) {
+	for _, a := range r.aggs {
+		a.add(e)
+	}
+}
+
+// objective extracts the strategy's objective from one evaluation,
+// erroring with the case and metric names when the model left it
+// undefined there.
+func (r *runner) objective(e Eval) (float64, error) {
+	v, ok := e.Metrics[r.spec.Strategy.Objective]
+	if !ok {
+		return 0, r.spec.errf("case %q reports no %q (the objective is undefined there — e.g. no completions for energy_per_op); narrow the search space",
+			e.Case, r.spec.Strategy.Objective)
+	}
+	return v, nil
+}
+
+// ---- grid strategy ----
+
+// runGrid streams the declared grid through CaseAt in bounded batches.
+func (r *runner) runGrid() error {
+	work := r.spec.Base.Clone()
+	work.Sweep = r.spec.Strategy.Axes
+	grid := work.Grid()
+	n, err := grid.SizeChecked()
+	if err != nil {
+		return r.spec.errf("%v", err)
+	}
+	r.total = n
+	for start := 0; start < n; start += batchSize {
+		if r.canceled() {
+			return sweep.ErrCanceled
+		}
+		end := min(start+batchSize, n)
+		probes := make([]probe, 0, end-start)
+		for i := start; i < end; i++ {
+			c := grid.CaseAt(i)
+			cs, err := work.At(c)
+			if err != nil {
+				return r.spec.errf("%v", err)
+			}
+			probes = append(probes, probe{name: c.Name, sp: cs})
+		}
+		evals, err := r.evalBatch(probes)
+		if err != nil {
+			return err
+		}
+		for _, e := range evals {
+			r.feed(e)
+		}
+	}
+	return nil
+}
+
+// ---- bisect strategy ----
+
+// bisectSteps returns the bracketing-step bound for a bracket span and
+// tolerance: each step halves the span.
+func bisectSteps(span, tol float64) int {
+	return int(math.Ceil(math.Log2(span / tol)))
+}
+
+// runBisect hunts the sign change of objective(A)−objective(B) along
+// the strategy's param. Each probe evaluates both variants (one batch
+// of two, so they can run in parallel) and feeds the aggregators too.
+func (r *runner) runBisect() (*Crossover, error) {
+	st := &r.spec.Strategy
+	lo, hi, tol := float64(*st.Lo), float64(*st.Hi), float64(*st.Tolerance)
+	r.total = 2 * (2 + bisectSteps(hi-lo, tol))
+
+	delta := func(x float64) (float64, error) {
+		if r.canceled() {
+			return 0, sweep.ErrCanceled
+		}
+		probes := make([]probe, 0, 2)
+		for _, v := range []*Variant{st.A, st.B} {
+			sp, err := r.spec.variantSpec(v, x)
+			if err != nil {
+				return 0, err
+			}
+			name := fmt.Sprintf("%s@%s=%s", v.Name, st.Param, scenario.AxisLabel(st.Param, x))
+			probes = append(probes, probe{name: name, sp: sp})
+		}
+		evals, err := r.evalBatch(probes)
+		if err != nil {
+			return 0, err
+		}
+		var vals [2]float64
+		for i, e := range evals {
+			r.feed(e)
+			if vals[i], err = r.objective(e); err != nil {
+				return 0, err
+			}
+		}
+		return vals[0] - vals[1], nil
+	}
+
+	dlo, err := delta(lo)
+	if err != nil {
+		return nil, err
+	}
+	dhi, err := delta(hi)
+	if err != nil {
+		return nil, err
+	}
+	probes := 2
+	switch {
+	case dlo == 0:
+		return &Crossover{Param: st.Param, Value: lo, Lo: lo, Hi: lo, Probes: probes}, nil
+	case dhi == 0:
+		return &Crossover{Param: st.Param, Value: hi, Lo: hi, Hi: hi, Probes: probes}, nil
+	case (dlo > 0) == (dhi > 0):
+		return nil, r.spec.errf("no crossover: Δ%s keeps its sign over [%g, %g] (Δ(lo)=%g, Δ(hi)=%g)",
+			st.Objective, lo, hi, dlo, dhi)
+	}
+	for hi-lo > tol {
+		mid := lo + (hi-lo)/2
+		dmid, err := delta(mid)
+		if err != nil {
+			return nil, err
+		}
+		probes++
+		if dmid == 0 {
+			lo, hi, dlo, dhi = mid, mid, 0, 0
+			break
+		}
+		if (dmid > 0) == (dlo > 0) {
+			lo, dlo = mid, dmid
+		} else {
+			hi, dhi = mid, dmid
+		}
+	}
+	return &Crossover{
+		Param: st.Param, Value: lo + (hi-lo)/2,
+		Lo: lo, Hi: hi, DeltaLo: dlo, DeltaHi: dhi, Probes: probes,
+	}, nil
+}
+
+// ---- refine strategy ----
+
+// refineState is one refinement run's search box.
+type refineState struct {
+	axes             []RefineAxis
+	lo, hi           []float64 // current box
+	origLo, origHi   []float64 // original bounds (the box never leaves them)
+	points           []int
+	perRound, rounds int
+}
+
+// runRefine scans successively smaller grids centered on the incumbent:
+// each round evaluates an evenly spaced grid over the current box,
+// re-centers the box on the best point seen so far, and halves every
+// axis span. Probes are memoized by coordinate, so overlapping rounds
+// pay for new points only — and the aggregators still see each unique
+// point exactly once, in a spec-deterministic order.
+func (r *runner) runRefine() error {
+	st := &r.spec.Strategy
+	rs := &refineState{rounds: st.rounds(), perRound: 1}
+	for _, ax := range st.Refine {
+		rs.axes = append(rs.axes, ax)
+		rs.lo = append(rs.lo, float64(ax.Lo))
+		rs.hi = append(rs.hi, float64(ax.Hi))
+		rs.origLo = append(rs.origLo, float64(ax.Lo))
+		rs.origHi = append(rs.origHi, float64(ax.Hi))
+		rs.points = append(rs.points, ax.points())
+		rs.perRound *= ax.points()
+	}
+	r.total = rs.perRound * rs.rounds
+
+	memo := map[string]Eval{}
+	var incumbent *Eval
+	var incCoord []float64
+	goalMax := st.Goal == "max"
+	better := func(a Eval, b *Eval) bool {
+		av, ok := a.Metrics[st.Objective]
+		if !ok {
+			return false // undefined objective: never the incumbent
+		}
+		if b == nil {
+			return true
+		}
+		bv := b.Metrics[st.Objective]
+		if av != bv {
+			if goalMax {
+				return av > bv
+			}
+			return av < bv
+		}
+		return a.Seq < b.Seq
+	}
+
+	for round := 0; round < rs.rounds; round++ {
+		if r.canceled() {
+			return sweep.ErrCanceled
+		}
+		coords := rs.roundCoords()
+		// Partition this round's grid into memo hits and fresh probes,
+		// preserving coordinate order for aggregation.
+		var fresh []probe
+		var freshCoords [][]float64
+		for _, coord := range coords {
+			if _, ok := memo[coordKey(coord)]; ok {
+				r.memoized++
+				continue
+			}
+			sp, name, err := r.refineSpec(rs, coord)
+			if err != nil {
+				return err
+			}
+			fresh = append(fresh, probe{name: name, sp: sp})
+			freshCoords = append(freshCoords, coord)
+		}
+		evals, err := r.evalBatch(fresh)
+		if err != nil {
+			return err
+		}
+		for i, e := range evals {
+			r.feed(e)
+			memo[coordKey(freshCoords[i])] = e
+		}
+		// Re-center on the best point of the full round grid (memoized
+		// points included — an earlier round's point can stay the
+		// incumbent).
+		for _, coord := range coords {
+			e := memo[coordKey(coord)]
+			if better(e, incumbent) {
+				cp := e
+				incumbent, incCoord = &cp, append([]float64(nil), coord...)
+			}
+		}
+		if incumbent == nil {
+			return r.spec.errf("refinement round %d: objective %q undefined at every probed point",
+				round+1, st.Objective)
+		}
+		rs.shrink(incCoord)
+	}
+	r.incumbent = incumbent
+	return nil
+}
+
+// roundCoords enumerates the current box's grid row-major (first axis
+// slowest), matching the sweep engine's declared-order convention.
+func (rs *refineState) roundCoords() [][]float64 {
+	coords := [][]float64{{}}
+	for a := range rs.axes {
+		vals := linspace(rs.lo[a], rs.hi[a], rs.points[a])
+		next := make([][]float64, 0, len(coords)*len(vals))
+		for _, c := range coords {
+			for _, v := range vals {
+				next = append(next, append(append([]float64(nil), c...), v))
+			}
+		}
+		coords = next
+	}
+	return coords
+}
+
+// shrink halves every axis span and re-centers it on the incumbent,
+// clamped inside the original bounds.
+func (rs *refineState) shrink(center []float64) {
+	for a := range rs.axes {
+		span := (rs.hi[a] - rs.lo[a]) / 2
+		lo := center[a] - span/2
+		if lo < rs.origLo[a] {
+			lo = rs.origLo[a]
+		}
+		if lo+span > rs.origHi[a] {
+			lo = rs.origHi[a] - span
+		}
+		rs.lo[a], rs.hi[a] = lo, lo+span
+	}
+}
+
+// refineSpec derives the scenario spec and display name for one
+// refinement coordinate, re-validating because interior points were
+// not probed at parse time.
+func (r *runner) refineSpec(rs *refineState, coord []float64) (*scenario.Spec, string, error) {
+	sp := r.spec.Base.Clone()
+	var name strings.Builder
+	for a, ax := range rs.axes {
+		if err := sp.Apply(ax.Param, coord[a]); err != nil {
+			return nil, "", r.spec.errf("%v", err)
+		}
+		if a > 0 {
+			name.WriteByte('/')
+		}
+		fmt.Fprintf(&name, "%s=%s", ax.Param, scenario.AxisLabel(ax.Param, coord[a]))
+	}
+	if err := sp.Validate(); err != nil {
+		return nil, "", r.spec.errf("refinement point %s: %v", name.String(), err)
+	}
+	return sp, name.String(), nil
+}
+
+// linspace returns n evenly spaced values over [lo, hi], endpoints
+// included. Computed as lo + i*step (not accumulated), so the values —
+// and through them the memo keys and report bytes — are exactly
+// reproducible.
+func linspace(lo, hi float64, n int) []float64 {
+	out := make([]float64, n)
+	step := (hi - lo) / float64(n-1)
+	for i := range out {
+		out[i] = lo + float64(i)*step
+	}
+	out[n-1] = hi
+	return out
+}
+
+// coordKey renders a refinement coordinate for memoization; %.17g
+// round-trips float64 exactly.
+func coordKey(coord []float64) string {
+	var b strings.Builder
+	for i, v := range coord {
+		if i > 0 {
+			b.WriteByte('|')
+		}
+		fmt.Fprintf(&b, "%.17g", v)
+	}
+	return b.String()
+}

@@ -7,25 +7,34 @@ import (
 
 // codecVersion frames the serialised report format. Bump it when the
 // wire struct changes shape; decoders reject other versions so a stale
-// blob can never be half-read into the wrong fields.
-const codecVersion = 1
+// blob can never be half-read into the wrong fields. v2 added per-case
+// structured metrics, which the design-space explorer reads off cached
+// reports — v1 blobs decode as misses and recompute.
+const codecVersion = 2
 
 // wireReport is the persisted/transferred form of a Report — the disk
 // CAS blob payload and the peer cache-transfer body. It carries the
 // rendered artifacts the service contract is about (Text, TraceCSV —
-// both served verbatim, byte for byte) plus the metadata the job layer
-// needs (hash, sweep flag, case names for progress accounting).
-// Structured per-case lab metrics are deliberately not persisted: they
-// feed live rendering only, and rendering already happened.
+// both served verbatim, byte for byte) plus the metadata the job and
+// exploration layers need: hash, sweep flag, and per-case name +
+// structured metrics. Raw lab.Result fields stay unpersisted — every
+// number worth caching is in the metrics map by the model contract.
 type wireReport struct {
-	Codec      int      `json:"codec"`
-	Engine     string   `json:"engine"`
-	SpecHash   string   `json:"spec_hash"`
-	Sweep      bool     `json:"sweep,omitempty"`
-	Text       string   `json:"text"`
-	SimSeconds float64  `json:"sim_seconds"`
-	CaseNames  []string `json:"case_names,omitempty"`
-	TraceCSV   []byte   `json:"trace_csv,omitempty"`
+	Codec      int        `json:"codec"`
+	Engine     string     `json:"engine"`
+	SpecHash   string     `json:"spec_hash"`
+	Sweep      bool       `json:"sweep,omitempty"`
+	Text       string     `json:"text"`
+	SimSeconds float64    `json:"sim_seconds"`
+	Cases      []wireCase `json:"cases,omitempty"`
+	TraceCSV   []byte     `json:"trace_csv,omitempty"`
+}
+
+// wireCase is one persisted case: its display name and its structured
+// metrics.
+type wireCase struct {
+	Name    string             `json:"name"`
+	Metrics map[string]float64 `json:"metrics,omitempty"`
 }
 
 // EncodeReport serialises a report for the disk CAS and peer transfer.
@@ -40,7 +49,7 @@ func EncodeReport(rep *Report) ([]byte, error) {
 		TraceCSV:   rep.TraceCSV,
 	}
 	for _, c := range rep.Cases {
-		w.CaseNames = append(w.CaseNames, c.Name)
+		w.Cases = append(w.Cases, wireCase{Name: c.Name, Metrics: c.Metrics})
 	}
 	b, err := json.Marshal(w)
 	if err != nil {
@@ -72,10 +81,10 @@ func DecodeReport(data []byte) (*Report, error) {
 		Text:       w.Text,
 		SimSeconds: w.SimSeconds,
 		TraceCSV:   w.TraceCSV,
-		Cases:      make([]CaseResult, len(w.CaseNames)),
+		Cases:      make([]CaseResult, len(w.Cases)),
 	}
-	for i, n := range w.CaseNames {
-		rep.Cases[i] = CaseResult{Name: n}
+	for i, c := range w.Cases {
+		rep.Cases[i] = CaseResult{Name: c.Name, Metrics: c.Metrics}
 	}
 	return rep, nil
 }

@@ -2,6 +2,7 @@ package result
 
 import (
 	"bytes"
+	"fmt"
 	"strings"
 	"testing"
 
@@ -49,6 +50,16 @@ func TestReportCodecRoundTripsServedArtifacts(t *testing.T) {
 	if len(got.Cases) != len(rep.Cases) || got.Cases[0].Name != rep.Cases[0].Name {
 		t.Errorf("case names diverged: %v", got.Cases)
 	}
+	// v2 persists the structured metrics, so a cache-served report can
+	// still answer exploration objective queries.
+	if len(got.Cases[0].Metrics) == 0 {
+		t.Fatal("decoded report lost its case metrics")
+	}
+	for k, v := range rep.Cases[0].Metrics {
+		if got.Cases[0].Metrics[k] != v {
+			t.Errorf("metric %q diverged: %g vs %g", k, got.Cases[0].Metrics[k], v)
+		}
+	}
 }
 
 func TestDecodeRejectsForeignEngineAndCodec(t *testing.T) {
@@ -64,11 +75,16 @@ func TestDecodeRejectsForeignEngineAndCodec(t *testing.T) {
 	if _, err := DecodeReport([]byte(stale)); err == nil {
 		t.Error("report from a foreign engine version decoded cleanly")
 	}
-	wrongCodec := strings.Replace(string(data), `{"codec":1`, `{"codec":99`, 1)
+	wrongCodec := strings.Replace(string(data), `{"codec":`, `{"codec":9`, 1)
 	if _, err := DecodeReport([]byte(wrongCodec)); err == nil {
 		t.Error("unknown codec version decoded cleanly")
 	}
-	if _, err := DecodeReport([]byte(`{"codec":1}`)); err == nil {
+	// A v1 blob (pre-metrics) must decode as a miss, not half-read.
+	v1 := strings.Replace(string(data), fmt.Sprintf(`{"codec":%d`, codecVersion), `{"codec":1`, 1)
+	if _, err := DecodeReport([]byte(v1)); err == nil {
+		t.Error("stale codec v1 blob decoded cleanly")
+	}
+	if _, err := DecodeReport([]byte(fmt.Sprintf(`{"codec":%d}`, codecVersion))); err == nil {
 		t.Error("empty report decoded cleanly")
 	}
 	if _, err := DecodeReport([]byte("not json")); err == nil {

@@ -1,0 +1,33 @@
+package result
+
+import (
+	"fmt"
+
+	"repro/internal/explore"
+	"repro/internal/scenario"
+)
+
+// RunExploration executes a validated exploration spec with a direct
+// evaluator: every probe runs through RunSpec, the same execution path
+// as `ehsim -scenario`. The service wires its own evaluator (the
+// tiered result cache) into explore.Run instead — and because the
+// report text is a pure function of the spec and the deterministic
+// evaluation stream, both front-ends render byte-identical reports.
+func RunExploration(es *explore.Spec, opts Options) (*explore.Report, error) {
+	eval := func(sp *scenario.Spec) (explore.Outcome, error) {
+		rep, err := RunSpec(sp, Options{Workers: 1, Cancel: opts.Cancel})
+		if err != nil {
+			return explore.Outcome{}, err
+		}
+		if len(rep.Cases) != 1 {
+			return explore.Outcome{}, fmt.Errorf("result: exploration probe expanded to %d cases, want 1", len(rep.Cases))
+		}
+		return explore.Outcome{Metrics: rep.Cases[0].Metrics, SimSeconds: rep.SimSeconds}, nil
+	}
+	return explore.Run(es, explore.Options{
+		Evaluate: eval,
+		Workers:  opts.Workers,
+		Progress: opts.Progress,
+		Cancel:   opts.Cancel,
+	})
+}

@@ -70,10 +70,14 @@ type Options struct {
 
 // CaseResult pairs one executed case with its name. Result carries the
 // structured lab metrics for lab-model cases and is zero for the
-// analytic models, whose outcomes live in the rendered text.
+// analytic models. Metrics carries the model's structured objectives
+// (scenario.ModelCase.Metrics) for every model — the values the
+// design-space explorer optimises, persisted through the cache codec
+// so a disk- or peer-served report still answers objective queries.
 type CaseResult struct {
-	Name   string
-	Result lab.Result
+	Name    string
+	Result  lab.Result
+	Metrics map[string]float64
 }
 
 // Report is one scenario execution's complete outcome.
@@ -132,7 +136,7 @@ func RunSpec(sp *scenario.Spec, opts Options) (*Report, error) {
 		Cases:      make([]CaseResult, len(mr.Cases)),
 	}
 	for i, c := range mr.Cases {
-		rep.Cases[i] = CaseResult{Name: c.Name, Result: c.Lab}
+		rep.Cases[i] = CaseResult{Name: c.Name, Result: c.Lab, Metrics: c.Metrics}
 	}
 	if mr.Trace != nil {
 		var tb bytes.Buffer

@@ -108,6 +108,11 @@ func (s *Spec) Grid() *sweep.Grid {
 	return g
 }
 
+// AxisLabel renders one axis point for case names and tables — exported
+// so explorers labelling machine-generated grids match sweep-table
+// spelling exactly.
+func AxisLabel(param string, v float64) string { return axisLabel(param, v) }
+
 // axisLabel renders one axis point for case names and tables.
 func axisLabel(param string, v float64) string {
 	switch param {

@@ -1,0 +1,203 @@
+package scenario
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/units"
+)
+
+// TestMetricsMatchRenderedCells is the cross-model consistency contract:
+// every number a sweep table renders must be derivable from the case's
+// structured Metrics alone, for all four models. Each entry re-renders
+// the row cells from ModelCase.Metrics with the model's own format
+// strings and requires byte equality with the report text — so the
+// rendered table and the explorer's objectives can never drift apart.
+func TestMetricsMatchRenderedCells(t *testing.T) {
+	cases := []struct {
+		model string
+		spec  string
+		// cells re-renders one case's table row from its metrics.
+		cells func(t *testing.T, m map[string]float64) []string
+	}{
+		{
+			model: "lab",
+			spec: `{"name":"x","workload":"fib24","storage":{"c":"10u"},
+				"source":{"name":"dc"},"duration":0.002,
+				"sweep":[{"param":"c","values":["10u","47u"]}]}`,
+			cells: func(t *testing.T, m map[string]float64) []string {
+				eop := "∞"
+				if v, ok := m["energy_per_op"]; ok {
+					eop = units.Format(v, "J")
+				}
+				return []string{
+					fmt.Sprintf("%d", int(m["completions"])),
+					fmt.Sprintf("%d", int(m["wrong"])),
+					fmt.Sprintf("%d", int(m["snapshots"])),
+					fmt.Sprintf("%d", int(m["brownouts"])),
+					eop,
+					units.Format(m["harvested"], "J"),
+				}
+			},
+		},
+		{
+			model: "mpsoc",
+			spec: `{"name":"x","model":"mpsoc","source":{"name":"const-power","params":{"p":2}},
+				"duration":120,"dt":1,
+				"sweep":[{"param":"source.p","values":[1,3]}]}`,
+			cells: func(t *testing.T, m map[string]float64) []string {
+				return []string{
+					fmt.Sprintf("%.1f", m["frames"]),
+					fmt.Sprintf("%.2f", m["mean_fps"]),
+					fmt.Sprintf("%.3f", m["used_w"]),
+					fmt.Sprintf("%.1f%%", m["utilization"]*100),
+					fmt.Sprintf("%d", int(m["switches"])),
+					fmt.Sprintf("%d", int(m["starved"])),
+				}
+			},
+		},
+		{
+			model: "taskburst",
+			spec: `{"name":"x","model":"taskburst","storage":{"c":"6m"},
+				"source":{"name":"const-power","params":{"p":"2m"}},"duration":2,
+				"sweep":[{"param":"model.taskenergy","values":["1m","2m"]}]}`,
+			cells: func(t *testing.T, m map[string]float64) []string {
+				first := "never"
+				if v, ok := m["first_fire"]; ok {
+					first = units.FormatSeconds(v)
+				}
+				return []string{
+					fmt.Sprintf("%d", int(m["events"])),
+					fmt.Sprintf("%.3f/s", m["rate"]),
+					fmt.Sprintf("%.2fV", m["v_fire"]),
+					first,
+				}
+			},
+		},
+		{
+			model: "eneutral",
+			spec: `{"name":"x","model":"eneutral","source":{"name":"const-power","params":{"p":"50m"}},
+				"duration":7200,"params":{"window":3600,"ctrlperiod":600},
+				"sweep":[{"param":"model.duty0","values":[0.1,0.3]}]}`,
+			cells: func(t *testing.T, m map[string]float64) []string {
+				worst := "n/a"
+				if v, ok := m["worst_window"]; ok {
+					worst = fmt.Sprintf("%.2f%%", v*100)
+				}
+				return []string{
+					units.Format(m["harvested"], "J"),
+					units.Format(m["consumed"], "J"),
+					worst,
+					fmt.Sprintf("%d", int(m["violations"])),
+					fmt.Sprintf("%.1f%%", m["final_soc"]*100),
+					fmt.Sprintf("%.1f%%", m["mean_duty"]*100),
+				}
+			},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.model, func(t *testing.T) {
+			sp := mustParse(t, tc.spec)
+			m, err := LookupModel(sp.ModelName())
+			if err != nil {
+				t.Fatal(err)
+			}
+			rep, err := m.Run(sp, RunOptions{Workers: 1})
+			if err != nil {
+				t.Fatal(err)
+			}
+			rows := tableRows(t, rep.Text)
+			if len(rows) != len(rep.Cases) {
+				t.Fatalf("report has %d table rows but %d cases:\n%s", len(rows), len(rep.Cases), rep.Text)
+			}
+			docs := metricKeySet(m)
+			for i, mc := range rep.Cases {
+				if len(mc.Metrics) == 0 {
+					t.Fatalf("case %q carries no metrics", mc.Name)
+				}
+				for k := range mc.Metrics {
+					if !docs[k] {
+						t.Errorf("case %q metric %q is not documented in Metrics()", mc.Name, k)
+					}
+				}
+				want := tc.cells(t, mc.Metrics)
+				if got := rows[i][1:]; !equalCells(got, want) {
+					t.Errorf("case %q: rendered cells %v != cells from metrics %v", mc.Name, got, want)
+				}
+			}
+		})
+	}
+}
+
+// TestSingleRunMetricsDocumented runs each model sweep-free and checks
+// the single-run path fills Metrics with documented keys too.
+func TestSingleRunMetricsDocumented(t *testing.T) {
+	specs := map[string]string{
+		"lab":       `{"name":"x","workload":"fib24","storage":{"c":"10u"},"source":{"name":"dc"},"duration":0.002}`,
+		"mpsoc":     `{"name":"x","model":"mpsoc","source":{"name":"const-power","params":{"p":2}},"duration":60,"dt":1}`,
+		"taskburst": `{"name":"x","model":"taskburst","storage":{"c":"6m"},"source":{"name":"const-power","params":{"p":"2m"}},"duration":2}`,
+		"eneutral":  `{"name":"x","model":"eneutral","source":{"name":"const-power","params":{"p":"50m"}},"duration":3600}`,
+	}
+	for name, spec := range specs {
+		t.Run(name, func(t *testing.T) {
+			sp := mustParse(t, spec)
+			m, err := LookupModel(sp.ModelName())
+			if err != nil {
+				t.Fatal(err)
+			}
+			rep, err := m.Run(sp, RunOptions{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(rep.Cases) != 1 || len(rep.Cases[0].Metrics) == 0 {
+				t.Fatalf("single run: %d cases, metrics %v", len(rep.Cases), rep.Cases)
+			}
+			docs := metricKeySet(m)
+			for k := range rep.Cases[0].Metrics {
+				if !docs[k] {
+					t.Errorf("metric %q is not documented in Metrics()", k)
+				}
+			}
+		})
+	}
+}
+
+// metricKeySet collects a model's documented metric keys, failing on
+// duplicates would be overkill — the registry output is tiny and sorted
+// by declaration, so a set suffices for membership checks.
+func metricKeySet(m Model) map[string]bool {
+	set := make(map[string]bool)
+	for _, d := range m.Metrics() {
+		set[d.Key] = true
+	}
+	return set
+}
+
+// tableRows splits a sweep report's text into per-case rows of
+// whitespace-separated fields (field 0 is the case name). The first two
+// lines are the title and the header.
+func tableRows(t *testing.T, text string) [][]string {
+	t.Helper()
+	lines := strings.Split(strings.TrimRight(text, "\n"), "\n")
+	if len(lines) < 3 {
+		t.Fatalf("report too short for a sweep table:\n%s", text)
+	}
+	rows := make([][]string, 0, len(lines)-2)
+	for _, l := range lines[2:] {
+		rows = append(rows, strings.Fields(l))
+	}
+	return rows
+}
+
+func equalCells(got, want []string) bool {
+	if len(got) != len(want) {
+		return false
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -80,6 +80,26 @@ type ModelCase struct {
 	// Lab holds the structured result for lab-model cases; other models
 	// report through their rendered text and leave it zero.
 	Lab lab.Result
+
+	// Metrics holds the case's structured objectives — every number the
+	// rendered report derives its cells from, keyed by the names the
+	// model documents in Metrics(). All four models fill it, so the
+	// design-space explorer (internal/explore) can optimise any model
+	// without parsing report text. Keys whose value is undefined for the
+	// case (energy_per_op with zero completions, first_fire when the
+	// node never fired) are absent rather than NaN/Inf, so the map is
+	// always JSON-encodable.
+	Metrics map[string]float64
+}
+
+// MetricDoc documents one structured objective a model reports per case:
+// its key in ModelCase.Metrics, its unit, and a one-line description.
+// Discovery surfaces (ehsim -list, /v1/registry) render these so an
+// exploration spec can be written against documented names.
+type MetricDoc struct {
+	Key  string
+	Unit string
+	Desc string
 }
 
 // ModelReport is one model execution's complete outcome, rendered and
@@ -114,6 +134,12 @@ type Model interface {
 	// Params documents the model-level tunables (Spec.Params). An empty
 	// slice means the model takes none.
 	Params() []registry.ParamDoc
+
+	// Metrics documents the structured objectives the model fills into
+	// every ModelCase.Metrics — the contract exploration specs are
+	// written against. Keys marked "absent when undefined" in their
+	// Desc may be missing from a given case's map.
+	Metrics() []MetricDoc
 
 	// Validate checks the model-specific spec constraints: names
 	// resolve, required fields are present, fields the model does not
@@ -223,6 +249,11 @@ func (s *Spec) buildPowerSource() (source.PowerSource, error) {
 	return b.P, nil
 }
 
+// At returns a sweep-free copy of the spec with the case's coordinates
+// applied — the exported face of the expansion step, for callers
+// (internal/explore) that stream Grid().CaseAt(i) cases themselves.
+func (s *Spec) At(c sweep.Case) (*Spec, error) { return s.at(c) }
+
 // at returns a sweep-free copy of the spec with the case's coordinates
 // applied — the shared expansion step behind SetupAt and the analytic
 // models' sweep loops.
@@ -247,7 +278,7 @@ func (s *Spec) at(c sweep.Case) (*Spec, error) {
 // stepping, so parallel fan-out would be all overhead), and render a
 // comparison table with the model's columns.
 func runTableSweep(sp *Spec, opts RunOptions, header []string,
-	runCase func(cs *Spec) (cells []string, simSeconds float64, err error)) (*ModelReport, error) {
+	runCase func(cs *Spec) (cells []string, metrics map[string]float64, simSeconds float64, err error)) (*ModelReport, error) {
 	grid := sp.Grid()
 	cases := grid.Cases()
 	rep := &ModelReport{Sweep: true}
@@ -264,13 +295,13 @@ func runTableSweep(sp *Spec, opts RunOptions, header []string,
 		if err != nil {
 			return nil, err
 		}
-		cells, sim, err := runCase(cs)
+		cells, metrics, sim, err := runCase(cs)
 		if err != nil {
 			return nil, err
 		}
 		rows[i], names[i] = cells, c.Name
 		rep.SimSeconds += sim
-		rep.Cases = append(rep.Cases, ModelCase{Name: c.Name})
+		rep.Cases = append(rep.Cases, ModelCase{Name: c.Name, Metrics: metrics})
 		if opts.Progress != nil {
 			opts.Progress(i+1, len(cases))
 		}

@@ -40,6 +40,39 @@ func (eneutralModel) Params() []registry.ParamDoc {
 	}
 }
 
+func (eneutralModel) Metrics() []MetricDoc {
+	return []MetricDoc{
+		{Key: "harvested", Unit: "J", Desc: "energy harvested over the run"},
+		{Key: "consumed", Unit: "J", Desc: "energy consumed over the run"},
+		{Key: "violations", Unit: "count", Desc: "eq. 2 violations (storage depleted, node dead)"},
+		{Key: "downtime", Unit: "s", Desc: "time spent dead"},
+		{Key: "active_sec", Unit: "s", Desc: "duty-weighted productive time"},
+		{Key: "final_soc", Unit: "ratio", Desc: "final battery state of charge (0..1)"},
+		{Key: "mean_duty", Unit: "ratio", Desc: "mean controller duty cycle (0..1)"},
+		{Key: "worst_window", Unit: "ratio", Desc: "largest eq. 1 imbalance ratio (absent before the first window completes)"},
+		{Key: "windows", Unit: "count", Desc: "completed eq. 1 neutrality windows"},
+	}
+}
+
+// eneutralMetrics extracts the structured objectives from one
+// energy-neutral case. worst_window is omitted until a window completes.
+func eneutralMetrics(res eneutral.Result, duty0 float64) map[string]float64 {
+	m := map[string]float64{
+		"harvested":  res.HarvestedJ,
+		"consumed":   res.ConsumedJ,
+		"violations": float64(res.Violations),
+		"downtime":   res.DowntimeSec,
+		"active_sec": res.ActiveSec,
+		"final_soc":  res.FinalSoC,
+		"mean_duty":  meanDuty(res, duty0),
+		"windows":    float64(len(res.Windows)),
+	}
+	if w := res.WorstWindow(); !math.IsInf(w, 1) {
+		m["worst_window"] = w
+	}
+	return m
+}
+
 // eneutralDefaultDt is the integration step when the spec leaves dt
 // unset: duty-cycle planning evolves over hours, so one-second steps
 // resolve it with day-scale durations still cheap.
@@ -90,10 +123,10 @@ func (m eneutralModel) Run(sp *Spec, opts RunOptions) (*ModelReport, error) {
 	if sp.HasSweep() {
 		return runTableSweep(sp, opts,
 			[]string{"harvested", "consumed", "worst-win", "deaths", "final-soc", "mean-duty"},
-			func(cs *Spec) ([]string, float64, error) {
+			func(cs *Spec) ([]string, map[string]float64, float64, error) {
 				res, _, err := m.simulate(cs, nil, opts.Cancel)
 				if err != nil {
-					return nil, 0, err
+					return nil, nil, 0, err
 				}
 				p, _ := cs.modelParams(m) // validated in simulate
 				return []string{
@@ -103,7 +136,7 @@ func (m eneutralModel) Run(sp *Spec, opts RunOptions) (*ModelReport, error) {
 					fmt.Sprintf("%d", res.Violations),
 					fmt.Sprintf("%.1f%%", res.FinalSoC*100),
 					fmt.Sprintf("%.1f%%", meanDuty(res, p["duty0"])*100),
-				}, float64(cs.Duration), nil
+				}, eneutralMetrics(res, p["duty0"]), float64(cs.Duration), nil
 			})
 	}
 
@@ -139,7 +172,7 @@ func (m eneutralModel) Run(sp *Spec, opts RunOptions) (*ModelReport, error) {
 		res.ActiveSec, res.ActiveSec/float64(sp.Duration)*100)
 	return &ModelReport{
 		Text:       buf.String(),
-		Cases:      []ModelCase{{Name: sp.Name}},
+		Cases:      []ModelCase{{Name: sp.Name, Metrics: eneutralMetrics(res, p["duty0"])}},
 		SimSeconds: float64(sp.Duration),
 		Trace:      rec,
 	}, nil

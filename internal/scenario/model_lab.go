@@ -30,6 +30,43 @@ func (labModel) Desc() string {
 
 func (labModel) Params() []registry.ParamDoc { return nil }
 
+func (labModel) Metrics() []MetricDoc {
+	return []MetricDoc{
+		{Key: "completions", Unit: "count", Desc: "correct workload iterations finished"},
+		{Key: "wrong", Unit: "count", Desc: "iterations finishing with a wrong checksum"},
+		{Key: "throughput", Unit: "ops/s", Desc: "completions per simulated second"},
+		{Key: "energy_per_op", Unit: "J", Desc: "consumed joules per correct completion (absent when none completed)"},
+		{Key: "first_completion", Unit: "s", Desc: "simulated time of the first completion (absent when none completed)"},
+		{Key: "snapshots", Unit: "count", Desc: "state-save attempts started"},
+		{Key: "restores", Unit: "count", Desc: "successful state restores"},
+		{Key: "brownouts", Unit: "count", Desc: "supply brown-outs"},
+		{Key: "harvested", Unit: "J", Desc: "energy harvested from the source"},
+		{Key: "consumed", Unit: "J", Desc: "energy consumed by the node"},
+	}
+}
+
+// labMetrics extracts the lab engine's structured objectives from one
+// case result. Undefined values (energy/op and first-completion with
+// zero completions) are omitted, per the ModelCase.Metrics contract.
+func labMetrics(res lab.Result, duration float64) map[string]float64 {
+	st := res.Stats
+	m := map[string]float64{
+		"completions": float64(res.Completions),
+		"wrong":       float64(res.WrongResults),
+		"throughput":  res.Throughput(duration),
+		"snapshots":   float64(st.SavesStarted),
+		"restores":    float64(st.Restores),
+		"brownouts":   float64(st.BrownOuts),
+		"harvested":   res.HarvestedJ,
+		"consumed":    res.ConsumedJ,
+	}
+	if res.Completions > 0 {
+		m["energy_per_op"] = res.EnergyPerCompletion()
+		m["first_completion"] = res.FirstCompletion
+	}
+	return m
+}
+
 // Validate implements Model: the structural checks the lab engine needs
 // — every name resolves, every param key is known, storage is sane.
 func (labModel) Validate(s *Spec) error {
@@ -101,7 +138,7 @@ func (labModel) Run(sp *Spec, opts RunOptions) (*ModelReport, error) {
 		}
 		fmt.Fprintln(&buf, SingleTitle(sp))
 		WriteSummary(&buf, res, float64(sp.Duration))
-		rep.Cases = []ModelCase{{Name: sp.Name, Lab: res}}
+		rep.Cases = []ModelCase{{Name: sp.Name, Lab: res, Metrics: labMetrics(res, float64(sp.Duration))}}
 		rep.SimSeconds = float64(sp.Duration)
 		rep.Trace = rec
 		rep.Text = buf.String()
@@ -144,8 +181,9 @@ func (labModel) Run(sp *Spec, opts RunOptions) (*ModelReport, error) {
 	rep.Cases = make([]ModelCase, len(cases))
 	for i, c := range cases {
 		names[i] = c.Name
-		rep.Cases[i] = ModelCase{Name: c.Name, Lab: results[i]}
-		rep.SimSeconds += caseDuration(sp, c)
+		d := caseDuration(sp, c)
+		rep.Cases[i] = ModelCase{Name: c.Name, Lab: results[i], Metrics: labMetrics(results[i], d)}
+		rep.SimSeconds += d
 	}
 	WriteSweepTable(&buf, "case", 32, names, results)
 	rep.Trace = rec

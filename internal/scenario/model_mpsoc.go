@@ -32,6 +32,35 @@ func (mpsocModel) Params() []registry.ParamDoc {
 	}
 }
 
+func (mpsocModel) Metrics() []MetricDoc {
+	return []MetricDoc{
+		{Key: "frames", Unit: "count", Desc: "frames rendered over the run"},
+		{Key: "mean_fps", Unit: "fps", Desc: "mean frame rate"},
+		{Key: "budget_w", Unit: "W", Desc: "mean harvested power budget"},
+		{Key: "used_w", Unit: "W", Desc: "mean power drawn by the selected operating points"},
+		{Key: "utilization", Unit: "ratio", Desc: "used power over budget (0..1)"},
+		{Key: "peak_budget_w", Unit: "W", Desc: "largest budget sustained for a full control step"},
+		{Key: "switches", Unit: "count", Desc: "operating-point changes"},
+		{Key: "starved", Unit: "count", Desc: "control steps with no affordable operating point"},
+		{Key: "frontier", Unit: "count", Desc: "operating points on the power/FPS Pareto frontier"},
+	}
+}
+
+// mpsocMetrics extracts the structured objectives from one mpsoc case.
+func mpsocMetrics(res mpsoc.SimResult, sel *mpsoc.Selector) map[string]float64 {
+	return map[string]float64{
+		"frames":        res.Frames,
+		"mean_fps":      res.MeanFPS,
+		"budget_w":      res.MeanBudgetW,
+		"used_w":        res.MeanUsedW,
+		"utilization":   res.Utilization,
+		"peak_budget_w": res.MaxSustainedW,
+		"switches":      float64(res.Switches),
+		"starved":       float64(res.Starved),
+		"frontier":      float64(len(sel.Frontier)),
+	}
+}
+
 // mpsocDefaultDt is the control period when the spec leaves dt unset:
 // the governor of [11] re-selects operating points at a second-scale
 // cadence, far from the lab engine's microsecond stepping.
@@ -63,10 +92,10 @@ func (m mpsocModel) Run(sp *Spec, opts RunOptions) (*ModelReport, error) {
 	if sp.HasSweep() {
 		return runTableSweep(sp, opts,
 			[]string{"frames", "mean-fps", "used-W", "util", "switches", "starved"},
-			func(cs *Spec) ([]string, float64, error) {
-				res, _, err := m.simulate(cs, nil, opts.Cancel)
+			func(cs *Spec) ([]string, map[string]float64, float64, error) {
+				res, sel, err := m.simulate(cs, nil, opts.Cancel)
 				if err != nil {
-					return nil, 0, err
+					return nil, nil, 0, err
 				}
 				return []string{
 					fmt.Sprintf("%.1f", res.Frames),
@@ -75,7 +104,7 @@ func (m mpsocModel) Run(sp *Spec, opts RunOptions) (*ModelReport, error) {
 					fmt.Sprintf("%.1f%%", res.Utilization*100),
 					fmt.Sprintf("%d", res.Switches),
 					fmt.Sprintf("%d", res.Starved),
-				}, float64(cs.Duration), nil
+				}, mpsocMetrics(res, sel), float64(cs.Duration), nil
 			})
 	}
 
@@ -107,7 +136,7 @@ func (m mpsocModel) Run(sp *Spec, opts RunOptions) (*ModelReport, error) {
 		res.Switches, res.Starved, res.Steps)
 	return &ModelReport{
 		Text:       buf.String(),
-		Cases:      []ModelCase{{Name: sp.Name}},
+		Cases:      []ModelCase{{Name: sp.Name, Metrics: mpsocMetrics(res, sel)}},
 		SimSeconds: float64(sp.Duration),
 		Trace:      rec,
 	}, nil

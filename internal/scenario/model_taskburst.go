@@ -37,6 +37,33 @@ func (taskburstModel) Params() []registry.ParamDoc {
 	}
 }
 
+func (taskburstModel) Metrics() []MetricDoc {
+	return []MetricDoc{
+		{Key: "events", Unit: "count", Desc: "atomic tasks fired"},
+		{Key: "rate", Unit: "1/s", Desc: "mean fire rate over the run"},
+		{Key: "v_fire", Unit: "V", Desc: "derived eq. 4 fire threshold"},
+		{Key: "v_floor", Unit: "V", Desc: "minimum useful operating voltage"},
+		{Key: "first_fire", Unit: "s", Desc: "time of the first fire (absent when the node never fired)"},
+		{Key: "energy_drawn", Unit: "J", Desc: "stored energy drawn by fired tasks (eta included)"},
+	}
+}
+
+// taskburstMetrics extracts the structured objectives from one
+// task-burst case. first_fire is omitted when the node never fired.
+func taskburstMetrics(n *taskburst.Node, p registry.Params, duration float64) map[string]float64 {
+	m := map[string]float64{
+		"events":       float64(len(n.Events)),
+		"rate":         n.Rate(0, duration),
+		"v_fire":       n.VFire,
+		"v_floor":      n.VFloor,
+		"energy_drawn": float64(len(n.Events)) * p["taskenergy"] / p["eta"],
+	}
+	if len(n.Events) > 0 {
+		m["first_fire"] = n.Events[0]
+	}
+	return m
+}
+
 // taskburstDefaultDt is the integration step when the spec leaves dt
 // unset: charge curves evolve over milliseconds-to-seconds, so 100 µs
 // resolves them without lab-engine step counts.
@@ -96,17 +123,18 @@ func (m taskburstModel) Run(sp *Spec, opts RunOptions) (*ModelReport, error) {
 	if sp.HasSweep() {
 		return runTableSweep(sp, opts,
 			[]string{"events", "rate", "v-fire", "first-fire"},
-			func(cs *Spec) ([]string, float64, error) {
+			func(cs *Spec) ([]string, map[string]float64, float64, error) {
 				n, err := m.simulate(cs, nil, opts.Cancel)
 				if err != nil {
-					return nil, 0, err
+					return nil, nil, 0, err
 				}
+				p, _ := cs.modelParams(m) // validated in simulate
 				return []string{
 					fmt.Sprintf("%d", len(n.Events)),
 					fmt.Sprintf("%.3f/s", n.Rate(0, float64(cs.Duration))),
 					fmt.Sprintf("%.2fV", n.VFire),
 					firstFireLabel(n),
-				}, float64(cs.Duration), nil
+				}, taskburstMetrics(n, p, float64(cs.Duration)), float64(cs.Duration), nil
 			})
 	}
 
@@ -140,7 +168,7 @@ func (m taskburstModel) Run(sp *Spec, opts RunOptions) (*ModelReport, error) {
 		units.Format(float64(len(n.Events))*p["taskenergy"]/p["eta"], "J"))
 	return &ModelReport{
 		Text:       buf.String(),
-		Cases:      []ModelCase{{Name: sp.Name}},
+		Cases:      []ModelCase{{Name: sp.Name, Metrics: taskburstMetrics(n, p, float64(sp.Duration))}},
 		SimSeconds: float64(sp.Duration),
 		Trace:      rec,
 	}, nil

@@ -276,6 +276,11 @@ func canonicalParam(p string) string {
 // HasSweep reports whether the spec declares sweep axes.
 func (s *Spec) HasSweep() bool { return len(s.Sweep) > 0 }
 
+// Clone deep-copies the spec (param maps and sweep slice included) so a
+// caller can Apply per-case values without aliasing the original —
+// the expansion step design-space explorers build on.
+func (s *Spec) Clone() *Spec { return s.clone() }
+
 // clone deep-copies the spec (param maps and sweep slice included) so
 // per-case mutation via Apply cannot alias the base spec.
 func (s *Spec) clone() *Spec {

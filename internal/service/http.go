@@ -32,6 +32,7 @@ const traceChunk = 32 << 10
 //	GET    /v1/jobs/{id}/result   the report, byte-identical to `ehsim -scenario`
 //	GET    /v1/jobs/{id}/trace    the captured V_CC trace, streamed as chunked CSV
 //	POST   /v1/batches       submit N specs; per-spec completions stream back as NDJSON
+//	POST   /v1/explorations  submit an exploration spec; runs as a job, probes ride the cache tiers
 //	GET    /v1/cache/{hash}  peer cache lookup: the encoded report for a spec hash
 //	PUT    /v1/cache/{hash}  peer cache push: adopt a report computed elsewhere
 //	GET    /v1/registry      machine-readable form of `ehsim -list`
@@ -46,6 +47,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleResult)
 	mux.HandleFunc("GET /v1/jobs/{id}/trace", s.handleTrace)
 	mux.HandleFunc("POST /v1/batches", s.handleBatch)
+	mux.HandleFunc("POST /v1/explorations", s.handleSubmitExploration)
 	mux.HandleFunc("GET /v1/cache/{hash}", s.handleCacheGet)
 	mux.HandleFunc("PUT /v1/cache/{hash}", s.handleCachePut)
 	mux.HandleFunc("GET /v1/registry", s.handleRegistry)
@@ -78,7 +80,9 @@ func (s *Server) retrySeconds() string {
 	return strconv.Itoa(secs)
 }
 
-func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+// readSpecBody reads a bounded spec body, writing the error response
+// itself on failure.
+func readSpecBody(w http.ResponseWriter, r *http.Request) ([]byte, bool) {
 	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxSpecBytes))
 	if err != nil {
 		var tooBig *http.MaxBytesError
@@ -87,21 +91,36 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		} else {
 			writeError(w, http.StatusBadRequest, "reading spec: %v", err)
 		}
+		return nil, false
+	}
+	return body, true
+}
+
+// writeSubmitError maps a submission error onto its response; it
+// reports whether it wrote one.
+func (s *Server) writeSubmitError(w http.ResponseWriter, err error) bool {
+	switch {
+	case err == nil:
+		return false
+	case errors.Is(err, ErrQueueFull):
+		w.Header().Set("Retry-After", s.retrySeconds())
+		writeError(w, http.StatusTooManyRequests, "%v", err)
+	case errors.Is(err, ErrDraining):
+		w.Header().Set("Retry-After", s.retrySeconds())
+		writeError(w, http.StatusServiceUnavailable, "%v", err)
+	default:
+		writeError(w, http.StatusBadRequest, "%v", err)
+	}
+	return true
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	body, ok := readSpecBody(w, r)
+	if !ok {
 		return
 	}
 	st, err := s.Submit(body)
-	switch {
-	case err == nil:
-	case err == ErrQueueFull:
-		w.Header().Set("Retry-After", s.retrySeconds())
-		writeError(w, http.StatusTooManyRequests, "%v", err)
-		return
-	case err == ErrDraining:
-		w.Header().Set("Retry-After", s.retrySeconds())
-		writeError(w, http.StatusServiceUnavailable, "%v", err)
-		return
-	default:
-		writeError(w, http.StatusBadRequest, "%v", err)
+	if s.writeSubmitError(w, err) {
 		return
 	}
 	code := http.StatusAccepted
@@ -109,6 +128,23 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		code = http.StatusOK // cache hit: nothing left to wait for
 	}
 	writeJSON(w, code, st)
+}
+
+// handleSubmitExploration accepts an exploration spec and queues it as
+// a job. The response is always 202: explorations are never served
+// whole from cache — their probes are the cached unit — so there is
+// always a run to wait for. Poll, cancel, and fetch the report through
+// the job endpoints.
+func (s *Server) handleSubmitExploration(w http.ResponseWriter, r *http.Request) {
+	body, ok := readSpecBody(w, r)
+	if !ok {
+		return
+	}
+	st, err := s.SubmitExploration(body)
+	if s.writeSubmitError(w, err) {
+		return
+	}
+	writeJSON(w, http.StatusAccepted, st)
 }
 
 func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
@@ -200,11 +236,12 @@ func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
 
 // registryEntry is one name in the /v1/registry listing.
 type registryEntry struct {
-	Name      string          `json:"name"`
-	Desc      string          `json:"desc"`
-	Kind      string          `json:"kind,omitempty"`      // sources: voltage|power
-	UnifiedNV bool            `json:"unifiednv,omitempty"` // runtimes on unified-NV devices
-	Params    []registryParam `json:"params,omitempty"`
+	Name      string           `json:"name"`
+	Desc      string           `json:"desc"`
+	Kind      string           `json:"kind,omitempty"`      // sources: voltage|power
+	UnifiedNV bool             `json:"unifiednv,omitempty"` // runtimes on unified-NV devices
+	Params    []registryParam  `json:"params,omitempty"`
+	Metrics   []registryMetric `json:"metrics,omitempty"` // models: objectives explorations can target
 }
 
 // registryParam documents one tunable.
@@ -212,6 +249,25 @@ type registryParam struct {
 	Key     string  `json:"key"`
 	Default float64 `json:"default"`
 	Desc    string  `json:"desc,omitempty"`
+}
+
+// registryMetric documents one structured metric a model reports — the
+// objective vocabulary for exploration specs.
+type registryMetric struct {
+	Key  string `json:"key"`
+	Unit string `json:"unit,omitempty"`
+	Desc string `json:"desc,omitempty"`
+}
+
+func docMetrics(ms []scenario.MetricDoc) []registryMetric {
+	if len(ms) == 0 {
+		return nil
+	}
+	out := make([]registryMetric, len(ms))
+	for i, m := range ms {
+		out[i] = registryMetric{Key: m.Key, Unit: m.Unit, Desc: m.Desc}
+	}
+	return out
 }
 
 func docParams(ps []registry.ParamDoc) []registryParam {
@@ -232,7 +288,9 @@ func (s *Server) handleRegistry(w http.ResponseWriter, r *http.Request) {
 	var modelEntries []registryEntry
 	for _, n := range scenario.ModelNames() {
 		m, _ := scenario.LookupModel(n)
-		modelEntries = append(modelEntries, registryEntry{Name: n, Desc: m.Desc(), Params: docParams(m.Params())})
+		modelEntries = append(modelEntries, registryEntry{
+			Name: n, Desc: m.Desc(), Params: docParams(m.Params()), Metrics: docMetrics(m.Metrics()),
+		})
 	}
 	var workloads []registryEntry
 	for _, n := range programs.Names() {
@@ -297,5 +355,9 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(w, "ehsimd_peer_misses_total %d\n", m.PeerMisses)
 	fmt.Fprintf(w, "ehsimd_peer_errors_total %d\n", m.PeerErrors)
 	fmt.Fprintf(w, "ehsimd_peer_pushes_total %d\n", m.PeerPushes)
+	fmt.Fprintf(w, "ehsimd_explorations_done_total %d\n", m.ExplorationsDone)
+	fmt.Fprintf(w, "ehsimd_explore_probes_total %d\n", m.ExploreProbes)
+	fmt.Fprintf(w, "ehsimd_explore_cache_hits_total %d\n", m.ExploreCacheHits)
+	fmt.Fprintf(w, "ehsimd_explore_cache_misses_total %d\n", m.ExploreCacheMisses)
 	fmt.Fprintf(w, "ehsimd_sim_seconds_total %g\n", m.SimSeconds)
 }

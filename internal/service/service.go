@@ -27,6 +27,7 @@ import (
 	"time"
 
 	"repro/internal/cas"
+	"repro/internal/explore"
 	"repro/internal/result"
 	"repro/internal/scenario"
 	"repro/internal/sweep"
@@ -167,9 +168,10 @@ const (
 // mu) and the immutable identity fields.
 type job struct {
 	id   string
-	spec *scenario.Spec
-	hash string // spec content address
-	key  string // cache key: hash + engine version
+	spec *scenario.Spec // nil for exploration jobs
+	expl *explore.Spec  // non-nil for exploration jobs (explore.go)
+	hash string         // spec content address
+	key  string         // cache key: hash + engine version (unused by explorations)
 
 	state    JobState
 	cached   bool   // served without computing (any cache tier)
@@ -189,6 +191,7 @@ type job struct {
 // JobStatus is the JSON-facing snapshot of one job.
 type JobStatus struct {
 	ID     string   `json:"id"`
+	Kind   string   `json:"kind,omitempty"` // "exploration" for exploration jobs
 	State  JobState `json:"state"`
 	Spec   string   `json:"spec"`
 	Hash   string   `json:"hash"`
@@ -201,18 +204,24 @@ type JobStatus struct {
 }
 
 func (j *job) status() JobStatus {
-	return JobStatus{
+	st := JobStatus{
 		ID:     j.id,
 		State:  j.state,
-		Spec:   j.spec.Name,
 		Hash:   j.hash,
-		Sweep:  j.spec.HasSweep(),
 		Cached: j.cached,
 		Source: j.source,
 		Done:   j.done,
 		Total:  j.total,
 		Error:  j.errText,
 	}
+	if j.expl != nil {
+		st.Kind = KindExploration
+		st.Spec = j.expl.Name
+	} else {
+		st.Spec = j.spec.Name
+		st.Sweep = j.spec.HasSweep()
+	}
+	return st
 }
 
 // Metrics is a point-in-time snapshot of the server's counters.
@@ -245,6 +254,16 @@ type Metrics struct {
 	PeerMisses int64 // peer lookups answered "not cached"
 	PeerErrors int64 // peer operations that failed (down, slow, bad body)
 	PeerPushes int64 // computed results pushed to their owning peer
+
+	// Exploration subsystem (explore.go). Probes are the per-case
+	// evaluations an exploration strategy requested; each resolves
+	// either from a cache tier (hit — memory, single-flight ride, disk,
+	// or peer) or by computing locally (miss), so a repeated exploration
+	// shows pure hit growth here.
+	ExplorationsDone   int64 // exploration jobs completed successfully
+	ExploreProbes      int64 // probes resolved (hits + misses)
+	ExploreCacheHits   int64 // probes served without computing
+	ExploreCacheMisses int64 // probes computed on this node
 }
 
 // HitRatio returns hits/(hits+misses), or 0 before any submission.
@@ -285,6 +304,11 @@ type Server struct {
 	peerMisses int64
 	peerErrors int64
 	peerPushes int64
+
+	explorationsDone int64
+	exploreProbes    int64
+	exploreHits      int64
+	exploreMisses    int64
 
 	started  bool
 	workerWG sync.WaitGroup // queue workers
@@ -475,12 +499,13 @@ func (s *Server) markFinishedLocked(j *job) {
 
 // followersLocked counts single-flight followers: non-leader jobs still
 // waiting on their leader's computation. (A leader popped from pending
-// but not yet marked running is lead, so it never miscounts here.)
-// Callers hold s.mu.
+// but not yet marked running is lead, so it never miscounts here;
+// exploration jobs hold queue slots themselves and are never
+// followers.) Callers hold s.mu.
 func (s *Server) followersLocked() int {
 	n := 0
 	for _, j := range s.jobs {
-		if !j.lead && j.state == JobQueued {
+		if !j.lead && j.expl == nil && j.state == JobQueued {
 			n++
 		}
 	}
@@ -569,7 +594,11 @@ func (s *Server) worker() {
 		j := s.pending[0]
 		s.pending = s.pending[1:]
 		s.mu.Unlock()
-		s.runJob(j)
+		if j.expl != nil {
+			s.runExploration(j)
+		} else {
+			s.runJob(j)
+		}
 	}
 }
 
@@ -587,7 +616,7 @@ func (s *Server) runJob(j *job) {
 
 	// Cold tiers — outside s.mu: disk and network I/O must not stall
 	// submissions or polling.
-	if rep, src := s.fetchCold(j); rep != nil {
+	if rep, src := s.fetchCold(j.key, j.hash, j.cancel); rep != nil {
 		s.mu.Lock()
 		defer s.mu.Unlock()
 		if j.state != JobRunning {
@@ -659,23 +688,33 @@ func (s *Server) runJob(j *job) {
 	// Replicate to the owning peer (best-effort, bounded by the peer
 	// timeout) so the ring converges: the next lookup for this hash on
 	// any node finds it at its owner.
-	if err == nil && s.peers != nil {
-		if owner := s.peers.owner(j.hash); owner != s.peers.self {
-			if pushErr := s.peers.push(owner, j.hash, rep); pushErr == nil {
-				s.addPeerCounts(func() { s.peerPushes++ })
-			} else {
-				s.addPeerCounts(func() { s.peerErrors++ })
-			}
+	if err == nil {
+		s.pushToOwner(j.hash, rep)
+	}
+}
+
+// pushToOwner replicates a computed report to the hash's owning peer,
+// if that peer is not this node. Best-effort, bounded by the peer
+// timeout; callers must not hold s.mu.
+func (s *Server) pushToOwner(hash string, rep *result.Report) {
+	if s.peers == nil {
+		return
+	}
+	if owner := s.peers.owner(hash); owner != s.peers.self {
+		if pushErr := s.peers.push(owner, hash, rep); pushErr == nil {
+			s.addPeerCounts(func() { s.peerPushes++ })
+		} else {
+			s.addPeerCounts(func() { s.peerErrors++ })
 		}
 	}
 }
 
-// fetchCold consults the cold cache tiers for a leader job's key: the
-// disk CAS, then the owning peer. It returns a decoded report and its
-// provenance, or nil to compute locally.
-func (s *Server) fetchCold(j *job) (*result.Report, string) {
+// fetchCold consults the cold cache tiers for a leader's key: the disk
+// CAS, then the owning peer. It returns a decoded report and its
+// provenance, or nil to compute locally. Callers must not hold s.mu.
+func (s *Server) fetchCold(key, hash string, cancel chan struct{}) (*result.Report, string) {
 	if s.cfg.CAS != nil {
-		if data, ok := s.cfg.CAS.Get(j.key); ok {
+		if data, ok := s.cfg.CAS.Get(key); ok {
 			if rep, err := result.DecodeReport(data); err == nil {
 				s.addPeerCounts(func() { s.diskHits++ })
 				return rep, SourceDisk
@@ -687,8 +726,8 @@ func (s *Server) fetchCold(j *job) (*result.Report, string) {
 		}
 	}
 	if s.peers != nil {
-		if owner := s.peers.owner(j.hash); owner != s.peers.self {
-			rep, err := s.peers.lookup(owner, j.hash, j.cancel)
+		if owner := s.peers.owner(hash); owner != s.peers.self {
+			rep, err := s.peers.lookup(owner, hash, cancel)
 			switch {
 			case rep != nil:
 				s.addPeerCounts(func() { s.peerHits++ })
@@ -696,7 +735,7 @@ func (s *Server) fetchCold(j *job) (*result.Report, string) {
 				// restarts too.
 				if s.cfg.CAS != nil {
 					if data, encErr := result.EncodeReport(rep); encErr == nil {
-						s.cfg.CAS.Put(j.key, data)
+						s.cfg.CAS.Put(key, data)
 					}
 				}
 				return rep, SourcePeer
@@ -843,6 +882,11 @@ func (s *Server) Metrics() Metrics {
 		PeerMisses:    s.peerMisses,
 		PeerErrors:    s.peerErrors,
 		PeerPushes:    s.peerPushes,
+
+		ExplorationsDone:   s.explorationsDone,
+		ExploreProbes:      s.exploreProbes,
+		ExploreCacheHits:   s.exploreHits,
+		ExploreCacheMisses: s.exploreMisses,
 	}
 	for _, j := range s.jobs {
 		if j.state == JobRunning {

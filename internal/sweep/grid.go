@@ -2,6 +2,7 @@ package sweep
 
 import (
 	"fmt"
+	"math"
 	"strings"
 )
 
@@ -80,16 +81,36 @@ func (g *Grid) Bools(name string, values ...bool) *Grid {
 	return g.Axis(name, vs...)
 }
 
-// Size returns the number of cases the cross product expands to.
+// Size returns the number of cases the cross product expands to. It
+// panics if the product overflows int — callers handling untrusted or
+// machine-generated axes should use SizeChecked instead.
 func (g *Grid) Size() int {
-	n := 1
-	for _, a := range g.axes {
-		n *= len(a.values)
-	}
-	if len(g.axes) == 0 {
-		return 0
+	n, err := g.SizeChecked()
+	if err != nil {
+		panic("sweep: " + err.Error())
 	}
 	return n
+}
+
+// SizeChecked returns the number of cases the cross product expands to,
+// or an error when the per-axis product overflows int. Before this
+// check existed the multiplication wrapped silently, so a pathological
+// grid (say five axes of 100k values) could report a small, or even
+// negative, size and make every index-based consumer miscount.
+func (g *Grid) SizeChecked() (int, error) {
+	if len(g.axes) == 0 {
+		return 0, nil
+	}
+	n := 1
+	for _, a := range g.axes {
+		k := len(a.values)
+		if k != 0 && n > math.MaxInt/k {
+			return 0, fmt.Errorf("grid size overflows int: %d axes, product exceeds %d cases at axis %q",
+				len(g.axes), math.MaxInt, a.name)
+		}
+		n *= k
+	}
+	return n, nil
 }
 
 // Cases expands the cross product into cases (seeds derived from base 0).
@@ -97,30 +118,46 @@ func (g *Grid) Size() int {
 // inspect or schedule the expansion themselves.
 func (g *Grid) Cases() []Case { return g.cases(0) }
 
+// CaseAt returns case i of the cross product without materialising the
+// other cases: the row-major decode is O(axes), so a caller can stream a
+// huge grid one case at a time in bounded memory. It is equivalent to
+// Cases()[i] (same name, seed, and values) and panics when i is outside
+// [0, Size()).
+func (g *Grid) CaseAt(i int) Case { return g.caseAt(0, i) }
+
+// caseAt builds case i with a per-case seed derived from base.
+func (g *Grid) caseAt(base int64, i int) Case {
+	n := g.Size()
+	if i < 0 || i >= n {
+		panic(fmt.Sprintf("sweep: CaseAt(%d) out of range for a grid of %d cases", i, n))
+	}
+	vals := make(map[string]any, len(g.axes))
+	var name strings.Builder
+	rem := i
+	// Row-major: decode from the fastest (last) axis upward, then
+	// render the name in declaration order.
+	idx := make([]int, len(g.axes))
+	for a := len(g.axes) - 1; a >= 0; a-- {
+		k := len(g.axes[a].values)
+		idx[a] = rem % k
+		rem /= k
+	}
+	for a, ax := range g.axes {
+		vals[ax.name] = ax.values[idx[a]]
+		if a > 0 {
+			name.WriteByte('/')
+		}
+		fmt.Fprintf(&name, "%s=%s", ax.name, ax.labels[idx[a]])
+	}
+	return Case{Index: i, Name: name.String(), Seed: caseSeed(base, i), Values: vals}
+}
+
 // cases expands the grid with per-case seeds derived from base.
 func (g *Grid) cases(base int64) []Case {
 	n := g.Size()
 	out := make([]Case, 0, n)
 	for i := 0; i < n; i++ {
-		vals := make(map[string]any, len(g.axes))
-		var name strings.Builder
-		rem := i
-		// Row-major: decode from the fastest (last) axis upward, then
-		// render the name in declaration order.
-		idx := make([]int, len(g.axes))
-		for a := len(g.axes) - 1; a >= 0; a-- {
-			k := len(g.axes[a].values)
-			idx[a] = rem % k
-			rem /= k
-		}
-		for a, ax := range g.axes {
-			vals[ax.name] = ax.values[idx[a]]
-			if a > 0 {
-				name.WriteByte('/')
-			}
-			fmt.Fprintf(&name, "%s=%s", ax.name, ax.labels[idx[a]])
-		}
-		out = append(out, Case{Index: i, Name: name.String(), Seed: caseSeed(base, i), Values: vals})
+		out = append(out, g.caseAt(base, i))
 	}
 	return out
 }

@@ -9,7 +9,7 @@
 //	GET    /v1/jobs/{id}          poll status and progress
 //	DELETE /v1/jobs/{id}          cancel
 //	GET    /v1/jobs/{id}/result   the report (byte-identical to ehsim -scenario)
-//	GET    /v1/jobs/{id}/trace    the V_CC trace, streamed as chunked CSV
+//	GET    /v1/jobs/{id}/trace    the V_CC trace (full chunked CSV, or ?from=&to=&points= for a decimated window)
 //	POST   /v1/batches            submit N specs; completions stream back as NDJSON
 //	GET    /v1/cache/{hash}       peer cache lookup (encoded result blob)
 //	PUT    /v1/cache/{hash}       peer cache push (replication to the hash's owner)
@@ -22,8 +22,12 @@
 // cache before computing, and computed results replicate to their
 // owner.
 //
-// On SIGINT/SIGTERM the daemon stops accepting work, finishes every
-// accepted job, and exits.
+// On SIGINT/SIGTERM the daemon stops accepting work and drains. With
+// -cache-dir, running jobs are checkpointed to <cache-dir>/checkpoints
+// instead of discarded: the next boot with the same -cache-dir resumes
+// them from the saved engine state and the finished result is
+// byte-identical to an uninterrupted run. Without a cache dir, accepted
+// jobs run to completion before exit.
 //
 // Usage:
 //
@@ -41,6 +45,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"strings"
 	"syscall"
 	"time"
@@ -97,11 +102,17 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	}
 
 	var store *cas.Store
+	var ckpts *service.CheckpointStore
 	if *cacheDir != "" {
 		var err error
 		store, err = cas.Open(*cacheDir, cas.Options{BudgetBytes: *cacheBytes})
 		if err != nil {
 			fmt.Fprintf(stderr, "ehsimd: opening cache dir: %v\n", err)
+			return 1
+		}
+		ckpts, err = service.OpenCheckpointStore(filepath.Join(*cacheDir, "checkpoints"))
+		if err != nil {
+			fmt.Fprintf(stderr, "ehsimd: opening checkpoint store: %v\n", err)
 			return 1
 		}
 	}
@@ -111,6 +122,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		JobWorkers:   *jobs,
 		SweepWorkers: *workers,
 		CAS:          store,
+		Checkpoints:  ckpts,
 		SelfURL:      strings.TrimRight(*self, "/"),
 		Peers:        peers,
 		PeerTimeout:  *peerTimeout,
@@ -124,6 +136,16 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	fmt.Fprintf(stdout, "ehsimd: listening on %s (queue=%d, jobs=%d)\n", ln.Addr(), *queue, *jobs)
 	if store != nil {
 		fmt.Fprintf(stdout, "ehsimd: disk cache at %s (%d entries resident, budget %d bytes)\n", *cacheDir, store.Len(), *cacheBytes)
+	}
+	if ckpts != nil {
+		// Resume off the serving path: each checkpoint is resubmitted
+		// through the normal queue, so boot stays fast and resumed jobs
+		// respect the same concurrency bounds as fresh ones.
+		go func() {
+			if n := svc.ResumeCheckpoints(ctx); n > 0 {
+				fmt.Fprintf(stdout, "ehsimd: resumed %d checkpointed job(s)\n", n)
+			}
+		}()
 	}
 	if len(peers) > 0 {
 		fmt.Fprintf(stdout, "ehsimd: federated as %s with %d peer(s)\n", *self, len(peers))

@@ -114,24 +114,61 @@ func (r Result) WorstWindow() float64 {
 }
 
 // Simulate runs the node for duration seconds with the given integration
-// step and eq. (1) evaluation window (typically 24 h).
+// step and eq. (1) evaluation window (typically 24 h). It is a chunked
+// wrapper over Sim, preserving the historical abort cadence: the Abort
+// channel is polled every 1024 steps, and an aborted run returns the
+// partial Result with Aborted set.
 func (n *Node) Simulate(duration, dt, window float64) Result {
-	var res Result
-	var winH, winC, winT float64
-	var ctlH, ctlT float64
-	nextCtrl := n.CtrlPeriod
-	step := 0
-	for t := 0.0; t < duration; t += dt {
-		if n.Abort != nil && step%1024 == 0 {
+	sim := NewSim(n, duration, dt, window)
+	for !sim.Done() {
+		if n.Abort != nil {
 			select {
 			case <-n.Abort:
+				res := sim.res
 				res.Aborted = true
 				res.FinalSoC = n.Storage.SoC
 				return res
 			default:
 			}
 		}
-		step++
+		sim.Step(1024)
+	}
+	return sim.Result()
+}
+
+// Sim is a resumable stepper over the same integration loop as Simulate:
+// it advances in bounded chunks so a caller can interleave cancellation
+// checks or capture a checkpoint between chunks, and its full state is
+// exposed through State/Restore. The step-by-step arithmetic is identical
+// to an uninterrupted run, so a restored Sim produces bit-identical
+// results.
+type Sim struct {
+	n                    *Node
+	duration, dt, window float64
+
+	t                float64
+	winH, winC, winT float64
+	ctlH, ctlT       float64
+	nextCtrl         float64
+	res              Result
+}
+
+// NewSim prepares a stepper for n over duration seconds at step dt with
+// the eq. (1) window.
+func NewSim(n *Node, duration, dt, window float64) *Sim {
+	return &Sim{n: n, duration: duration, dt: dt, window: window, nextCtrl: n.CtrlPeriod}
+}
+
+// Done reports whether the integration loop has covered the duration.
+func (s *Sim) Done() bool { return !(s.t < s.duration) }
+
+// Step advances up to maxSteps integration steps (all remaining when
+// maxSteps ≤ 0).
+func (s *Sim) Step(maxSteps int) {
+	n := s.n
+	dt := s.dt
+	for k := 0; (maxSteps <= 0 || k < maxSteps) && s.t < s.duration; k++ {
+		t := s.t
 		ph := n.Harvest.Power(t)
 		eh := ph * dt
 		spill := n.Storage.Charge(eh)
@@ -144,47 +181,107 @@ func (n *Node) Simulate(duration, dt, window float64) Result {
 		ec := pc * dt
 		got := n.Storage.Discharge(ec)
 		if !n.dead {
-			res.ActiveSec += n.Duty * dt
+			s.res.ActiveSec += n.Duty * dt
 		}
 		if got < ec*0.999 && !n.dead {
 			// Storage could not supply the demand: eq. (2) violated.
 			n.dead = true
-			res.Violations++
+			s.res.Violations++
 		}
 		if n.dead {
-			res.DowntimeSec += dt
+			s.res.DowntimeSec += dt
 		}
 
-		res.HarvestedJ += eh
-		res.ConsumedJ += got
-		winH += eh
-		winC += got
-		winT += dt
-		ctlH += eh
-		ctlT += dt
+		s.res.HarvestedJ += eh
+		s.res.ConsumedJ += got
+		s.winH += eh
+		s.winC += got
+		s.winT += dt
+		s.ctlH += eh
+		s.ctlT += dt
 
-		if winT >= window {
-			if winH > 0 {
-				res.Windows = append(res.Windows, math.Abs(winH-winC)/winH)
+		if s.winT >= s.window {
+			if s.winH > 0 {
+				s.res.Windows = append(s.res.Windows, math.Abs(s.winH-s.winC)/s.winH)
 			}
-			winH, winC, winT = 0, 0, 0
+			s.winH, s.winC, s.winT = 0, 0, 0
 		}
-		if n.Controller != nil && t >= nextCtrl {
+		if n.Controller != nil && t >= s.nextCtrl {
 			mean := 0.0
-			if ctlT > 0 {
-				mean = ctlH / ctlT
+			if s.ctlT > 0 {
+				mean = s.ctlH / s.ctlT
 			}
 			n.Duty = clamp(n.Controller.Adjust(n, t, mean), n.DutyMin, n.DutyMax)
-			res.DutyTrace = append(res.DutyTrace, n.Duty)
-			ctlH, ctlT = 0, 0
-			nextCtrl = t + n.CtrlPeriod
+			s.res.DutyTrace = append(s.res.DutyTrace, n.Duty)
+			s.ctlH, s.ctlT = 0, 0
+			s.nextCtrl = t + n.CtrlPeriod
 		}
 		if n.Observe != nil {
 			n.Observe(t, n.Storage.SoC, n.Duty, n.dead)
 		}
+		s.t += dt
 	}
-	res.FinalSoC = n.Storage.SoC
+}
+
+// Result finalises and returns the run summary. Call after Done.
+func (s *Sim) Result() Result {
+	res := s.res
+	res.FinalSoC = s.n.Storage.SoC
 	return res
+}
+
+// SimState is the complete serialisable state of a Sim plus the mutable
+// node state the loop evolves: clock, windows, accumulators, battery
+// SoC, duty cycle, liveness, and the Kansal controller's harvest
+// estimate (nil for other controllers).
+type SimState struct {
+	T                float64
+	WinH, WinC, WinT float64
+	CtlH, CtlT       float64
+	NextCtrl         float64
+	Res              Result
+
+	SoC         float64
+	ThroughputJ float64
+	Duty        float64
+	Dead        bool
+	Kansal      *float64 // KansalController.estimateW, when in use
+}
+
+// State captures the stepper for later Restore.
+func (s *Sim) State() SimState {
+	st := SimState{
+		T: s.t, WinH: s.winH, WinC: s.winC, WinT: s.winT,
+		CtlH: s.ctlH, CtlT: s.ctlT, NextCtrl: s.nextCtrl,
+		Res:         s.res,
+		SoC:         s.n.Storage.SoC,
+		ThroughputJ: s.n.Storage.ThroughputJ,
+		Duty:        s.n.Duty,
+		Dead:        s.n.dead,
+	}
+	if k, ok := s.n.Controller.(*KansalController); ok {
+		est := k.estimateW
+		st.Kansal = &est
+	}
+	return st
+}
+
+// Restore rewinds the stepper and its node to a captured state. The node
+// must have been rebuilt identically to the one that produced the state
+// (same parameters, sources, and controller type).
+func (s *Sim) Restore(st SimState) {
+	s.t = st.T
+	s.winH, s.winC, s.winT = st.WinH, st.WinC, st.WinT
+	s.ctlH, s.ctlT = st.CtlH, st.CtlT
+	s.nextCtrl = st.NextCtrl
+	s.res = st.Res
+	s.n.Storage.SoC = st.SoC
+	s.n.Storage.ThroughputJ = st.ThroughputJ
+	s.n.Duty = st.Duty
+	s.n.dead = st.Dead
+	if k, ok := s.n.Controller.(*KansalController); ok && st.Kansal != nil {
+		k.estimateW = *st.Kansal
+	}
 }
 
 func clamp(v, lo, hi float64) float64 {

@@ -248,7 +248,7 @@ func TestObserveFeedsOnTickAndRecorder(t *testing.T) {
 	}
 	for _, name := range []string{"vcc", "freq", "mode"} {
 		series := rec.Series(name)
-		if series == nil || len(series.Points) == 0 {
+		if series == nil || series.Len() == 0 {
 			t.Errorf("series %q not recorded", name)
 		}
 	}

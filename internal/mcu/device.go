@@ -128,8 +128,12 @@ type Stats struct {
 type AuxState interface {
 	// Capture serialises the present state.
 	Capture() []byte
-	// Restore applies a previously captured state.
-	Restore(data []byte)
+	// Restore applies a previously captured state. A payload that does
+	// not match the implementation's Capture layout must be rejected
+	// with an error and leave the state untouched — a half-applied
+	// restore is exactly the silent-corruption failure mode snapshots
+	// exist to prevent.
+	Restore(data []byte) error
 	// Reset returns the state to its power-on defaults.
 	Reset()
 }

@@ -552,6 +552,9 @@ type fakeAux struct {
 	wasReset bool
 }
 
-func (f *fakeAux) Capture() []byte  { out := make([]byte, len(f.state)); copy(out, f.state); return out }
-func (f *fakeAux) Restore(d []byte) { f.state = append([]byte(nil), d...) }
-func (f *fakeAux) Reset()           { f.wasReset = true; f.state = []byte{0} }
+func (f *fakeAux) Capture() []byte { out := make([]byte, len(f.state)); copy(out, f.state); return out }
+func (f *fakeAux) Restore(d []byte) error {
+	f.state = append([]byte(nil), d...)
+	return nil
+}
+func (f *fakeAux) Reset() { f.wasReset = true; f.state = []byte{0} }

@@ -243,7 +243,13 @@ func (d *Device) applySnapshot(payload []byte) {
 		off += sramLen
 	}
 	if auxLen > 0 && d.Aux != nil {
-		d.Aux.Restore(payload[off : off+auxLen])
+		if err := d.Aux.Restore(payload[off : off+auxLen]); err != nil {
+			// A corrupt aux section must not resume with half-applied
+			// peripheral state. Restore guarantees no mutation on error,
+			// but make the outcome explicit: power-on defaults, the same
+			// state a peripheral-naive runtime resumes with.
+			d.Aux.Reset()
+		}
 	}
 }
 

@@ -23,63 +23,134 @@ type SimResult struct {
 // rate; steps whose budget cannot fit even the cheapest point render
 // nothing (the board must buffer or power down).
 func (s *Selector) Simulate(budget func(t float64) float64, duration, dt float64) SimResult {
-	var res SimResult
-	var sumFPS, sumBudget, sumUsed, sumUtil float64
-	utilSamples := 0
-	lastPoint := -1
-	steps := int(math.Round(duration / dt))
-	for i := 0; i < steps; i++ {
-		if s.Abort != nil && i%1024 == 0 {
+	sim := NewSim(s, budget, duration, dt)
+	for !sim.Done() {
+		if s.Abort != nil {
 			select {
 			case <-s.Abort:
+				res := sim.res
 				res.Aborted = true
 				return res
 			default:
 			}
 		}
-		t := float64(i) * dt
-		w := budget(t)
-		res.MaxSustainedW = math.Max(res.MaxSustainedW, w)
-		sumBudget += w
+		sim.Step(1024)
+	}
+	return sim.Result()
+}
+
+// Sim is a resumable stepper over the same control loop as Simulate: it
+// advances in bounded chunks so a caller can interleave cancellation
+// checks or capture a checkpoint between chunks, with its full state
+// exposed through State/Restore. The per-step arithmetic is identical
+// to an uninterrupted run.
+type Sim struct {
+	s      *Selector
+	budget func(t float64) float64
+	dt     float64
+	steps  int
+
+	i                                   int
+	sumFPS, sumBudget, sumUsed, sumUtil float64
+	utilSamples                         int
+	lastPoint                           int
+	res                                 SimResult
+}
+
+// NewSim prepares a stepper for the selector against the budget over
+// duration seconds at control step dt.
+func NewSim(s *Selector, budget func(t float64) float64, duration, dt float64) *Sim {
+	return &Sim{s: s, budget: budget, dt: dt, steps: int(math.Round(duration / dt)), lastPoint: -1}
+}
+
+// Done reports whether every control step has run.
+func (m *Sim) Done() bool { return m.i >= m.steps }
+
+// Step advances up to maxSteps control steps (all remaining when
+// maxSteps ≤ 0).
+func (m *Sim) Step(maxSteps int) {
+	s := m.s
+	for k := 0; (maxSteps <= 0 || k < maxSteps) && m.i < m.steps; k++ {
+		i := m.i
+		t := float64(i) * m.dt
+		w := m.budget(t)
+		m.res.MaxSustainedW = math.Max(m.res.MaxSustainedW, w)
+		m.sumBudget += w
 		op, ok := s.Pick(w)
 		if s.Observe != nil {
 			s.Observe(t, w, op, ok)
 		}
+		m.i++
 		if !ok {
-			res.Starved++
-			if lastPoint != -1 {
-				res.Switches++
-				lastPoint = -1
+			m.res.Starved++
+			if m.lastPoint != -1 {
+				m.res.Switches++
+				m.lastPoint = -1
 			}
 			continue
 		}
 		// Identify the frontier index for switch counting.
 		idx := s.frontierIndex(op)
-		if idx != lastPoint {
-			if lastPoint != -2 { // not first step
-				res.Switches++
+		if idx != m.lastPoint {
+			if m.lastPoint != -2 { // not first step
+				m.res.Switches++
 			}
-			lastPoint = idx
+			m.lastPoint = idx
 		}
-		res.Frames += op.FPS * dt
-		sumFPS += op.FPS
-		sumUsed += op.PowerW
-		sumUtil += op.PowerW / math.Max(w, 1e-9)
-		utilSamples++
+		m.res.Frames += op.FPS * m.dt
+		m.sumFPS += op.FPS
+		m.sumUsed += op.PowerW
+		m.sumUtil += op.PowerW / math.Max(w, 1e-9)
+		m.utilSamples++
 	}
-	res.Steps = steps
-	if steps > 0 {
-		res.MeanFPS = sumFPS / float64(steps)
-		res.MeanBudgetW = sumBudget / float64(steps)
-		res.MeanUsedW = sumUsed / float64(steps)
+}
+
+// Result finalises and returns the run summary. Call after Done.
+func (m *Sim) Result() SimResult {
+	res := m.res
+	res.Steps = m.steps
+	if m.steps > 0 {
+		res.MeanFPS = m.sumFPS / float64(m.steps)
+		res.MeanBudgetW = m.sumBudget / float64(m.steps)
+		res.MeanUsedW = m.sumUsed / float64(m.steps)
 	}
-	if utilSamples > 0 {
-		res.Utilization = sumUtil / float64(utilSamples)
+	if m.utilSamples > 0 {
+		res.Utilization = m.sumUtil / float64(m.utilSamples)
 	}
 	if res.Switches > 0 {
 		res.Switches-- // the first selection is not a switch
 	}
 	return res
+}
+
+// SimState is the complete serialisable state of a Sim: the step cursor,
+// the running accumulators, and the partial result. The selector itself
+// is stateless between steps (Pick is a pure function of the budget), so
+// no selector state is captured.
+type SimState struct {
+	I                                   int
+	SumFPS, SumBudget, SumUsed, SumUtil float64
+	UtilSamples                         int
+	LastPoint                           int
+	Res                                 SimResult
+}
+
+// State captures the stepper for later Restore.
+func (m *Sim) State() SimState {
+	return SimState{
+		I: m.i, SumFPS: m.sumFPS, SumBudget: m.sumBudget,
+		SumUsed: m.sumUsed, SumUtil: m.sumUtil,
+		UtilSamples: m.utilSamples, LastPoint: m.lastPoint, Res: m.res,
+	}
+}
+
+// Restore rewinds the stepper to a captured state.
+func (m *Sim) Restore(st SimState) {
+	m.i = st.I
+	m.sumFPS, m.sumBudget, m.sumUsed, m.sumUtil = st.SumFPS, st.SumBudget, st.SumUsed, st.SumUtil
+	m.utilSamples = st.UtilSamples
+	m.lastPoint = st.LastPoint
+	m.res = st.Res
 }
 
 // frontierIndex locates op in the frontier by power (unique per point).

@@ -25,7 +25,10 @@
 //	0x12  RAD_TX     write: transmit one byte (dropped if unconfigured)
 package periph
 
-import "math"
+import (
+	"fmt"
+	"math"
+)
 
 // Register offsets.
 const (
@@ -85,10 +88,18 @@ func (b *Bank) Capture() []byte {
 	}
 }
 
-// Restore implements mcu.AuxState.
-func (b *Bank) Restore(data []byte) {
-	if len(data) < 7 {
-		return
+// bankStateLen is the exact Capture payload size: five registers plus
+// the 16-bit sequencer.
+const bankStateLen = 7
+
+// Restore implements mcu.AuxState. Anything but an exact Capture
+// payload — truncated or oversized — is rejected without touching the
+// register file: a trailing-garbage payload accepted leniently would
+// mask a framing bug in the snapshot codec, and a partial apply would
+// be the silent peripheral corruption this package exists to model.
+func (b *Bank) Restore(data []byte) error {
+	if len(data) != bankStateLen {
+		return fmt.Errorf("periph: aux payload is %d bytes, want %d", len(data), bankStateLen)
 	}
 	b.adcCtrl = data[0]
 	b.adcGain = data[1]
@@ -96,6 +107,7 @@ func (b *Bank) Restore(data []byte) {
 	b.radCfg = data[3]
 	b.radPwr = data[4]
 	b.seq = uint16(data[5]) | uint16(data[6])<<8
+	return nil
 }
 
 // RawSample returns the deterministic underlying sensor value for a given

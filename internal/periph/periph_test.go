@@ -71,7 +71,9 @@ func TestAuxStateRoundTrip(t *testing.T) {
 	if b.ReadReg(RegADCGain) != 1 {
 		t.Fatal("reset did not restore defaults")
 	}
-	b.Restore(snap)
+	if err := b.Restore(snap); err != nil {
+		t.Fatalf("restoring a Capture payload: %v", err)
+	}
 	if b.ReadReg(RegADCGain) != 7 || b.ReadReg(RegADCChan) != 3 ||
 		b.ReadReg(RegRadCfg) != RadioMagic {
 		t.Error("restore lost register state")
@@ -80,8 +82,40 @@ func TestAuxStateRoundTrip(t *testing.T) {
 	if got := b.ReadReg(RegADCData); got != 7*RawSample(3, 2) {
 		t.Errorf("post-restore sample = %d, want %d", got, 7*RawSample(3, 2))
 	}
-	// Short restores are ignored, not panics.
-	b.Restore([]byte{1, 2})
+}
+
+func TestRestoreRejectsMalformedPayloads(t *testing.T) {
+	b := NewBank()
+	b.WriteReg(RegADCCtrl, 1)
+	b.WriteReg(RegADCGain, 7)
+	b.WriteReg(RegADCChan, 3)
+	b.WriteReg(RegRadCfg, RadioMagic)
+	b.ReadReg(RegADCData) // seq = 1
+	want := b.Capture()
+
+	bad := [][]byte{
+		nil,
+		{},
+		{1, 2}, // truncated
+		make([]byte, bankStateLen-1),
+		make([]byte, bankStateLen+1), // trailing garbage
+		make([]byte, 64),
+	}
+	for _, payload := range bad {
+		if err := b.Restore(payload); err == nil {
+			t.Errorf("Restore accepted a %d-byte payload", len(payload))
+		}
+		// A rejected restore must not have touched any register: the
+		// bank still captures to exactly the pre-call state.
+		if got := b.Capture(); string(got) != string(want) {
+			t.Fatalf("failed restore mutated state: % x -> % x (payload %d bytes)",
+				want, got, len(payload))
+		}
+	}
+	// The exact Capture length still restores.
+	if err := b.Restore(want); err != nil {
+		t.Fatalf("round-trip after rejections: %v", err)
+	}
 }
 
 func TestExpectedSumReference(t *testing.T) {

@@ -1,21 +1,27 @@
 package result
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
+
+	"repro/internal/trace"
 )
 
 // codecVersion frames the serialised report format. Bump it when the
 // wire struct changes shape; decoders reject other versions so a stale
 // blob can never be half-read into the wrong fields. v2 added per-case
 // structured metrics, which the design-space explorer reads off cached
-// reports — v1 blobs decode as misses and recompute.
-const codecVersion = 2
+// reports; v3 replaced the rendered trace CSV with the columnar trace
+// blob, so disk- and peer-served reports answer windowed trace queries
+// without a recompute — older blobs decode as misses.
+const codecVersion = 3
 
 // wireReport is the persisted/transferred form of a Report — the disk
 // CAS blob payload and the peer cache-transfer body. It carries the
-// rendered artifacts the service contract is about (Text, TraceCSV —
-// both served verbatim, byte for byte) plus the metadata the job and
+// rendered artifacts the service contract is about (Text served
+// verbatim, byte for byte; the trace as the columnar blob the CSV is
+// deterministically re-rendered from) plus the metadata the job and
 // exploration layers need: hash, sweep flag, and per-case name +
 // structured metrics. Raw lab.Result fields stay unpersisted — every
 // number worth caching is in the metrics map by the model contract.
@@ -27,7 +33,12 @@ type wireReport struct {
 	Text       string     `json:"text"`
 	SimSeconds float64    `json:"sim_seconds"`
 	Cases      []wireCase `json:"cases,omitempty"`
-	TraceCSV   []byte     `json:"trace_csv,omitempty"`
+
+	// Trace is the columnar trace blob (trace.EncodeRecorder); TraceCSV
+	// is the legacy fallback for reports that carry rendered CSV without
+	// a live recorder. At most one is set.
+	Trace    []byte `json:"trace,omitempty"`
+	TraceCSV []byte `json:"trace_csv,omitempty"`
 }
 
 // wireCase is one persisted case: its display name and its structured
@@ -46,7 +57,11 @@ func EncodeReport(rep *Report) ([]byte, error) {
 		Sweep:      rep.Sweep,
 		Text:       rep.Text,
 		SimSeconds: rep.SimSeconds,
-		TraceCSV:   rep.TraceCSV,
+	}
+	if rep.Trace != nil {
+		w.Trace = trace.EncodeRecorder(rep.Trace)
+	} else {
+		w.TraceCSV = rep.TraceCSV
 	}
 	for _, c := range rep.Cases {
 		w.Cases = append(w.Cases, wireCase{Name: c.Name, Metrics: c.Metrics})
@@ -82,6 +97,21 @@ func DecodeReport(data []byte) (*Report, error) {
 		SimSeconds: w.SimSeconds,
 		TraceCSV:   w.TraceCSV,
 		Cases:      make([]CaseResult, len(w.Cases)),
+	}
+	if w.Trace != nil {
+		rec, err := trace.DecodeRecorder(w.Trace)
+		if err != nil {
+			return nil, fmt.Errorf("result: decoding report trace: %w", err)
+		}
+		rep.Trace = rec
+		// Re-render the CSV the byte-identity contract serves: the
+		// columnar codec round-trips the recorder losslessly, so the
+		// rendering matches the original byte for byte.
+		var tb bytes.Buffer
+		if err := WriteTrace(&tb, rec, w.SpecHash); err != nil {
+			return nil, err
+		}
+		rep.TraceCSV = tb.Bytes()
 	}
 	for i, c := range w.Cases {
 		rep.Cases[i] = CaseResult{Name: c.Name, Metrics: c.Metrics}

@@ -44,6 +44,22 @@ func TestReportCodecRoundTripsServedArtifacts(t *testing.T) {
 	if !bytes.Equal(got.TraceCSV, rep.TraceCSV) {
 		t.Error("TraceCSV diverged across the codec")
 	}
+	// v3 persists the columnar recorder itself, so cache-served reports
+	// answer windowed trace queries without a recompute — and the
+	// decoded recorder must window identically to the original.
+	if got.Trace == nil {
+		t.Fatal("decoded report lost its columnar trace")
+	}
+	var a, b strings.Builder
+	if err := rep.Trace.WriteWindowCSV(&a, 0, 1, 16); err != nil {
+		t.Fatal(err)
+	}
+	if err := got.Trace.WriteWindowCSV(&b, 0, 1, 16); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Error("windowed rendering diverged across the codec")
+	}
 	if got.SpecHash != rep.SpecHash || got.Sweep != rep.Sweep || got.SimSeconds != rep.SimSeconds {
 		t.Errorf("metadata diverged: %+v vs %+v", got, rep)
 	}

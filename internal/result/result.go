@@ -66,6 +66,11 @@ type Options struct {
 	// interrupts the stepping loop of cases already running, so even
 	// long single runs cancel promptly.
 	Cancel <-chan struct{}
+
+	// Checkpoint, if non-nil, suspends the run when closed: RunSpec
+	// returns *scenario.CheckpointError carrying a resumable state
+	// envelope for ResumeSpec. Cancel wins when both have fired.
+	Checkpoint <-chan struct{}
 }
 
 // CaseResult pairs one executed case with its name. Result carries the
@@ -104,30 +109,59 @@ type Report struct {
 	// first grid case's), serialised by WriteTrace: a spec-hash header
 	// comment, then CSV.
 	TraceCSV []byte
+
+	// Trace is the live recorder behind TraceCSV — the columnar store
+	// windowed trace queries run against (trace.Window); nil when the
+	// run captured no trace.
+	Trace *trace.Recorder
 }
 
-// RunSpec executes a validated spec — a single run without sweep axes, a
-// parallel grid sweep with them — through its scenario model and
-// renders its report.
-func RunSpec(sp *scenario.Spec, opts Options) (*Report, error) {
-	hash, err := sp.Hash()
-	if err != nil {
-		return nil, err
-	}
-	m, err := scenario.LookupModel(sp.ModelName())
-	if err != nil {
-		return nil, fmt.Errorf("scenario %q: %w", sp.Name, err)
-	}
-	mr, err := m.Run(sp, scenario.RunOptions{
+// runOptions maps the package's options onto the scenario driver's.
+func runOptions(opts Options) scenario.RunOptions {
+	return scenario.RunOptions{
 		Workers:       opts.Workers,
 		Trace:         opts.Trace,
 		TraceInterval: opts.TraceInterval,
 		Progress:      opts.Progress,
 		Cancel:        opts.Cancel,
-	})
+		Checkpoint:    opts.Checkpoint,
+	}
+}
+
+// RunSpec executes a validated spec — a single run without sweep axes, a
+// parallel grid sweep with them — through its scenario model's engine
+// and renders its report.
+func RunSpec(sp *scenario.Spec, opts Options) (*Report, error) {
+	hash, err := sp.Hash()
 	if err != nil {
 		return nil, err
 	}
+	mr, err := scenario.RunModel(sp, runOptions(opts))
+	if err != nil {
+		return nil, err
+	}
+	return wrapReport(sp, hash, mr)
+}
+
+// ResumeSpec continues a run suspended by a checkpoint request: state is
+// the envelope a previous RunSpec/ResumeSpec returned inside
+// *scenario.CheckpointError. The finished report is byte-identical to an
+// uninterrupted RunSpec of the same spec.
+func ResumeSpec(sp *scenario.Spec, state []byte, opts Options) (*Report, error) {
+	hash, err := sp.Hash()
+	if err != nil {
+		return nil, err
+	}
+	mr, err := scenario.ResumeModel(sp, state, runOptions(opts))
+	if err != nil {
+		return nil, err
+	}
+	return wrapReport(sp, hash, mr)
+}
+
+// wrapReport stamps a model report with the spec's content address and
+// serialises its trace.
+func wrapReport(sp *scenario.Spec, hash string, mr *scenario.ModelReport) (*Report, error) {
 	rep := &Report{
 		SpecHash:   hash,
 		Sweep:      mr.Sweep,
@@ -144,6 +178,7 @@ func RunSpec(sp *scenario.Spec, opts Options) (*Report, error) {
 			return nil, err
 		}
 		rep.TraceCSV = tb.Bytes()
+		rep.Trace = mr.Trace
 	}
 	return rep, nil
 }

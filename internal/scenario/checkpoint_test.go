@@ -1,0 +1,210 @@
+package scenario
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"repro/internal/trace"
+)
+
+// Checkpoint/resume equivalence: the engine contract promises that a
+// run suspended by a checkpoint and resumed later is byte-identical —
+// report text and trace — to an uninterrupted run of the same spec.
+// These tests pin that promise for all four models, through both the
+// driver path (RunModel interrupted by the Checkpoint channel) and
+// mid-run engine stepping.
+
+// ckptSpecs are single-run specs sized so the analytic engines need
+// several Steps (> analyticChunk integration steps), making a mid-run
+// checkpoint capture genuinely partial state.
+var ckptSpecs = map[string]string{
+	"eneutral":  `{"name":"x","model":"eneutral","source":{"name":"const-power","params":{"p":"50m"}},"duration":30000}`,
+	"taskburst": `{"name":"x","model":"taskburst","storage":{"c":"6m"},"source":{"name":"const-power","params":{"p":"2m"}},"duration":2}`,
+	"mpsoc":     `{"name":"x","model":"mpsoc","source":{"name":"const-power","params":{"p":2}},"duration":30000,"dt":1}`,
+}
+
+// tracesEqual compares two recorders through the lossless columnar
+// codec (result.WriteTrace renders deterministically from the recorder,
+// so codec equality implies CSV equality).
+func tracesEqual(a, b *trace.Recorder) bool {
+	if (a == nil) != (b == nil) {
+		return false
+	}
+	if a == nil {
+		return true
+	}
+	return bytes.Equal(trace.EncodeRecorder(a), trace.EncodeRecorder(b))
+}
+
+// interruptRun drives sp through RunModel with a pre-fired Checkpoint
+// channel and returns the envelope.
+func interruptRun(t *testing.T, sp *Spec, opts RunOptions) []byte {
+	t.Helper()
+	ckpt := make(chan struct{})
+	close(ckpt)
+	opts.Checkpoint = ckpt
+	_, err := RunModel(sp, opts)
+	var ce *CheckpointError
+	if !errors.As(err, &ce) {
+		t.Fatalf("RunModel with fired checkpoint channel: got %v, want *CheckpointError", err)
+	}
+	return ce.State
+}
+
+func TestDriverCheckpointResumeIdentical(t *testing.T) {
+	// Driver path, all four models: interrupt before the first step,
+	// resume, require byte-identical output. The lab model's single-run
+	// engine can only checkpoint as a restart marker (cycle-level MCU
+	// state is not serialised), so this pre-step interruption is exactly
+	// its supported checkpoint; the analytic models capture t=0 state.
+	specs := map[string]string{
+		"lab": `{"name":"x","workload":"fib24","storage":{"c":"10u"},"source":{"name":"dc"},"duration":0.002}`,
+	}
+	for k, v := range ckptSpecs {
+		specs[k] = v
+	}
+	for name, src := range specs {
+		t.Run(name, func(t *testing.T) {
+			sp := mustParse(t, src)
+			want, err := RunModel(sp, RunOptions{Trace: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			env := interruptRun(t, sp, RunOptions{Trace: true})
+			got, err := ResumeModel(sp, env, RunOptions{Trace: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got.Text != want.Text {
+				t.Errorf("resumed text differs:\n--- uninterrupted ---\n%s--- resumed ---\n%s", want.Text, got.Text)
+			}
+			if !tracesEqual(got.Trace, want.Trace) {
+				t.Error("resumed trace differs from uninterrupted trace")
+			}
+		})
+	}
+}
+
+func TestMidRunCheckpointResumeIdentical(t *testing.T) {
+	// Analytic models, genuinely partial state: step the engine directly
+	// past the first chunk, checkpoint, resume, and require the report
+	// and trace to match an uninterrupted run byte for byte. The resumed
+	// options deliberately omit Trace — whether the run records is the
+	// checkpoint's decision, since the interrupted run was recording.
+	for name, src := range ckptSpecs {
+		t.Run(name, func(t *testing.T) {
+			sp := mustParse(t, src)
+			want, err := RunModel(sp, RunOptions{Trace: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			m, err := LookupModel(sp.ModelName())
+			if err != nil {
+				t.Fatal(err)
+			}
+			eng, err := m.Engine(sp, RunOptions{Trace: true}, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := eng.Step(); err != nil {
+				t.Fatal(err)
+			}
+			if eng.Done() {
+				t.Fatalf("spec completed in one step — grow it so the checkpoint is mid-run")
+			}
+			state, err := eng.Checkpoint()
+			if err != nil {
+				t.Fatal(err)
+			}
+			env, err := encodeCheckpoint(sp, state)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := ResumeModel(sp, env, RunOptions{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got.Text != want.Text {
+				t.Errorf("resumed text differs:\n--- uninterrupted ---\n%s--- resumed ---\n%s", want.Text, got.Text)
+			}
+			if got.Trace == nil {
+				t.Fatal("checkpoint carried a trace; the resumed run must keep recording")
+			}
+			if !tracesEqual(got.Trace, want.Trace) {
+				t.Error("resumed trace differs from uninterrupted trace")
+			}
+		})
+	}
+}
+
+func TestLabSweepCheckpointResumeAcrossWorkers(t *testing.T) {
+	// Lab sweep: interrupt after one completed wave, resume at both ends
+	// of the parallelism range. Worker count must never reach the bytes
+	// (the determinism contract), interrupted or not.
+	src := `{"name":"x","workload":"fib24","storage":{"c":"10u"},
+		"source":{"name":"dc"},"duration":0.002,
+		"sweep":[{"param":"c","values":["10u","22u","47u"]}]}`
+	sp := mustParse(t, src)
+	want, err := RunModel(sp, RunOptions{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	m, err := LookupModel(sp.ModelName())
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := m.Engine(sp, RunOptions{Workers: 1}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Step(); err != nil { // one wave of one case
+		t.Fatal(err)
+	}
+	if done, total := eng.Progress(); done != 1 || total != 3 {
+		t.Fatalf("after one single-worker wave: progress %d/%d, want 1/3", done, total)
+	}
+	state, err := eng.Checkpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	env, err := encodeCheckpoint(sp, state)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, workers := range []int{1, 8} {
+		got, err := ResumeModel(sp, env, RunOptions{Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Text != want.Text {
+			t.Errorf("workers=%d: resumed text differs:\n--- uninterrupted ---\n%s--- resumed ---\n%s",
+				workers, want.Text, got.Text)
+		}
+		if len(got.Cases) != len(want.Cases) {
+			t.Fatalf("workers=%d: %d cases, want %d", workers, len(got.Cases), len(want.Cases))
+		}
+	}
+}
+
+func TestCheckpointEnvelopeRejectsMismatches(t *testing.T) {
+	sp := mustParse(t, ckptSpecs["eneutral"])
+	env := interruptRun(t, sp, RunOptions{})
+
+	// A different spec (different hash) must be rejected.
+	other := mustParse(t, `{"name":"y","model":"eneutral","source":{"name":"const-power","params":{"p":"60m"}},"duration":30000}`)
+	if _, err := ResumeModel(other, env, RunOptions{}); err == nil {
+		t.Error("resume accepted a checkpoint from a different spec")
+	}
+	// A different model must be rejected before hashing even matters.
+	tb := mustParse(t, ckptSpecs["taskburst"])
+	if _, err := ResumeModel(tb, env, RunOptions{}); err == nil {
+		t.Error("resume accepted a checkpoint from a different model")
+	}
+	// Garbage must be rejected.
+	if _, err := ResumeModel(sp, []byte("not json"), RunOptions{}); err == nil {
+		t.Error("resume accepted a non-envelope blob")
+	}
+}

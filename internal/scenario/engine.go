@@ -1,0 +1,204 @@
+package scenario
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"repro/internal/sweep"
+)
+
+// Engine is the single execution contract every scenario model compiles
+// its spec into: a resumable stepper the package driver (RunModel /
+// ResumeModel) advances chunk by chunk, checking cancellation and
+// checkpoint requests between steps. One Step is a bounded slice of work
+// — a wave of sweep cases, a few thousand integration steps — small
+// enough that the driver's checks between steps give cancellation and
+// checkpointing a tight latency without the models hand-rolling their
+// own Observe/Abort/progress plumbing.
+type Engine interface {
+	// Step runs one bounded chunk of work. A cancellation observed
+	// inside a blocking step returns sweep.ErrCanceled; a checkpoint
+	// request observed inside a blocking step returns nil without
+	// advancing, so the driver re-checks and captures state.
+	Step() error
+
+	// Done reports whether the run is complete and Report may be called.
+	Done() bool
+
+	// Progress returns the cases completed so far and the total.
+	Progress() (done, total int)
+
+	// Checkpoint serialises the engine's state for a later resume via
+	// ResumeModel. The returned bytes are model-private; the driver
+	// wraps them in a versioned envelope bound to the spec hash.
+	Checkpoint() ([]byte, error)
+
+	// Report finalises and renders the run. Call exactly once, after
+	// Done.
+	Report() (*ModelReport, error)
+}
+
+// analyticChunk bounds one Step of the analytic (non-lab) single-run
+// engines: enough integration steps to amortise the driver's
+// between-step channel checks to noise, few enough that cancellation
+// and checkpoint latency stay in the milliseconds.
+const analyticChunk = 16384
+
+// CheckpointError is returned by RunModel/ResumeModel when the options'
+// Checkpoint channel interrupted the run: State is the complete
+// envelope to hand back to ResumeModel later. It deliberately does not
+// wrap sweep.ErrCanceled — a checkpointed run is suspended, not failed.
+type CheckpointError struct {
+	State []byte
+}
+
+// Error implements error.
+func (e *CheckpointError) Error() string { return "scenario: run checkpointed" }
+
+// checkpointVersion versions the envelope layout; bump on incompatible
+// change so stale blobs are rejected instead of misinterpreted.
+const checkpointVersion = 1
+
+// checkpointEnvelope binds a model's private checkpoint state to the
+// spec that produced it, so a resume against a different (or edited)
+// spec fails loudly instead of silently diverging.
+type checkpointEnvelope struct {
+	V     int    `json:"v"`
+	Model string `json:"model"`
+	Hash  string `json:"hash"`
+	Data  []byte `json:"data,omitempty"`
+}
+
+// encodeCheckpoint wraps model-private state in the spec-bound envelope.
+func encodeCheckpoint(sp *Spec, state []byte) ([]byte, error) {
+	hash, err := sp.Hash()
+	if err != nil {
+		return nil, err
+	}
+	return json.Marshal(checkpointEnvelope{
+		V:     checkpointVersion,
+		Model: sp.ModelName(),
+		Hash:  hash,
+		Data:  state,
+	})
+}
+
+// decodeCheckpoint validates the envelope against the spec and returns
+// the model-private state.
+func decodeCheckpoint(sp *Spec, blob []byte) ([]byte, error) {
+	var env checkpointEnvelope
+	if err := json.Unmarshal(blob, &env); err != nil {
+		return nil, fmt.Errorf("scenario: invalid checkpoint: %w", err)
+	}
+	if env.V != checkpointVersion {
+		return nil, fmt.Errorf("scenario: checkpoint version %d (want %d)", env.V, checkpointVersion)
+	}
+	if env.Model != sp.ModelName() {
+		return nil, fmt.Errorf("scenario: checkpoint is for model %q, spec selects %q", env.Model, sp.ModelName())
+	}
+	hash, err := sp.Hash()
+	if err != nil {
+		return nil, err
+	}
+	if env.Hash != hash {
+		return nil, fmt.Errorf("scenario: checkpoint spec hash %s does not match %s", env.Hash, hash)
+	}
+	return env.Data, nil
+}
+
+// RunModel executes the spec on its model's engine and renders the
+// report — the single entry point every front-end (CLI, daemon,
+// explorer) funnels through. Cancellation returns sweep.ErrCanceled; a
+// checkpoint request returns *CheckpointError carrying the resumable
+// state.
+func RunModel(sp *Spec, opts RunOptions) (*ModelReport, error) {
+	return drive(sp, opts, nil)
+}
+
+// ResumeModel continues a run from a checkpoint produced by a previous
+// RunModel/ResumeModel interruption. The envelope must match the spec's
+// model and content hash; the resumed run's report and trace are
+// byte-identical to an uninterrupted run of the same spec.
+func ResumeModel(sp *Spec, checkpoint []byte, opts RunOptions) (*ModelReport, error) {
+	data, err := decodeCheckpoint(sp, checkpoint)
+	if err != nil {
+		return nil, err
+	}
+	if data == nil {
+		// An envelope with no model state (e.g. a restart-from-zero
+		// marker stripped by an older encoder) still resumes — as a
+		// fresh run — so make the "resume" intent explicit downstream.
+		data = []byte("{}")
+	}
+	return drive(sp, opts, data)
+}
+
+// drive is the shared engine loop: build the engine (fresh or from a
+// checkpoint), then alternate between the options' control channels and
+// Step until done. Cancel wins over Checkpoint when both have fired.
+func drive(sp *Spec, opts RunOptions, checkpoint []byte) (*ModelReport, error) {
+	m, err := LookupModel(sp.ModelName())
+	if err != nil {
+		return nil, err
+	}
+	// stop merges Cancel and Checkpoint into the single abort signal
+	// wired into engines that block inside one Step (the lab's
+	// cycle-level runs); released when the driver returns.
+	driveDone := make(chan struct{})
+	defer close(driveDone)
+	opts.stop = mergeStop(opts.Cancel, opts.Checkpoint, driveDone)
+
+	eng, err := m.Engine(sp, opts, checkpoint)
+	if err != nil {
+		return nil, err
+	}
+	for !eng.Done() {
+		if canceled(opts.Cancel) {
+			return nil, sweep.ErrCanceled
+		}
+		if canceled(opts.Checkpoint) {
+			state, err := eng.Checkpoint()
+			if err != nil {
+				return nil, fmt.Errorf("scenario: checkpoint: %w", err)
+			}
+			env, err := encodeCheckpoint(sp, state)
+			if err != nil {
+				return nil, err
+			}
+			return nil, &CheckpointError{State: env}
+		}
+		if err := eng.Step(); err != nil {
+			return nil, err
+		}
+	}
+	return eng.Report()
+}
+
+// mergeStop folds the cancel and checkpoint channels into one abort
+// signal. With one of them nil the other is returned directly; with
+// both set, a goroutine (released via done) closes the merged channel
+// on whichever fires first.
+func mergeStop(cancel, ckpt, done <-chan struct{}) <-chan struct{} {
+	if ckpt == nil {
+		return cancel
+	}
+	if cancel == nil {
+		return ckpt
+	}
+	merged := make(chan struct{})
+	go func() {
+		defer close(merged)
+		select {
+		case <-cancel:
+		case <-ckpt:
+		case <-done:
+		}
+	}()
+	return merged
+}
+
+// checkpointRequested reports whether an in-step abort was caused by a
+// checkpoint request rather than a cancellation (Cancel wins ties).
+func checkpointRequested(opts RunOptions) bool {
+	return canceled(opts.Checkpoint) && !canceled(opts.Cancel)
+}

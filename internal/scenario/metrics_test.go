@@ -103,7 +103,7 @@ func TestMetricsMatchRenderedCells(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			rep, err := m.Run(sp, RunOptions{Workers: 1})
+			rep, err := RunModel(sp, RunOptions{Workers: 1})
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -146,7 +146,7 @@ func TestSingleRunMetricsDocumented(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			rep, err := m.Run(sp, RunOptions{})
+			rep, err := RunModel(sp, RunOptions{})
 			if err != nil {
 				t.Fatal(err)
 			}

@@ -19,12 +19,19 @@
 //     distinct cache keys even though they run identically;
 //   - Validate must resolve every name and reject every spec field the
 //     model does not consume, so a typo fails loudly at parse time;
-//   - Run must honour RunOptions: report progress, stop on Cancel with
-//     sweep.ErrCanceled, and capture a trace when asked (single runs).
+//   - Engine must honour RunOptions: report progress, capture a trace
+//     when asked (single runs), and bound each Step so the driver's
+//     Cancel/Checkpoint checks between steps stay responsive. The
+//     driver (RunModel/ResumeModel in engine.go) owns the control
+//     flow: cancellation returns sweep.ErrCanceled, a checkpoint
+//     request suspends the run with *CheckpointError, and a resumed
+//     run is byte-identical to an uninterrupted one.
 package scenario
 
 import (
 	"bytes"
+	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"strings"
@@ -61,9 +68,19 @@ type RunOptions struct {
 	// runs report (1, 1).
 	Progress func(done, total int)
 
-	// Cancel, if non-nil, aborts the run when closed: Run returns
-	// sweep.ErrCanceled.
+	// Cancel, if non-nil, aborts the run when closed: the driver
+	// returns sweep.ErrCanceled.
 	Cancel <-chan struct{}
+
+	// Checkpoint, if non-nil, suspends the run when closed: the driver
+	// captures the engine's state and returns *CheckpointError carrying
+	// a ResumeModel-ready envelope. Cancel wins when both have fired.
+	Checkpoint <-chan struct{}
+
+	// stop is the merged Cancel∪Checkpoint signal the driver wires
+	// before constructing the engine — the abort channel for work that
+	// blocks inside a single Step (the lab's cycle-level runs).
+	stop <-chan struct{}
 }
 
 // interval resolves the effective trace sampling interval.
@@ -147,9 +164,11 @@ type Model interface {
 	// bounds) run before dispatch in Spec.Validate.
 	Validate(sp *Spec) error
 
-	// Run executes the spec — a single run without sweep axes, a grid
-	// sweep with them — and renders its report.
-	Run(sp *Spec, opts RunOptions) (*ModelReport, error)
+	// Engine compiles the spec into a resumable stepper — a single run
+	// without sweep axes, a grid sweep with them. checkpoint is nil
+	// for a fresh run, or the model-private state a previous engine's
+	// Checkpoint produced (envelope already verified by the driver).
+	Engine(sp *Spec, opts RunOptions, checkpoint []byte) (Engine, error)
 }
 
 var models = registry.New[Model]("model")
@@ -272,43 +291,122 @@ func (s *Spec) at(c sweep.Case) (*Spec, error) {
 	return cs, nil
 }
 
-// runTableSweep is the shared sweep loop for the analytic (non-lab)
-// models: expand the grid, run every case sequentially (the analytic
-// engines are orders of magnitude cheaper than the lab's cycle-level
-// stepping, so parallel fan-out would be all overhead), and render a
-// comparison table with the model's columns.
-func runTableSweep(sp *Spec, opts RunOptions, header []string,
-	runCase func(cs *Spec) (cells []string, metrics map[string]float64, simSeconds float64, err error)) (*ModelReport, error) {
-	grid := sp.Grid()
-	cases := grid.Cases()
-	rep := &ModelReport{Sweep: true}
+// tableSweepEngine is the shared sweep engine for the analytic
+// (non-lab) models: expand the grid, run one case per Step sequentially
+// (the analytic engines are orders of magnitude cheaper than the lab's
+// cycle-level stepping, so parallel fan-out would be all overhead), and
+// render a comparison table with the model's columns. Its checkpoint is
+// the completed prefix — the cursor, the rendered cells, and the
+// accumulated metrics — so a resumed sweep re-runs nothing.
+type tableSweepEngine struct {
+	sp      *Spec
+	opts    RunOptions
+	header  []string
+	runCase func(cs *Spec) (cells []string, metrics map[string]float64, simSeconds float64, err error)
+
+	cases      []sweep.Case
+	next       int
+	rows       [][]string
+	names      []string
+	mcases     []ModelCase
+	simSeconds float64
+}
+
+// tableSweepState is the serialised checkpoint of a tableSweepEngine.
+type tableSweepState struct {
+	Next       int         `json:"next"`
+	Rows       [][]string  `json:"rows"`
+	Names      []string    `json:"names"`
+	Cases      []ModelCase `json:"cases"`
+	SimSeconds float64     `json:"simSeconds"`
+}
+
+// newTableSweepEngine builds the sweep engine, restoring the completed
+// prefix when checkpoint is non-nil.
+func newTableSweepEngine(sp *Spec, opts RunOptions, header []string,
+	runCase func(cs *Spec) ([]string, map[string]float64, float64, error),
+	checkpoint []byte) (*tableSweepEngine, error) {
+	cases := sp.Grid().Cases()
+	e := &tableSweepEngine{
+		sp: sp, opts: opts, header: header, runCase: runCase,
+		cases: cases,
+		rows:  make([][]string, len(cases)),
+		names: make([]string, len(cases)),
+	}
+	if checkpoint != nil {
+		var st tableSweepState
+		if err := json.Unmarshal(checkpoint, &st); err != nil {
+			return nil, sp.errf("sweep checkpoint: %v", err)
+		}
+		if st.Next < 0 || st.Next > len(cases) ||
+			len(st.Rows) != st.Next || len(st.Names) != st.Next || len(st.Cases) != st.Next {
+			return nil, sp.errf("sweep checkpoint is inconsistent with the spec's %d cases", len(cases))
+		}
+		copy(e.rows, st.Rows)
+		copy(e.names, st.Names)
+		e.mcases = st.Cases
+		e.next = st.Next
+		e.simSeconds = st.SimSeconds
+	}
+	return e, nil
+}
+
+// Step implements Engine: run the next case.
+func (e *tableSweepEngine) Step() error {
+	c := e.cases[e.next]
+	cs, err := e.sp.at(c)
+	if err != nil {
+		return err
+	}
+	cells, metrics, sim, err := e.runCase(cs)
+	if err != nil {
+		// A case interrupted mid-run by a checkpoint request is
+		// discarded: the completed prefix stays intact, and re-running
+		// the case on resume is deterministic.
+		if errors.Is(err, sweep.ErrCanceled) && checkpointRequested(e.opts) {
+			return nil
+		}
+		return err
+	}
+	e.rows[e.next], e.names[e.next] = cells, c.Name
+	e.simSeconds += sim
+	e.mcases = append(e.mcases, ModelCase{Name: c.Name, Metrics: metrics})
+	e.next++
+	if e.opts.Progress != nil {
+		e.opts.Progress(e.next, len(e.cases))
+	}
+	return nil
+}
+
+// Done implements Engine.
+func (e *tableSweepEngine) Done() bool { return e.next >= len(e.cases) }
+
+// Progress implements Engine.
+func (e *tableSweepEngine) Progress() (int, int) { return e.next, len(e.cases) }
+
+// Checkpoint implements Engine: serialise the completed prefix.
+func (e *tableSweepEngine) Checkpoint() ([]byte, error) {
+	return json.Marshal(tableSweepState{
+		Next:       e.next,
+		Rows:       e.rows[:e.next],
+		Names:      e.names[:e.next],
+		Cases:      e.mcases,
+		SimSeconds: e.simSeconds,
+	})
+}
+
+// Report implements Engine: render the comparison table.
+func (e *tableSweepEngine) Report() (*ModelReport, error) {
 	var buf bytes.Buffer
 	fmt.Fprintf(&buf, "scenario %s: sweep over %s, %d cases\n",
-		sp.Name, SweepAxesLabel(sp), len(cases))
-	rows := make([][]string, len(cases))
-	names := make([]string, len(cases))
-	for i, c := range cases {
-		if canceled(opts.Cancel) {
-			return nil, sweep.ErrCanceled
-		}
-		cs, err := sp.at(c)
-		if err != nil {
-			return nil, err
-		}
-		cells, metrics, sim, err := runCase(cs)
-		if err != nil {
-			return nil, err
-		}
-		rows[i], names[i] = cells, c.Name
-		rep.SimSeconds += sim
-		rep.Cases = append(rep.Cases, ModelCase{Name: c.Name, Metrics: metrics})
-		if opts.Progress != nil {
-			opts.Progress(i+1, len(cases))
-		}
-	}
-	writeCellTable(&buf, "case", 32, header, names, rows)
-	rep.Text = buf.String()
-	return rep, nil
+		e.sp.Name, SweepAxesLabel(e.sp), len(e.cases))
+	writeCellTable(&buf, "case", 32, e.header, e.names, e.rows)
+	return &ModelReport{
+		Sweep:      true,
+		Text:       buf.String(),
+		Cases:      e.mcases,
+		SimSeconds: e.simSeconds,
+	}, nil
 }
 
 // writeCellTable renders a generic sweep table: a header row, then one

@@ -2,6 +2,7 @@ package scenario
 
 import (
 	"bytes"
+	"encoding/json"
 	"fmt"
 	"math"
 
@@ -118,13 +119,13 @@ func (m eneutralModel) Validate(s *Spec) error {
 	return nil
 }
 
-// Run implements Model.
-func (m eneutralModel) Run(sp *Spec, opts RunOptions) (*ModelReport, error) {
+// Engine implements Model.
+func (m eneutralModel) Engine(sp *Spec, opts RunOptions, checkpoint []byte) (Engine, error) {
 	if sp.HasSweep() {
-		return runTableSweep(sp, opts,
+		return newTableSweepEngine(sp, opts,
 			[]string{"harvested", "consumed", "worst-win", "deaths", "final-soc", "mean-duty"},
 			func(cs *Spec) ([]string, map[string]float64, float64, error) {
-				res, _, err := m.simulate(cs, nil, opts.Cancel)
+				res, _, err := m.simulate(cs, nil, opts.stop)
 				if err != nil {
 					return nil, nil, 0, err
 				}
@@ -137,23 +138,125 @@ func (m eneutralModel) Run(sp *Spec, opts RunOptions) (*ModelReport, error) {
 					fmt.Sprintf("%.1f%%", res.FinalSoC*100),
 					fmt.Sprintf("%.1f%%", meanDuty(res, p["duty0"])*100),
 				}, eneutralMetrics(res, p["duty0"]), float64(cs.Duration), nil
-			})
+			}, checkpoint)
 	}
 
-	var rec *trace.Recorder
-	if opts.Trace {
-		rec = trace.NewRecorder()
-		rec.SetInterval(opts.interval())
+	p, err := sp.modelParams(m)
+	if err != nil {
+		return nil, sp.errf("%v", err)
 	}
-	res, node, err := m.simulate(sp, rec, opts.Cancel)
+	ps, err := sp.buildPowerSource()
 	if err != nil {
 		return nil, err
 	}
-	if opts.Progress != nil {
-		opts.Progress(1, 1)
+	node := eneutral.NewNode(p["batteryj"], p["soc0"], ps)
+	node.PActive = p["pactive"]
+	node.PSleep = p["psleep"]
+	node.Duty = p["duty0"]
+	node.CtrlPeriod = p["ctrlperiod"]
+	if p["fixedduty"] > 0 {
+		node.Controller = &eneutral.FixedController{Value: p["fixedduty"]}
+	} else {
+		node.Controller = eneutral.NewKansal()
+	}
+	dt := float64(sp.Dt)
+	if dt <= 0 {
+		dt = eneutralDefaultDt
+	}
+	e := &eneutralEngine{
+		sp: sp, opts: opts, p: p, node: node,
+		sim: eneutral.NewSim(node, float64(sp.Duration), dt, p["window"]),
 	}
 
-	p, _ := sp.modelParams(m) // validated in simulate
+	var restored *eneutral.SimState
+	var recBlob []byte
+	if checkpoint != nil {
+		var st eneutralState
+		if err := json.Unmarshal(checkpoint, &st); err != nil {
+			return nil, sp.errf("checkpoint: %v", err)
+		}
+		restored, recBlob = st.Sim, st.Trace
+	}
+	if restored != nil {
+		// A resumed run records iff the checkpoint carried a trace — the
+		// checkpoint, not the resume options, decides, so the reassembled
+		// trace is byte-identical to an uninterrupted run's.
+		if recBlob != nil {
+			rec, err := trace.DecodeRecorder(recBlob)
+			if err != nil {
+				return nil, sp.errf("checkpoint trace: %v", err)
+			}
+			e.rec = rec
+		}
+	} else if opts.Trace {
+		e.rec = trace.NewRecorder()
+		e.rec.SetInterval(opts.interval())
+	}
+	if e.rec != nil {
+		socCh := e.rec.Channel("soc", "")
+		dutyCh := e.rec.Channel("duty", "")
+		harvestCh := e.rec.Channel("harvest", "W")
+		node.Observe = func(t, soc, duty float64, dead bool) {
+			socCh.Record(t, soc)
+			dutyCh.Record(t, duty)
+			harvestCh.Record(t, ps.Power(t))
+		}
+	}
+	if restored != nil {
+		e.sim.Restore(*restored)
+	}
+	return e, nil
+}
+
+// eneutralEngine steps one sweep-free energy-neutral run in
+// analyticChunk-sized slices of the integration loop.
+type eneutralEngine struct {
+	sp   *Spec
+	opts RunOptions
+	p    registry.Params
+	node *eneutral.Node
+	sim  *eneutral.Sim
+	rec  *trace.Recorder
+}
+
+// eneutralState is the serialised checkpoint of an eneutralEngine. A nil
+// Sim (an empty restart marker) resumes as a fresh run.
+type eneutralState struct {
+	Sim   *eneutral.SimState `json:"sim,omitempty"`
+	Trace []byte             `json:"trace,omitempty"`
+}
+
+// Step implements Engine.
+func (e *eneutralEngine) Step() error { e.sim.Step(analyticChunk); return nil }
+
+// Done implements Engine.
+func (e *eneutralEngine) Done() bool { return e.sim.Done() }
+
+// Progress implements Engine.
+func (e *eneutralEngine) Progress() (int, int) {
+	if e.sim.Done() {
+		return 1, 1
+	}
+	return 0, 1
+}
+
+// Checkpoint implements Engine.
+func (e *eneutralEngine) Checkpoint() ([]byte, error) {
+	st := e.sim.State()
+	out := eneutralState{Sim: &st}
+	if e.rec != nil {
+		out.Trace = trace.EncodeRecorder(e.rec)
+	}
+	return json.Marshal(out)
+}
+
+// Report implements Engine.
+func (e *eneutralEngine) Report() (*ModelReport, error) {
+	res := e.sim.Result()
+	if e.opts.Progress != nil {
+		e.opts.Progress(1, 1)
+	}
+	sp, p, node := e.sp, e.p, e.node
 	var buf bytes.Buffer
 	fmt.Fprintf(&buf, "scenario %s: energy-neutral duty cycling on %s, %gs\n",
 		sp.Name, sp.Source.Name, float64(sp.Duration))
@@ -174,7 +277,7 @@ func (m eneutralModel) Run(sp *Spec, opts RunOptions) (*ModelReport, error) {
 		Text:       buf.String(),
 		Cases:      []ModelCase{{Name: sp.Name, Metrics: eneutralMetrics(res, p["duty0"])}},
 		SimSeconds: float64(sp.Duration),
-		Trace:      rec,
+		Trace:      e.rec,
 	}, nil
 }
 

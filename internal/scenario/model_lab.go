@@ -2,10 +2,13 @@ package scenario
 
 import (
 	"bytes"
+	"encoding/json"
 	"errors"
 	"fmt"
+	"runtime"
 
 	"repro/internal/lab"
+	"repro/internal/mcu"
 	"repro/internal/powerneutral"
 	"repro/internal/programs"
 	"repro/internal/registry"
@@ -104,89 +107,304 @@ func (labModel) Validate(s *Spec) error {
 	return nil
 }
 
-// Run implements Model — the execute-and-render path internal/result
-// historically owned, moved here verbatim so the report bytes (and the
-// golden corpus pinning them) are unchanged.
-func (labModel) Run(sp *Spec, opts RunOptions) (*ModelReport, error) {
-	rep := &ModelReport{}
-	var buf bytes.Buffer
-
+// Engine implements Model: a blocking single-run engine without sweep
+// axes, a wave-stepped sweep engine with them. The rendered bytes (and
+// the golden corpus pinning them) are unchanged from the historical
+// Run path.
+func (labModel) Engine(sp *Spec, opts RunOptions, checkpoint []byte) (Engine, error) {
 	if !sp.HasSweep() {
-		if canceled(opts.Cancel) {
-			return nil, sweep.ErrCanceled
-		}
-		s, err := sp.Setup()
-		if err != nil {
-			return nil, err
-		}
-		s.Abort = opts.Cancel
-		var rec *trace.Recorder
-		if opts.Trace {
-			rec = trace.NewRecorder()
-			s.Recorder = rec
-			s.RecordInterval = opts.interval()
-		}
-		res, err := lab.Run(s)
-		if errors.Is(err, lab.ErrAborted) {
-			return nil, sweep.ErrCanceled
-		}
-		if err != nil {
-			return nil, err
-		}
-		if opts.Progress != nil {
-			opts.Progress(1, 1)
-		}
-		fmt.Fprintln(&buf, SingleTitle(sp))
-		WriteSummary(&buf, res, float64(sp.Duration))
-		rep.Cases = []ModelCase{{Name: sp.Name, Lab: res, Metrics: labMetrics(res, float64(sp.Duration))}}
-		rep.SimSeconds = float64(sp.Duration)
-		rep.Trace = rec
-		rep.Text = buf.String()
-		return rep, nil
+		// A cycle-level single run has no cheap interior checkpoint: its
+		// restart marker resumes from zero, so any prior state is
+		// (correctly) ignored.
+		return &labSingleEngine{sp: sp, opts: opts}, nil
 	}
+	return newLabSweepEngine(sp, opts, checkpoint)
+}
 
-	rep.Sweep = true
-	grid := sp.Grid()
-	cases := grid.Cases()
+// labSingleEngine runs one cycle-level lab experiment in a single
+// (blocking) Step. The merged stop channel is wired into the lab's
+// abort hook, so cancellation and checkpoint requests both interrupt
+// the run; a checkpoint suspends with a restart-from-zero marker —
+// trading the partial work for the guarantee that the resumed run is
+// byte-identical to an uninterrupted one.
+type labSingleEngine struct {
+	sp   *Spec
+	opts RunOptions
+
+	res  lab.Result
+	rec  *trace.Recorder
+	done bool
+}
+
+// labSingleState is the (empty) restart marker a single lab run
+// checkpoints to.
+type labSingleState struct {
+	Restart bool `json:"restart"`
+}
+
+// Step implements Engine: run the whole experiment.
+func (e *labSingleEngine) Step() error {
+	s, err := e.sp.Setup()
+	if err != nil {
+		return err
+	}
+	s.Abort = e.opts.stop
+	var rec *trace.Recorder
+	if e.opts.Trace {
+		rec = trace.NewRecorder()
+		s.Recorder = rec
+		s.RecordInterval = e.opts.interval()
+	}
+	res, err := lab.Run(s)
+	if errors.Is(err, lab.ErrAborted) {
+		if checkpointRequested(e.opts) {
+			// The driver re-checks its channels before the next Step
+			// and captures the restart marker.
+			return nil
+		}
+		return sweep.ErrCanceled
+	}
+	if err != nil {
+		return err
+	}
+	e.res, e.rec, e.done = res, rec, true
+	if e.opts.Progress != nil {
+		e.opts.Progress(1, 1)
+	}
+	return nil
+}
+
+// Done implements Engine.
+func (e *labSingleEngine) Done() bool { return e.done }
+
+// Progress implements Engine.
+func (e *labSingleEngine) Progress() (int, int) {
+	if e.done {
+		return 1, 1
+	}
+	return 0, 1
+}
+
+// Checkpoint implements Engine: a restart-from-zero marker.
+func (e *labSingleEngine) Checkpoint() ([]byte, error) {
+	return json.Marshal(labSingleState{Restart: true})
+}
+
+// Report implements Engine.
+func (e *labSingleEngine) Report() (*ModelReport, error) {
+	var buf bytes.Buffer
+	fmt.Fprintln(&buf, SingleTitle(e.sp))
+	WriteSummary(&buf, e.res, float64(e.sp.Duration))
+	return &ModelReport{
+		Cases:      []ModelCase{{Name: e.sp.Name, Lab: e.res, Metrics: labMetrics(e.res, float64(e.sp.Duration))}},
+		SimSeconds: float64(e.sp.Duration),
+		Trace:      e.rec,
+		Text:       buf.String(),
+	}, nil
+}
+
+// labSweepEngine fans grid cases out over the worker pool one wave at a
+// time: each Step runs up to one wave of workers cases through
+// sweep.MapCases, so the driver's cancel/checkpoint checks run between
+// waves. Its checkpoint is the completed-case prefix (the in-flight
+// wave is discarded — per-case determinism makes the re-run
+// byte-identical); the wave size never affects results, only the
+// checkpoint granularity.
+type labSweepEngine struct {
+	sp   *Spec
+	opts RunOptions
+
+	cases   []sweep.Case
+	results []lab.Result
+	next    int // cases[:next] are complete
+	wave    int
+	rec     *trace.Recorder
+}
+
+// labSweepState is the serialised checkpoint of a labSweepEngine.
+type labSweepState struct {
+	Done    int             `json:"done"`
+	Results []wireLabResult `json:"results"`
+	Trace   []byte          `json:"trace,omitempty"`
+}
+
+// wireLabResult is lab.Result with the error field flattened to its
+// message, so checkpoints survive a JSON round trip losslessly for
+// everything the report renders.
+type wireLabResult struct {
+	Completions     int
+	WrongResults    int
+	CompletionTimes []float64
+	Stats           mcu.Stats
+	HarvestedJ      float64
+	ConsumedJ       float64
+	FinalV          float64
+	RuntimeErr      string
+	Steps           int
+	FirstCompletion float64
+}
+
+// toWire flattens a lab.Result for serialisation.
+func toWire(res lab.Result) wireLabResult {
+	w := wireLabResult{
+		Completions:     res.Completions,
+		WrongResults:    res.WrongResults,
+		CompletionTimes: res.CompletionTimes,
+		Stats:           res.Stats,
+		HarvestedJ:      res.HarvestedJ,
+		ConsumedJ:       res.ConsumedJ,
+		FinalV:          res.FinalV,
+		Steps:           res.Steps,
+		FirstCompletion: res.FirstCompletion,
+	}
+	if res.RuntimeErr != nil {
+		w.RuntimeErr = res.RuntimeErr.Error()
+	}
+	return w
+}
+
+// fromWire reverses toWire.
+func fromWire(w wireLabResult) lab.Result {
+	res := lab.Result{
+		Completions:     w.Completions,
+		WrongResults:    w.WrongResults,
+		CompletionTimes: w.CompletionTimes,
+		Stats:           w.Stats,
+		HarvestedJ:      w.HarvestedJ,
+		ConsumedJ:       w.ConsumedJ,
+		FinalV:          w.FinalV,
+		Steps:           w.Steps,
+		FirstCompletion: w.FirstCompletion,
+	}
+	if w.RuntimeErr != "" {
+		res.RuntimeErr = errors.New(w.RuntimeErr)
+	}
+	return res
+}
+
+// newLabSweepEngine builds the sweep engine, restoring the completed
+// prefix when checkpoint is non-nil.
+func newLabSweepEngine(sp *Spec, opts RunOptions, checkpoint []byte) (*labSweepEngine, error) {
+	cases := sp.Grid().Cases()
+	wave := opts.Workers
+	if wave <= 0 {
+		wave = runtime.GOMAXPROCS(0)
+	}
+	e := &labSweepEngine{
+		sp: sp, opts: opts,
+		cases:   cases,
+		results: make([]lab.Result, len(cases)),
+		wave:    wave,
+	}
+	if checkpoint != nil {
+		var st labSweepState
+		if err := json.Unmarshal(checkpoint, &st); err != nil {
+			return nil, sp.errf("sweep checkpoint: %v", err)
+		}
+		if st.Done < 0 || st.Done > len(cases) || len(st.Results) != st.Done {
+			return nil, sp.errf("sweep checkpoint is inconsistent with the spec's %d cases", len(cases))
+		}
+		for i, w := range st.Results {
+			e.results[i] = fromWire(w)
+		}
+		e.next = st.Done
+		if st.Trace != nil {
+			rec, err := trace.DecodeRecorder(st.Trace)
+			if err != nil {
+				return nil, sp.errf("sweep checkpoint trace: %v", err)
+			}
+			e.rec = rec
+		}
+	}
+	return e, nil
+}
+
+// Step implements Engine: run the next wave of cases on the pool.
+func (e *labSweepEngine) Step() error {
+	end := e.next + e.wave
+	if end > len(e.cases) {
+		end = len(e.cases)
+	}
+	batch := e.cases[e.next:end]
 	// On a sweep, Trace captures the first grid case (Case.Index == 0) —
 	// one representative waveform, deterministically chosen, so sweep
-	// shapes get a pinnable trace too. MapGrid's completion barrier
+	// shapes get a pinnable trace too. MapCases' completion barrier
 	// orders the worker's writes before the read below.
 	var rec *trace.Recorder
-	r := &sweep.Runner{Workers: opts.Workers, OnProgress: opts.Progress, Cancel: opts.Cancel}
-	results, err := sweep.MapGrid(r, grid, func(c sweep.Case) (lab.Result, error) {
-		s, err := sp.SetupAt(c)
+	base, total := e.next, len(e.cases)
+	r := &sweep.Runner{Workers: e.opts.Workers, Cancel: e.opts.stop}
+	if e.opts.Progress != nil {
+		r.OnProgress = func(done, _ int) { e.opts.Progress(base+done, total) }
+	}
+	out, err := sweep.MapCases(r, batch, func(c sweep.Case) (lab.Result, error) {
+		s, err := e.sp.SetupAt(c)
 		if err != nil {
 			return lab.Result{}, err
 		}
-		s.Abort = opts.Cancel
-		if opts.Trace && c.Index == 0 {
+		s.Abort = e.opts.stop
+		if e.opts.Trace && c.Index == 0 {
 			rec = trace.NewRecorder()
 			s.Recorder = rec
-			s.RecordInterval = opts.interval()
+			s.RecordInterval = e.opts.interval()
 		}
 		return lab.Run(s)
 	})
 	if err != nil {
-		// A case interrupted mid-run by Cancel surfaces as its abort
-		// error; fold it into the uniform cancellation signal.
-		if errors.Is(err, lab.ErrAborted) {
-			return nil, sweep.ErrCanceled
+		// A case interrupted mid-run by the stop channel surfaces as its
+		// abort error; fold it into the uniform signals. A checkpoint
+		// request discards the interrupted wave — cases[:next] stay
+		// complete, and re-running the wave is deterministic.
+		if errors.Is(err, lab.ErrAborted) || errors.Is(err, sweep.ErrCanceled) {
+			if checkpointRequested(e.opts) {
+				return nil
+			}
+			return sweep.ErrCanceled
 		}
-		return nil, err
+		return err
 	}
+	copy(e.results[e.next:end], out)
+	if rec != nil {
+		e.rec = rec
+	}
+	e.next = end
+	return nil
+}
+
+// Done implements Engine.
+func (e *labSweepEngine) Done() bool { return e.next >= len(e.cases) }
+
+// Progress implements Engine.
+func (e *labSweepEngine) Progress() (int, int) { return e.next, len(e.cases) }
+
+// Checkpoint implements Engine: serialise the completed prefix and the
+// case-0 trace (captured iff the first wave completed).
+func (e *labSweepEngine) Checkpoint() ([]byte, error) {
+	st := labSweepState{Done: e.next, Results: make([]wireLabResult, e.next)}
+	for i := 0; i < e.next; i++ {
+		st.Results[i] = toWire(e.results[i])
+	}
+	if e.rec != nil {
+		st.Trace = trace.EncodeRecorder(e.rec)
+	}
+	return json.Marshal(st)
+}
+
+// Report implements Engine: render the sweep table.
+func (e *labSweepEngine) Report() (*ModelReport, error) {
+	var buf bytes.Buffer
+	rep := &ModelReport{Sweep: true}
 	fmt.Fprintf(&buf, "scenario %s: sweep over %s, %d cases\n",
-		sp.Name, SweepAxesLabel(sp), len(cases))
-	names := make([]string, len(cases))
-	rep.Cases = make([]ModelCase, len(cases))
-	for i, c := range cases {
+		e.sp.Name, SweepAxesLabel(e.sp), len(e.cases))
+	names := make([]string, len(e.cases))
+	rep.Cases = make([]ModelCase, len(e.cases))
+	for i, c := range e.cases {
 		names[i] = c.Name
-		d := caseDuration(sp, c)
-		rep.Cases[i] = ModelCase{Name: c.Name, Lab: results[i], Metrics: labMetrics(results[i], d)}
+		d := caseDuration(e.sp, c)
+		rep.Cases[i] = ModelCase{Name: c.Name, Lab: e.results[i], Metrics: labMetrics(e.results[i], d)}
 		rep.SimSeconds += d
 	}
-	WriteSweepTable(&buf, "case", 32, names, results)
-	rep.Trace = rec
+	WriteSweepTable(&buf, "case", 32, names, e.results)
+	rep.Trace = e.rec
 	rep.Text = buf.String()
 	return rep, nil
 }

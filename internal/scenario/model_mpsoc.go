@@ -2,6 +2,7 @@ package scenario
 
 import (
 	"bytes"
+	"encoding/json"
 	"fmt"
 
 	"repro/internal/mpsoc"
@@ -87,13 +88,13 @@ func (m mpsocModel) Validate(s *Spec) error {
 	return nil
 }
 
-// Run implements Model.
-func (m mpsocModel) Run(sp *Spec, opts RunOptions) (*ModelReport, error) {
+// Engine implements Model.
+func (m mpsocModel) Engine(sp *Spec, opts RunOptions, checkpoint []byte) (Engine, error) {
 	if sp.HasSweep() {
-		return runTableSweep(sp, opts,
+		return newTableSweepEngine(sp, opts,
 			[]string{"frames", "mean-fps", "used-W", "util", "switches", "starved"},
 			func(cs *Spec) ([]string, map[string]float64, float64, error) {
-				res, sel, err := m.simulate(cs, nil, opts.Cancel)
+				res, sel, err := m.simulate(cs, nil, opts.stop)
 				if err != nil {
 					return nil, nil, 0, err
 				}
@@ -105,22 +106,116 @@ func (m mpsocModel) Run(sp *Spec, opts RunOptions) (*ModelReport, error) {
 					fmt.Sprintf("%d", res.Switches),
 					fmt.Sprintf("%d", res.Starved),
 				}, mpsocMetrics(res, sel), float64(cs.Duration), nil
-			})
+			}, checkpoint)
 	}
 
-	var rec *trace.Recorder
-	if opts.Trace {
-		rec = trace.NewRecorder()
-		rec.SetInterval(opts.interval())
+	p, err := sp.modelParams(m)
+	if err != nil {
+		return nil, sp.errf("%v", err)
 	}
-	res, sel, err := m.simulate(sp, rec, opts.Cancel)
+	ps, err := sp.buildPowerSource()
 	if err != nil {
 		return nil, err
 	}
-	if opts.Progress != nil {
-		opts.Progress(1, 1)
+	scale := p["scale"]
+	budget := func(t float64) float64 { return scale * ps.Power(t) }
+	sel := mpsoc.NewSelector(mpsoc.XU4())
+	dt := float64(sp.Dt)
+	if dt <= 0 {
+		dt = mpsocDefaultDt
+	}
+	e := &mpsocEngine{
+		sp: sp, opts: opts, sel: sel,
+		sim: mpsoc.NewSim(sel, budget, float64(sp.Duration), dt),
 	}
 
+	var restored *mpsoc.SimState
+	var recBlob []byte
+	if checkpoint != nil {
+		var st mpsocState
+		if err := json.Unmarshal(checkpoint, &st); err != nil {
+			return nil, sp.errf("checkpoint: %v", err)
+		}
+		restored, recBlob = st.Sim, st.Trace
+	}
+	if restored != nil {
+		// The checkpoint, not the resume options, decides whether the
+		// run records — see eneutralEngine.
+		if recBlob != nil {
+			rec, err := trace.DecodeRecorder(recBlob)
+			if err != nil {
+				return nil, sp.errf("checkpoint trace: %v", err)
+			}
+			e.rec = rec
+		}
+	} else if opts.Trace {
+		e.rec = trace.NewRecorder()
+		e.rec.SetInterval(opts.interval())
+	}
+	if e.rec != nil {
+		budgetCh := e.rec.Channel("budget", "W")
+		usedCh := e.rec.Channel("used", "W")
+		fpsCh := e.rec.Channel("fps", "fps")
+		sel.Observe = func(t, w float64, op mpsoc.OperatingPoint, ok bool) {
+			budgetCh.Record(t, w)
+			usedCh.Record(t, op.PowerW)
+			fpsCh.Record(t, op.FPS)
+		}
+	}
+	if restored != nil {
+		e.sim.Restore(*restored)
+	}
+	return e, nil
+}
+
+// mpsocEngine steps one sweep-free power-neutral MPSoC run in
+// analyticChunk-sized slices of the control loop.
+type mpsocEngine struct {
+	sp   *Spec
+	opts RunOptions
+	sel  *mpsoc.Selector
+	sim  *mpsoc.Sim
+	rec  *trace.Recorder
+}
+
+// mpsocState is the serialised checkpoint of an mpsocEngine. A nil Sim
+// (an empty restart marker) resumes as a fresh run.
+type mpsocState struct {
+	Sim   *mpsoc.SimState `json:"sim,omitempty"`
+	Trace []byte          `json:"trace,omitempty"`
+}
+
+// Step implements Engine.
+func (e *mpsocEngine) Step() error { e.sim.Step(analyticChunk); return nil }
+
+// Done implements Engine.
+func (e *mpsocEngine) Done() bool { return e.sim.Done() }
+
+// Progress implements Engine.
+func (e *mpsocEngine) Progress() (int, int) {
+	if e.sim.Done() {
+		return 1, 1
+	}
+	return 0, 1
+}
+
+// Checkpoint implements Engine.
+func (e *mpsocEngine) Checkpoint() ([]byte, error) {
+	st := e.sim.State()
+	out := mpsocState{Sim: &st}
+	if e.rec != nil {
+		out.Trace = trace.EncodeRecorder(e.rec)
+	}
+	return json.Marshal(out)
+}
+
+// Report implements Engine.
+func (e *mpsocEngine) Report() (*ModelReport, error) {
+	res := e.sim.Result()
+	if e.opts.Progress != nil {
+		e.opts.Progress(1, 1)
+	}
+	sp, sel := e.sp, e.sel
 	pts := mpsoc.XU4().OperatingPoints()
 	minW, maxW := mpsoc.PowerRange(pts)
 	var buf bytes.Buffer
@@ -138,7 +233,7 @@ func (m mpsocModel) Run(sp *Spec, opts RunOptions) (*ModelReport, error) {
 		Text:       buf.String(),
 		Cases:      []ModelCase{{Name: sp.Name, Metrics: mpsocMetrics(res, sel)}},
 		SimSeconds: float64(sp.Duration),
-		Trace:      rec,
+		Trace:      e.rec,
 	}, nil
 }
 

@@ -2,6 +2,7 @@ package scenario
 
 import (
 	"bytes"
+	"encoding/json"
 	"fmt"
 	"math"
 
@@ -118,13 +119,13 @@ func (taskburstModel) node(s *Spec, p registry.Params) (*taskburst.Node, error) 
 	return n, nil
 }
 
-// Run implements Model.
-func (m taskburstModel) Run(sp *Spec, opts RunOptions) (*ModelReport, error) {
+// Engine implements Model.
+func (m taskburstModel) Engine(sp *Spec, opts RunOptions, checkpoint []byte) (Engine, error) {
 	if sp.HasSweep() {
-		return runTableSweep(sp, opts,
+		return newTableSweepEngine(sp, opts,
 			[]string{"events", "rate", "v-fire", "first-fire"},
 			func(cs *Spec) ([]string, map[string]float64, float64, error) {
-				n, err := m.simulate(cs, nil, opts.Cancel)
+				n, err := m.simulate(cs, nil, opts.stop)
 				if err != nil {
 					return nil, nil, 0, err
 				}
@@ -135,23 +136,120 @@ func (m taskburstModel) Run(sp *Spec, opts RunOptions) (*ModelReport, error) {
 					fmt.Sprintf("%.2fV", n.VFire),
 					firstFireLabel(n),
 				}, taskburstMetrics(n, p, float64(cs.Duration)), float64(cs.Duration), nil
-			})
+			}, checkpoint)
 	}
 
-	var rec *trace.Recorder
-	if opts.Trace {
-		rec = trace.NewRecorder()
-		rec.SetInterval(opts.interval())
+	p, err := sp.modelParams(m)
+	if err != nil {
+		return nil, sp.errf("%v", err)
 	}
-	n, err := m.simulate(sp, rec, opts.Cancel)
+	n, err := m.node(sp, p)
 	if err != nil {
 		return nil, err
 	}
-	if opts.Progress != nil {
-		opts.Progress(1, 1)
+	dt := float64(sp.Dt)
+	if dt <= 0 {
+		dt = taskburstDefaultDt
+	}
+	e := &taskburstEngine{
+		sp: sp, opts: opts, p: p, n: n,
+		sim: taskburst.NewSim(n, float64(sp.Duration), dt),
 	}
 
-	p, _ := sp.modelParams(m) // validated in simulate
+	var restored *taskburst.SimState
+	var recBlob []byte
+	if checkpoint != nil {
+		var st taskburstState
+		if err := json.Unmarshal(checkpoint, &st); err != nil {
+			return nil, sp.errf("checkpoint: %v", err)
+		}
+		restored, recBlob = st.Sim, st.Trace
+	}
+	if restored != nil {
+		// The checkpoint, not the resume options, decides whether the
+		// run records — see eneutralEngine.
+		if recBlob != nil {
+			rec, err := trace.DecodeRecorder(recBlob)
+			if err != nil {
+				return nil, sp.errf("checkpoint trace: %v", err)
+			}
+			e.rec = rec
+		}
+	} else if opts.Trace {
+		e.rec = trace.NewRecorder()
+		e.rec.SetInterval(opts.interval())
+	}
+	if e.rec != nil {
+		vcapCh := e.rec.Channel("vcap", "V")
+		eventsCh := e.rec.Channel("events", "")
+		// The cumulative-fires counter resumes from the restored firing
+		// log, so the events channel continues its count seamlessly.
+		fires := 0
+		if restored != nil {
+			fires = len(restored.Events)
+		}
+		n.Observe = func(t, v float64, fired bool) {
+			if fired {
+				fires++
+			}
+			vcapCh.Record(t, v)
+			eventsCh.Record(t, float64(fires))
+		}
+	}
+	if restored != nil {
+		e.sim.Restore(*restored)
+	}
+	return e, nil
+}
+
+// taskburstEngine steps one sweep-free charge-and-fire run in
+// analyticChunk-sized slices of the integration loop.
+type taskburstEngine struct {
+	sp   *Spec
+	opts RunOptions
+	p    registry.Params
+	n    *taskburst.Node
+	sim  *taskburst.Sim
+	rec  *trace.Recorder
+}
+
+// taskburstState is the serialised checkpoint of a taskburstEngine. A
+// nil Sim (an empty restart marker) resumes as a fresh run.
+type taskburstState struct {
+	Sim   *taskburst.SimState `json:"sim,omitempty"`
+	Trace []byte              `json:"trace,omitempty"`
+}
+
+// Step implements Engine.
+func (e *taskburstEngine) Step() error { e.sim.Step(analyticChunk); return nil }
+
+// Done implements Engine.
+func (e *taskburstEngine) Done() bool { return e.sim.Done() }
+
+// Progress implements Engine.
+func (e *taskburstEngine) Progress() (int, int) {
+	if e.sim.Done() {
+		return 1, 1
+	}
+	return 0, 1
+}
+
+// Checkpoint implements Engine.
+func (e *taskburstEngine) Checkpoint() ([]byte, error) {
+	st := e.sim.State()
+	out := taskburstState{Sim: &st}
+	if e.rec != nil {
+		out.Trace = trace.EncodeRecorder(e.rec)
+	}
+	return json.Marshal(out)
+}
+
+// Report implements Engine.
+func (e *taskburstEngine) Report() (*ModelReport, error) {
+	if e.opts.Progress != nil {
+		e.opts.Progress(1, 1)
+	}
+	sp, p, n := e.sp, e.p, e.n
 	need := p["taskenergy"] * 1.05 / p["eta"]
 	var buf bytes.Buffer
 	fmt.Fprintf(&buf, "scenario %s: task-burst charge-fire on %s, C=%s, %gs\n",
@@ -170,7 +268,7 @@ func (m taskburstModel) Run(sp *Spec, opts RunOptions) (*ModelReport, error) {
 		Text:       buf.String(),
 		Cases:      []ModelCase{{Name: sp.Name, Metrics: taskburstMetrics(n, p, float64(sp.Duration))}},
 		SimSeconds: float64(sp.Duration),
-		Trace:      rec,
+		Trace:      e.rec,
 	}, nil
 }
 

@@ -5,7 +5,9 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math"
 	"net/http"
+	"net/url"
 	"strconv"
 
 	"repro/internal/powerneutral"
@@ -179,6 +181,10 @@ func (s *Server) notReady(w http.ResponseWriter, st JobStatus) bool {
 		writeError(w, http.StatusInternalServerError, "job %s failed: %s", st.ID, st.Error)
 	case JobCanceled:
 		writeError(w, http.StatusGone, "job %s was canceled", st.ID)
+	case JobCheckpointed:
+		w.Header().Set("Retry-After", s.retrySeconds())
+		writeError(w, http.StatusServiceUnavailable,
+			"job %s was checkpointed for shutdown; resubmit the spec after the daemon restarts", st.ID)
 	default: // queued, running
 		w.Header().Set("Retry-After", s.retrySeconds())
 		writeJSON(w, http.StatusConflict, st)
@@ -202,6 +208,15 @@ func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 	io.WriteString(w, rep.Text)
 }
 
+// Windowed-trace query bounds: points defaults to defaultTracePoints
+// buckets and is clamped to maxTracePoints — the endpoint's cost is
+// O(points), independent of the underlying series length, so the bound
+// is about response size, not compute.
+const (
+	defaultTracePoints = 256
+	maxTracePoints     = 10_000
+)
+
 func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
 	rep, st, ok := s.Result(r.PathValue("id"))
 	if !ok {
@@ -216,6 +231,12 @@ func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
 			"job %s has no trace (traces are captured for single-run specs only)", st.ID)
 		return
 	}
+	q := r.URL.Query()
+	if q.Has("from") || q.Has("to") || q.Has("points") {
+		s.serveTraceWindow(w, st, rep, q)
+		return
+	}
+	// Unqualified: the full CSV, byte-identical to the CLI's trace file.
 	// Stream in bounded chunks — no Content-Length, so net/http uses
 	// chunked transfer encoding and clients can consume the CSV as it
 	// arrives.
@@ -232,6 +253,61 @@ func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
 			flusher.Flush()
 		}
 	}
+}
+
+// traceQueryFloat parses one optional float query parameter.
+func traceQueryFloat(q url.Values, name string, fallback float64) (float64, error) {
+	raw := q.Get(name)
+	if raw == "" {
+		return fallback, nil
+	}
+	v, err := strconv.ParseFloat(raw, 64)
+	if err != nil || math.IsNaN(v) || math.IsInf(v, 0) {
+		return 0, fmt.Errorf("query parameter %s=%q is not a finite number", name, raw)
+	}
+	return v, nil
+}
+
+// serveTraceWindow answers a windowed trace query: server-side min/max
+// decimation of [from, to] into at most `points` buckets per series,
+// O(points) regardless of how many samples the trace holds. Defaults:
+// the trace's full time range and defaultTracePoints buckets.
+func (s *Server) serveTraceWindow(w http.ResponseWriter, st JobStatus, rep *result.Report, q url.Values) {
+	if rep.Trace == nil {
+		writeError(w, http.StatusBadRequest,
+			"job %s carries a pre-columnar trace; only the unqualified full-CSV form is available", st.ID)
+		return
+	}
+	lo, hi, _ := rep.Trace.TimeRange()
+	from, err := traceQueryFloat(q, "from", lo)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	to, err := traceQueryFloat(q, "to", hi)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if to < from {
+		writeError(w, http.StatusBadRequest, "query window is empty: from=%g > to=%g", from, to)
+		return
+	}
+	points := defaultTracePoints
+	if raw := q.Get("points"); raw != "" {
+		points, err = strconv.Atoi(raw)
+		if err != nil || points < 1 {
+			writeError(w, http.StatusBadRequest, "query parameter points=%q must be a positive integer", raw)
+			return
+		}
+		if points > maxTracePoints {
+			points = maxTracePoints
+		}
+	}
+	w.Header().Set("Content-Type", "text/csv; charset=utf-8")
+	w.Header().Set("X-Spec-Hash", st.Hash)
+	fmt.Fprintf(w, "# spec-hash: %s\n", st.Hash)
+	rep.Trace.WriteWindowCSV(w, from, to, points)
 }
 
 // registryEntry is one name in the /v1/registry listing.
@@ -359,5 +435,8 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(w, "ehsimd_explore_probes_total %d\n", m.ExploreProbes)
 	fmt.Fprintf(w, "ehsimd_explore_cache_hits_total %d\n", m.ExploreCacheHits)
 	fmt.Fprintf(w, "ehsimd_explore_cache_misses_total %d\n", m.ExploreCacheMisses)
+	fmt.Fprintf(w, "ehsimd_checkpoints_saved_total %d\n", m.CheckpointsSaved)
+	fmt.Fprintf(w, "ehsimd_checkpoints_resumed_total %d\n", m.CheckpointsResumed)
+	fmt.Fprintf(w, "ehsimd_checkpoints_pending %d\n", m.CheckpointsPending)
 	fmt.Fprintf(w, "ehsimd_sim_seconds_total %g\n", m.SimSeconds)
 }

@@ -94,6 +94,13 @@ type Config struct {
 	// peer that cannot answer in time is treated as a miss and the job
 	// falls back to local compute. Default 2s.
 	PeerTimeout time.Duration
+
+	// Checkpoints, if non-nil, enables checkpoint-on-drain: Drain asks
+	// every running job to suspend through the engine contract, the
+	// suspended state is persisted here, and ResumeCheckpoints on the
+	// next boot resubmits the work — which picks its state back up and
+	// finishes byte-identical to an uninterrupted run.
+	Checkpoints *CheckpointStore
 }
 
 func (c Config) queueDepth() int {
@@ -153,7 +160,14 @@ const (
 	JobDone     JobState = "done"
 	JobFailed   JobState = "failed"
 	JobCanceled JobState = "canceled"
+	// JobCheckpointed: the run was suspended by a draining server and its
+	// state persisted; a resubmission after the next boot resumes it.
+	JobCheckpointed JobState = "checkpointed"
 )
+
+// errCheckpointed marks a cache entry aborted because its leader
+// checkpointed for shutdown rather than failing.
+var errCheckpointed = errors.New("service: job checkpointed for shutdown")
 
 // Result provenance values for JobStatus.Source.
 const (
@@ -264,6 +278,11 @@ type Metrics struct {
 	ExploreProbes      int64 // probes resolved (hits + misses)
 	ExploreCacheHits   int64 // probes served without computing
 	ExploreCacheMisses int64 // probes computed on this node
+
+	// Checkpoint subsystem (zero-valued when no store is configured).
+	CheckpointsSaved   int64 // running jobs suspended and persisted at drain
+	CheckpointsResumed int64 // jobs completed from a persisted checkpoint
+	CheckpointsPending int   // records awaiting resume in the store
 }
 
 // HitRatio returns hits/(hits+misses), or 0 before any submission.
@@ -310,6 +329,15 @@ type Server struct {
 	exploreHits      int64
 	exploreMisses    int64
 
+	checkpointsSaved   int64
+	checkpointsResumed int64
+
+	// ckptReq is closed by Drain when a checkpoint store is configured —
+	// the server-wide "suspend now" signal every running job's engine
+	// driver watches.
+	ckptReq    chan struct{}
+	ckptClosed bool
+
 	started  bool
 	workerWG sync.WaitGroup // queue workers
 	followWG sync.WaitGroup // single-flight followers
@@ -318,9 +346,10 @@ type Server struct {
 // New builds a Server. No goroutines run until Start.
 func New(cfg Config) *Server {
 	s := &Server{
-		cfg:   cfg,
-		cache: NewCache(cfg.cacheEntries()),
-		jobs:  make(map[string]*job),
+		cfg:     cfg,
+		cache:   NewCache(cfg.cacheEntries()),
+		jobs:    make(map[string]*job),
+		ckptReq: make(chan struct{}),
 	}
 	if len(cfg.Peers) > 0 {
 		s.peers = newPeerSet(cfg.SelfURL, cfg.Peers, cfg.peerTimeout())
@@ -351,12 +380,19 @@ func (s *Server) Start() *Server {
 // Drain gracefully shuts the job subsystem down: new submissions are
 // rejected with ErrDraining, already-accepted jobs (queued and running)
 // run to completion, and Drain returns once every worker and follower
-// has exited.
+// has exited. With a checkpoint store configured, running jobs are
+// instead asked to suspend: each engine checkpoints at its next step
+// boundary, the state is persisted, and ResumeCheckpoints on the next
+// boot picks the work back up.
 func (s *Server) Drain() {
 	s.mu.Lock()
 	if !s.draining {
 		s.draining = true
 		s.cond.Broadcast()
+	}
+	if s.cfg.Checkpoints != nil && !s.ckptClosed {
+		s.ckptClosed = true
+		close(s.ckptReq)
 	}
 	s.mu.Unlock()
 	s.workerWG.Wait()
@@ -566,6 +602,9 @@ func (s *Server) follow(j *job, e *Entry) {
 		j.done, j.total = len(e.Report.Cases), len(e.Report.Cases)
 		s.jobsDone++
 		s.cacheHits++
+	case errors.Is(e.Err, errCheckpointed):
+		j.state = JobCheckpointed
+		j.errText = "deduplicated onto a job that checkpointed for shutdown; resubmit after restart"
 	case errors.Is(e.Err, sweep.ErrCanceled):
 		j.state = JobCanceled
 		j.errText = "deduplicated onto a job that was canceled; resubmit to recompute"
@@ -617,6 +656,10 @@ func (s *Server) runJob(j *job) {
 	// Cold tiers — outside s.mu: disk and network I/O must not stall
 	// submissions or polling.
 	if rep, src := s.fetchCold(j.key, j.hash, j.cancel); rep != nil {
+		// A cached result supersedes any partial checkpoint for the key.
+		if s.cfg.Checkpoints != nil {
+			s.cfg.Checkpoints.Delete(j.key)
+		}
 		s.mu.Lock()
 		defer s.mu.Unlock()
 		if j.state != JobRunning {
@@ -640,17 +683,19 @@ func (s *Server) runJob(j *job) {
 		return
 	}
 
-	rep, err := result.RunSpec(j.spec, result.Options{
-		Workers:       s.cfg.SweepWorkers,
-		Trace:         !j.spec.HasSweep(),
-		TraceInterval: traceInterval(float64(j.spec.Duration)),
-		Cancel:        j.cancel,
-		Progress: func(done, total int) {
-			s.mu.Lock()
-			j.done, j.total = done, total
-			s.mu.Unlock()
-		},
-	})
+	rep, resumed, err := s.execute(j)
+
+	// A checkpoint interruption persists the engine state before the job
+	// is published as checkpointed (still off s.mu — disk I/O): once
+	// visible, the state must actually be on disk for the next boot. A
+	// persist failure degrades to a job failure.
+	var ckptErr *scenario.CheckpointError
+	checkpointed := errors.As(err, &ckptErr)
+	if checkpointed {
+		if perr := s.saveCheckpoint(j, ckptErr.State); perr != nil {
+			checkpointed, err = false, perr
+		}
+	}
 
 	// Write-through to disk before publishing (still off s.mu): once the
 	// job is visible as done, a crash must not lose the only copy.
@@ -659,9 +704,20 @@ func (s *Server) runJob(j *job) {
 			s.cfg.CAS.Put(j.key, data) // failures are counted in the store's stats
 		}
 	}
+	// A run that finished (or definitively failed or was canceled) has
+	// consumed any checkpoint it resumed from.
+	if !checkpointed && s.cfg.Checkpoints != nil {
+		s.cfg.Checkpoints.Delete(j.key)
+	}
 
 	s.mu.Lock()
 	switch {
+	case checkpointed:
+		j.state = JobCheckpointed
+		j.errText = "checkpointed for shutdown; resumes on next boot"
+		s.checkpointsSaved++
+		s.cache.Abort(j.key, errCheckpointed)
+		s.markFinishedLocked(j)
 	case errors.Is(err, sweep.ErrCanceled):
 		j.state = JobCanceled
 		s.jobsCanceled++
@@ -674,6 +730,9 @@ func (s *Server) runJob(j *job) {
 		s.cache.Abort(j.key, err)
 		s.markFinishedLocked(j)
 	default:
+		if resumed {
+			s.checkpointsResumed++
+		}
 		j.state = JobDone
 		j.source = SourceCompute
 		j.report = rep
@@ -691,6 +750,79 @@ func (s *Server) runJob(j *job) {
 	if err == nil {
 		s.pushToOwner(j.hash, rep)
 	}
+}
+
+// execute runs a leader job's spec — resuming from a persisted
+// checkpoint when one exists, computing from scratch otherwise.
+// resumed reports whether a checkpoint was consumed. Callers must not
+// hold s.mu.
+func (s *Server) execute(j *job) (rep *result.Report, resumed bool, err error) {
+	opts := result.Options{
+		Workers:       s.cfg.SweepWorkers,
+		Trace:         !j.spec.HasSweep(),
+		TraceInterval: traceInterval(float64(j.spec.Duration)),
+		Cancel:        j.cancel,
+		Progress: func(done, total int) {
+			s.mu.Lock()
+			j.done, j.total = done, total
+			s.mu.Unlock()
+		},
+	}
+	if st := s.cfg.Checkpoints; st != nil {
+		opts.Checkpoint = s.ckptReq
+		if rec, ok := st.Get(j.key); ok {
+			rep, err = result.ResumeSpec(j.spec, rec.State, opts)
+			var ck *scenario.CheckpointError
+			if err == nil || errors.Is(err, sweep.ErrCanceled) || errors.As(err, &ck) {
+				return rep, true, err
+			}
+			// The persisted state is unusable (stale envelope, corrupt
+			// blob): drop it and compute from scratch rather than failing
+			// a job the engine can still run.
+			st.Delete(j.key)
+		}
+	}
+	rep, err = result.RunSpec(j.spec, opts)
+	return rep, false, err
+}
+
+// saveCheckpoint persists a suspended job's engine state keyed by its
+// cache key, alongside the canonical spec the next boot resubmits.
+// Callers must not hold s.mu.
+func (s *Server) saveCheckpoint(j *job, state []byte) error {
+	canon, err := j.spec.Canonical()
+	if err != nil {
+		return err
+	}
+	return s.cfg.Checkpoints.Put(j.key, canon, state)
+}
+
+// ResumeCheckpoints resubmits every job a previous process checkpointed
+// on shutdown. Call it after Start (typically in its own goroutine —
+// submissions pace themselves against the queue via SubmitWait); the
+// resubmitted jobs find their persisted state through the normal
+// execution path and finish byte-identical to uninterrupted runs. It
+// returns the number of jobs resubmitted.
+func (s *Server) ResumeCheckpoints(ctx context.Context) int {
+	st := s.cfg.Checkpoints
+	if st == nil {
+		return 0
+	}
+	n := 0
+	for _, rec := range st.List() {
+		js, err := s.SubmitWait(ctx, rec.Spec)
+		if err != nil {
+			continue
+		}
+		n++
+		if CacheKey(js.Hash) != rec.Key {
+			// The record predates an engine-version bump: the fresh
+			// submission runs under a new key, so the stale state can
+			// never be consumed — drop it.
+			st.Delete(rec.Key)
+		}
+	}
+	return n
 }
 
 // pushToOwner replicates a computed report to the hash's owning peer,
@@ -768,11 +900,15 @@ const maxTraceSamples = 20_000
 
 // traceInterval picks the trace sampling interval for a run of the
 // given simulated duration: the CLI-matching default, stretched so the
-// trace never exceeds maxTraceSamples points per series.
+// trace never exceeds maxTraceSamples points per series. The recorder
+// keeps samples at both ends of the run — up to duration/interval + 1
+// of them — so the divisor is maxTraceSamples−1: stretching to exactly
+// duration/maxTraceSamples would admit maxTraceSamples+1 points, one
+// over the bound.
 func traceInterval(duration float64) float64 {
 	iv := result.TraceInterval
-	if duration/iv > maxTraceSamples {
-		iv = duration / maxTraceSamples
+	if duration/iv > float64(maxTraceSamples-1) {
+		iv = duration / float64(maxTraceSamples-1)
 	}
 	return iv
 }
@@ -887,6 +1023,9 @@ func (s *Server) Metrics() Metrics {
 		ExploreProbes:      s.exploreProbes,
 		ExploreCacheHits:   s.exploreHits,
 		ExploreCacheMisses: s.exploreMisses,
+
+		CheckpointsSaved:   s.checkpointsSaved,
+		CheckpointsResumed: s.checkpointsResumed,
 	}
 	for _, j := range s.jobs {
 		if j.state == JobRunning {
@@ -908,6 +1047,9 @@ func (s *Server) Metrics() Metrics {
 		m.DiskEvictions = st.Evictions
 		m.DiskCorrupt = st.Corrupt
 		m.DiskWriteErrors = st.WriteErrors
+	}
+	if s.cfg.Checkpoints != nil {
+		m.CheckpointsPending = s.cfg.Checkpoints.Len()
 	}
 	return m
 }

@@ -187,6 +187,15 @@ func Labs(r *Runner, n int, build func(c Case) lab.Setup) ([]lab.Result, error) 
 	})
 }
 
+// MapCases runs fn over an explicit case slice — cases that were already
+// expanded (and possibly partitioned) by the caller, e.g. a checkpointing
+// driver resuming a sweep from the first incomplete wave. results[i]
+// corresponds to cases[i]; the cases keep their original names and seeds,
+// so error attribution and per-case determinism are unchanged.
+func MapCases[T any](r *Runner, cases []Case, fn func(c Case) (T, error)) ([]T, error) {
+	return mapCases(r, cases, fn)
+}
+
 // mapCases is the engine core: an index-claiming worker pool with
 // index-ordered collection and lowest-index error selection.
 func mapCases[T any](r *Runner, cases []Case, fn func(c Case) (T, error)) ([]T, error) {

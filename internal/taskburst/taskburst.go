@@ -88,13 +88,13 @@ func (e ErrCapacitorTooSmall) Error() string {
 
 // Simulate charges the node from its harvester for duration seconds at
 // step dt, firing tasks as energy permits. Firing timestamps accumulate in
-// Events.
+// Events. It is a chunked wrapper over Sim, preserving the historical
+// abort cadence: the Abort channel is polled every 1024 steps.
 func (n *Node) Simulate(duration, dt float64) {
 	n.Aborted = false
-	maxI := 1.0
-	step := 0
-	for t := 0.0; t < duration; t += dt {
-		if n.Abort != nil && step%1024 == 0 {
+	sim := NewSim(n, duration, dt)
+	for !sim.Done() {
+		if n.Abort != nil {
 			select {
 			case <-n.Abort:
 				n.Aborted = true
@@ -102,7 +102,37 @@ func (n *Node) Simulate(duration, dt float64) {
 			default:
 			}
 		}
-		step++
+		sim.Step(1024)
+	}
+}
+
+// Sim is a resumable stepper over the same charge/fire loop as Simulate:
+// it advances in bounded chunks so a caller can interleave cancellation
+// checks or capture a checkpoint between chunks, with its full state
+// exposed through State/Restore. The per-step arithmetic is identical to
+// an uninterrupted run.
+type Sim struct {
+	n            *Node
+	duration, dt float64
+	t            float64
+}
+
+// NewSim prepares a stepper for n over duration seconds at step dt.
+func NewSim(n *Node, duration, dt float64) *Sim {
+	return &Sim{n: n, duration: duration, dt: dt}
+}
+
+// Done reports whether the charge/fire loop has covered the duration.
+func (s *Sim) Done() bool { return !(s.t < s.duration) }
+
+// Step advances up to maxSteps integration steps (all remaining when
+// maxSteps ≤ 0).
+func (s *Sim) Step(maxSteps int) {
+	n := s.n
+	dt := s.dt
+	const maxI = 1.0
+	for k := 0; (maxSteps <= 0 || k < maxSteps) && s.t < s.duration; k++ {
+		t := s.t
 		p := n.Harvest.Power(t)
 		if p > 0 {
 			v := math.Max(n.Cap.V, 0.1)
@@ -122,7 +152,32 @@ func (n *Node) Simulate(duration, dt float64) {
 		if n.Observe != nil {
 			n.Observe(t, n.Cap.V, fired)
 		}
+		s.t += dt
 	}
+}
+
+// SimState is the complete serialisable state of a Sim plus the mutable
+// node state the loop evolves: the clock, the capacitor's voltage and
+// clamp accounting, and the firing log.
+type SimState struct {
+	T        float64
+	V        float64
+	ClampedJ float64
+	Events   []float64
+}
+
+// State captures the stepper for later Restore.
+func (s *Sim) State() SimState {
+	return SimState{T: s.t, V: s.n.Cap.V, ClampedJ: s.n.Cap.ClampedJ, Events: s.n.Events}
+}
+
+// Restore rewinds the stepper and its node to a captured state. The node
+// must have been rebuilt identically to the one that produced the state.
+func (s *Sim) Restore(st SimState) {
+	s.t = st.T
+	s.n.Cap.V = st.V
+	s.n.Cap.ClampedJ = st.ClampedJ
+	s.n.Events = append([]float64(nil), st.Events...)
 }
 
 // Rate returns the mean firing rate in events per second over [t0, t1].

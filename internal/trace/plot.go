@@ -19,10 +19,10 @@ func Sparkline(s *Series, width int) string {
 	st := d.Summarize()
 	span := st.Max - st.Min
 	var b strings.Builder
-	for _, p := range d.Points {
+	for i := 0; i < d.Len(); i++ {
 		idx := len(sparkRunes) / 2
 		if span > 0 {
-			idx = int((p.V - st.Min) / span * float64(len(sparkRunes)-1))
+			idx = int((d.V(i) - st.Min) / span * float64(len(sparkRunes)-1))
 		}
 		if idx < 0 {
 			idx = 0
@@ -58,8 +58,8 @@ func Plot(s *Series, width, height int) string {
 	for i := range grid {
 		grid[i] = []byte(strings.Repeat(" ", d.Len()))
 	}
-	for col, p := range d.Points {
-		row := int((p.V - st.Min) / span * float64(height-1))
+	for col := 0; col < d.Len(); col++ {
+		row := int((d.V(col) - st.Min) / span * float64(height-1))
 		if row < 0 {
 			row = 0
 		}

@@ -1,0 +1,121 @@
+package trace
+
+import (
+	"math"
+	"testing"
+)
+
+// Regression: the rounded stride walk in Decimate could emit the same
+// source index twice when n is close to len, duplicating timestamps in
+// served CSV. Indices must be strictly increasing for every n, and the
+// first/last samples preserved.
+func TestDecimateIndicesStrictlyIncreasing(t *testing.T) {
+	for _, ln := range []int{2, 3, 5, 17, 100, 1000} {
+		s := NewSeries("s", "")
+		for i := 0; i < ln; i++ {
+			s.Append(float64(i), float64(i)*2)
+		}
+		for n := 2; n <= ln; n++ {
+			d := s.Decimate(n)
+			if d.Len() != n {
+				t.Fatalf("len=%d n=%d: got %d points", ln, n, d.Len())
+			}
+			if d.At(0).T != 0 {
+				t.Fatalf("len=%d n=%d: first sample %v, want t=0", ln, n, d.At(0))
+			}
+			if d.Last().T != float64(ln-1) {
+				t.Fatalf("len=%d n=%d: last sample %v, want t=%d", ln, n, d.Last(), ln-1)
+			}
+			for i := 1; i < d.Len(); i++ {
+				if d.At(i).T <= d.At(i-1).T {
+					t.Fatalf("len=%d n=%d: duplicate/regressing timestamp at %d: %v then %v",
+						ln, n, i, d.At(i-1), d.At(i))
+				}
+			}
+		}
+	}
+}
+
+func TestDecimateEdgeCounts(t *testing.T) {
+	s := NewSeries("s", "")
+	for i := 0; i < 10; i++ {
+		s.Append(float64(i), float64(i))
+	}
+	if d := s.Decimate(0); d.Len() != 0 {
+		t.Fatalf("n=0: got %d points", d.Len())
+	}
+	if d := s.Decimate(-3); d.Len() != 0 {
+		t.Fatalf("n<0: got %d points", d.Len())
+	}
+	if d := s.Decimate(1); d.Len() != 1 || d.At(0).T != 9 {
+		t.Fatalf("n=1: got %v, want the last sample", d.At(0))
+	}
+	if d := s.Decimate(25); d.Len() != 10 {
+		t.Fatalf("n>len: got %d points, want exact copy", d.Len())
+	}
+}
+
+// Regression: interpolated lookup at or before the first sample must
+// clamp to the endpoints instead of indexing before the columns.
+func TestSampleClampsToEndpoints(t *testing.T) {
+	s := NewSeries("s", "V")
+	s.Append(10, 1)
+	s.Append(20, 3)
+	s.Append(30, -5)
+	cases := []struct {
+		name string
+		t    float64
+		want float64
+	}{
+		{"before-first", 5, 1},
+		{"well-before-first", -1e9, 1},
+		{"exactly-first", 10, 1},
+		{"interior", 15, 2},
+		{"exactly-interior", 20, 3},
+		{"exactly-last", 30, -5},
+		{"after-last", 31, -5},
+		{"well-after-last", 1e12, -5},
+	}
+	for _, c := range cases {
+		if got := s.Sample(c.t); got != c.want {
+			t.Errorf("%s: Sample(%g) = %g, want %g", c.name, c.t, got, c.want)
+		}
+	}
+}
+
+func TestSampleSinglePointAndEmpty(t *testing.T) {
+	empty := NewSeries("e", "")
+	if got := empty.Sample(3); got != 0 {
+		t.Fatalf("empty series Sample = %g, want 0", got)
+	}
+	one := NewSeries("o", "")
+	one.Append(7, 42)
+	for _, q := range []float64{6, 7, 8} {
+		if got := one.Sample(q); got != 42 {
+			t.Fatalf("single-point Sample(%g) = %g, want 42", q, got)
+		}
+	}
+}
+
+// Block summaries must stay consistent with the columns across block
+// boundaries (the incremental Append path).
+func TestBlockSummariesMatchColumns(t *testing.T) {
+	s := NewSeries("s", "")
+	n := 3*blockSize + 17
+	for i := 0; i < n; i++ {
+		s.Append(float64(i), math.Cos(float64(i)))
+	}
+	for i := 0; i < n; i += 13 {
+		for j := i + 1; j <= n; j += 97 {
+			lo, hi := s.rangeMinMax(i, j)
+			wlo, whi := math.Inf(1), math.Inf(-1)
+			for k := i; k < j; k++ {
+				wlo = math.Min(wlo, s.V(k))
+				whi = math.Max(whi, s.V(k))
+			}
+			if lo != wlo || hi != whi {
+				t.Fatalf("rangeMinMax(%d,%d) = %g,%g want %g,%g", i, j, lo, hi, wlo, whi)
+			}
+		}
+	}
+}

@@ -4,6 +4,14 @@
 // Every figure reproduced from the paper is ultimately a trace (or a set of
 // traces) captured by this package; the experiment harness serialises them
 // so that downstream plotting tools can regenerate the published artwork.
+//
+// Storage is columnar: a Series keeps its timestamps and values in two
+// parallel []float64 arrays, summarised in fixed-size blocks
+// (min/max/first/last per blockSize samples). The column layout keeps the
+// append path allocation-cheap, and the block summaries let windowed
+// decimation (Window, the service's /trace?from=&to=&points= path) answer
+// bucket min/max queries by touching O(points + samples/blockSize) data
+// instead of rescanning every stored sample.
 package trace
 
 import (
@@ -20,11 +28,28 @@ type Point struct {
 	V float64
 }
 
+// blockSize is the block-summary granularity in samples. A power of two
+// keeps the index arithmetic to shifts; 256 samples per summary bounds a
+// windowed query's partial-block scans at two blocks per bucket edge
+// while keeping the summary overhead below 2% of the column storage.
+const blockSize = 256
+
+// blockSummary aggregates one blockSize run of samples.
+type blockSummary struct {
+	min, max    float64
+	first, last float64
+}
+
 // Series is an append-only time series with a name and unit annotation.
+// Samples live in parallel time/value columns with per-block summaries;
+// timestamps must be appended in non-decreasing order (every producer in
+// the simulator samples a forward-moving clock).
 type Series struct {
-	Name   string
-	Unit   string
-	Points []Point
+	Name string
+	Unit string
+
+	ts, vs []float64
+	blocks []blockSummary
 
 	// lastT is the timestamp of the last sample stored through a
 	// Recorder, the state behind its minimum-interval decimation.
@@ -36,40 +61,57 @@ func NewSeries(name, unit string) *Series {
 	return &Series{Name: name, Unit: unit, lastT: math.Inf(-1)}
 }
 
-// Append adds a sample at time t.
+// Append adds a sample at time t, maintaining the block summaries.
 func (s *Series) Append(t, v float64) {
-	s.Points = append(s.Points, Point{T: t, V: v})
+	i := len(s.vs)
+	s.ts = append(s.ts, t)
+	s.vs = append(s.vs, v)
+	if i%blockSize == 0 {
+		s.blocks = append(s.blocks, blockSummary{min: v, max: v, first: v, last: v})
+		return
+	}
+	b := &s.blocks[i/blockSize]
+	if v < b.min {
+		b.min = v
+	}
+	if v > b.max {
+		b.max = v
+	}
+	b.last = v
 }
 
 // Len returns the number of samples.
-func (s *Series) Len() int { return len(s.Points) }
+func (s *Series) Len() int { return len(s.vs) }
 
 // At returns the i-th sample.
-func (s *Series) At(i int) Point { return s.Points[i] }
+func (s *Series) At(i int) Point { return Point{T: s.ts[i], V: s.vs[i]} }
+
+// T returns the i-th sample's timestamp.
+func (s *Series) T(i int) float64 { return s.ts[i] }
+
+// V returns the i-th sample's value.
+func (s *Series) V(i int) float64 { return s.vs[i] }
 
 // Last returns the most recent sample, or a zero Point if empty.
 func (s *Series) Last() Point {
-	if len(s.Points) == 0 {
+	n := len(s.vs)
+	if n == 0 {
 		return Point{}
 	}
-	return s.Points[len(s.Points)-1]
+	return Point{T: s.ts[n-1], V: s.vs[n-1]}
 }
 
 // Values returns a copy of the sample values.
 func (s *Series) Values() []float64 {
-	vs := make([]float64, len(s.Points))
-	for i, p := range s.Points {
-		vs[i] = p.V
-	}
+	vs := make([]float64, len(s.vs))
+	copy(vs, s.vs)
 	return vs
 }
 
 // Times returns a copy of the sample timestamps.
 func (s *Series) Times() []float64 {
-	ts := make([]float64, len(s.Points))
-	for i, p := range s.Points {
-		ts[i] = p.T
-	}
+	ts := make([]float64, len(s.ts))
+	copy(ts, s.ts)
 	return ts
 }
 
@@ -89,34 +131,34 @@ type Stats struct {
 // so it is exact for piecewise-linear signals.
 func (s *Series) Summarize() Stats {
 	st := Stats{Min: math.Inf(1), Max: math.Inf(-1)}
-	st.N = len(s.Points)
+	st.N = len(s.vs)
 	if st.N == 0 {
 		st.Min, st.Max = 0, 0
 		return st
 	}
 	var sum, sumSq float64
-	for i, p := range s.Points {
-		if p.V < st.Min {
-			st.Min, st.MinAt = p.V, p.T
+	for i, v := range s.vs {
+		t := s.ts[i]
+		if v < st.Min {
+			st.Min, st.MinAt = v, t
 		}
-		if p.V > st.Max {
-			st.Max, st.MaxAt = p.V, p.T
+		if v > st.Max {
+			st.Max, st.MaxAt = v, t
 		}
-		sum += p.V
-		sumSq += p.V * p.V
+		sum += v
+		sumSq += v * v
 		if i > 0 {
-			prev := s.Points[i-1]
-			st.Integral += 0.5 * (p.V + prev.V) * (p.T - prev.T)
+			st.Integral += 0.5 * (v + s.vs[i-1]) * (t - s.ts[i-1])
 		}
 	}
 	st.Mean = sum / float64(st.N)
 	st.RMS = math.Sqrt(sumSq / float64(st.N))
-	st.First = s.Points[0].V
-	st.Last = s.Points[st.N-1].V
-	st.TMin = s.Points[0].T
-	st.TMax = s.Points[st.N-1].T
+	st.First = s.vs[0]
+	st.Last = s.vs[st.N-1]
+	st.TMin = s.ts[0]
+	st.TMax = s.ts[st.N-1]
 	for i := 1; i < st.N; i++ {
-		if s.Points[i-1].V < st.Mean && s.Points[i].V >= st.Mean {
+		if s.vs[i-1] < st.Mean && s.vs[i] >= st.Mean {
 			st.CrossingsRising++
 		}
 	}
@@ -124,58 +166,111 @@ func (s *Series) Summarize() Stats {
 }
 
 // Sample returns the linearly interpolated value at time t. Outside the
-// covered range it clamps to the first/last sample. An empty series
-// returns 0.
+// covered range it clamps to the first/last sample — a query at or
+// before the first timestamp returns the first value, at or after the
+// last timestamp the last value — so lookups never index outside the
+// columns. An empty series returns 0.
 func (s *Series) Sample(t float64) float64 {
-	n := len(s.Points)
+	n := len(s.vs)
 	if n == 0 {
 		return 0
 	}
-	if t <= s.Points[0].T {
-		return s.Points[0].V
+	if t <= s.ts[0] {
+		return s.vs[0]
 	}
-	if t >= s.Points[n-1].T {
-		return s.Points[n-1].V
+	if t >= s.ts[n-1] {
+		return s.vs[n-1]
 	}
 	// Binary search for the bracketing interval.
-	i := sort.Search(n, func(i int) bool { return s.Points[i].T > t })
-	a, b := s.Points[i-1], s.Points[i]
-	if b.T == a.T {
-		return b.V
+	i := sort.Search(n, func(i int) bool { return s.ts[i] > t })
+	a, b := s.ts[i-1], s.ts[i]
+	if b == a {
+		return s.vs[i]
 	}
-	frac := (t - a.T) / (b.T - a.T)
-	return a.V + frac*(b.V-a.V)
+	frac := (t - a) / (b - a)
+	return s.vs[i-1] + frac*(s.vs[i]-s.vs[i-1])
 }
 
 // Decimate returns a copy of the series keeping at most n points, chosen by
-// stride. It preserves the first and last samples. If the series already
-// has ≤ n points, the copy is exact; n == 1 keeps the last sample, and
-// n ≤ 0 yields an empty copy.
+// stride. It preserves the first and last samples, and the chosen source
+// indices are strictly increasing — the rounded stride walk can land two
+// output slots on the same source index when n approaches the length, and
+// a duplicated index would emit duplicate timestamps into served CSV. If
+// the series already has ≤ n points, the copy is exact; n == 1 keeps the
+// last sample, and n ≤ 0 yields an empty copy.
 func (s *Series) Decimate(n int) *Series {
 	out := NewSeries(s.Name, s.Unit)
-	ln := len(s.Points)
+	ln := len(s.vs)
 	if n <= 0 || ln == 0 {
 		return out
 	}
 	if ln <= n {
-		out.Points = append(out.Points, s.Points...)
+		for i := 0; i < ln; i++ {
+			out.Append(s.ts[i], s.vs[i])
+		}
 		return out
 	}
 	if n == 1 {
 		// The stride formula below needs n ≥ 2 (it divides by n-1); a
 		// one-point decimation keeps the most recent sample.
-		out.Points = append(out.Points, s.Points[ln-1])
+		out.Append(s.ts[ln-1], s.vs[ln-1])
 		return out
 	}
 	stride := float64(ln-1) / float64(n-1)
+	prev := -1
 	for i := 0; i < n; i++ {
 		idx := int(math.Round(float64(i) * stride))
+		if idx <= prev {
+			idx = prev + 1
+		}
 		if idx >= ln {
 			idx = ln - 1
 		}
-		out.Points = append(out.Points, s.Points[idx])
+		out.Append(s.ts[idx], s.vs[idx])
+		prev = idx
 	}
 	return out
+}
+
+// searchT returns the smallest index whose timestamp is ≥ t (len if none).
+func (s *Series) searchT(t float64) int {
+	return sort.SearchFloat64s(s.ts, t)
+}
+
+// rangeMinMax returns the min and max value over the index range [i, j).
+// Interior full blocks are answered from their summaries, so the scan
+// touches at most 2·blockSize samples plus (j−i)/blockSize summaries.
+// The range must be non-empty.
+func (s *Series) rangeMinMax(i, j int) (lo, hi float64) {
+	lo, hi = math.Inf(1), math.Inf(-1)
+	scan := func(a, b int) {
+		for k := a; k < b; k++ {
+			v := s.vs[k]
+			if v < lo {
+				lo = v
+			}
+			if v > hi {
+				hi = v
+			}
+		}
+	}
+	firstFull := (i + blockSize - 1) / blockSize // first block fully inside
+	lastFull := j / blockSize                    // first block past the full run
+	if firstFull >= lastFull {
+		scan(i, j)
+		return lo, hi
+	}
+	scan(i, firstFull*blockSize)
+	for b := firstFull; b < lastFull; b++ {
+		if s.blocks[b].min < lo {
+			lo = s.blocks[b].min
+		}
+		if s.blocks[b].max > hi {
+			hi = s.blocks[b].max
+		}
+	}
+	scan(lastFull*blockSize, j)
+	return lo, hi
 }
 
 // Recorder collects multiple named series sampled on a shared clock, with a
@@ -219,7 +314,7 @@ func (r *Recorder) create(name, unit string) *Series {
 
 // record applies the interval gate and appends.
 func (r *Recorder) record(s *Series, t, v float64) {
-	if r.interval > 0 && t-s.lastT < r.interval && len(s.Points) > 0 {
+	if r.interval > 0 && t-s.lastT < r.interval && len(s.vs) > 0 {
 		return
 	}
 	s.lastT = t
@@ -286,11 +381,12 @@ func (r *Recorder) WriteCSV(w io.Writer) error {
 		return err
 	}
 	base := r.series[r.order[0]]
-	for _, p := range base.Points {
+	for i := 0; i < base.Len(); i++ {
+		t := base.ts[i]
 		row := make([]string, 0, len(r.order)+1)
-		row = append(row, formatFloat(p.T))
+		row = append(row, formatFloat(t))
 		for _, name := range r.order {
-			row = append(row, formatFloat(r.series[name].Sample(p.T)))
+			row = append(row, formatFloat(r.series[name].Sample(t)))
 		}
 		if _, err := fmt.Fprintln(w, strings.Join(row, ",")); err != nil {
 			return err

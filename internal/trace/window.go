@@ -1,0 +1,129 @@
+package trace
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// Bucket is one aggregation interval of a windowed query: the samples
+// whose timestamps fall in [T, T+width) reduced to their extrema. Empty
+// buckets (N == 0) carry the series' interpolated value at the bucket
+// start in both Min and Max, so a windowed render stays continuous
+// across sparse regions.
+type Bucket struct {
+	T        float64 // bucket start time
+	Min, Max float64
+	N        int // samples aggregated; 0 = interpolated fill
+}
+
+// Window reduces the series over [from, to] to at most points buckets of
+// equal width, each carrying the min/max of the samples inside it. The
+// interior of each bucket is answered from the block summaries, so the
+// cost is O(points + samples/blockSize) rather than O(samples): each
+// bucket scans at most two partial blocks at its edges, and consecutive
+// buckets share those edges. Points < 1 or to ≤ from yields nil; an
+// empty series yields buckets with N == 0 and zero values.
+func (s *Series) Window(from, to float64, points int) []Bucket {
+	if points < 1 || !(to > from) {
+		return nil
+	}
+	width := (to - from) / float64(points)
+	out := make([]Bucket, points)
+	lo := s.searchT(from)
+	for b := 0; b < points; b++ {
+		start := from + float64(b)*width
+		end := from + float64(b+1)*width
+		if b == points-1 {
+			// Make the final bucket closed on the right so a sample at
+			// exactly t == to is not dropped by the half-open walk.
+			end = math.Nextafter(to, math.Inf(1))
+		}
+		hi := lo
+		for hi < len(s.ts) && s.ts[hi] < end {
+			// Advance in blockSize hops when the whole block stays
+			// inside the bucket, falling back to a linear walk at the
+			// edges; combined with rangeMinMax this keeps the per-query
+			// cost proportional to buckets plus blocks, not samples.
+			if next := hi + blockSize; next <= len(s.ts) && s.ts[next-1] < end {
+				hi = next
+				continue
+			}
+			hi++
+		}
+		bk := Bucket{T: start}
+		if hi > lo {
+			bk.Min, bk.Max = s.rangeMinMax(lo, hi)
+			bk.N = hi - lo
+		} else if s.Len() > 0 {
+			v := s.Sample(start)
+			bk.Min, bk.Max = v, v
+		}
+		out[b] = bk
+		lo = hi
+	}
+	return out
+}
+
+// WriteWindowCSV renders a windowed view of every series as CSV: one row
+// per bucket at the bucket start time, with name_min(unit),name_max(unit)
+// columns per series. It is the payload behind the service's
+// /trace?from=&to=&points= query.
+func (r *Recorder) WriteWindowCSV(w io.Writer, from, to float64, points int) error {
+	if len(r.order) == 0 {
+		_, err := fmt.Fprintln(w, "t")
+		return err
+	}
+	header := []string{"t"}
+	for _, name := range r.order {
+		s := r.series[name]
+		unit := ""
+		if s.Unit != "" {
+			unit = "(" + s.Unit + ")"
+		}
+		header = append(header, name+"_min"+unit, name+"_max"+unit)
+	}
+	if _, err := fmt.Fprintln(w, strings.Join(header, ",")); err != nil {
+		return err
+	}
+	windows := make([][]Bucket, len(r.order))
+	for i, name := range r.order {
+		windows[i] = r.series[name].Window(from, to, points)
+	}
+	for b := 0; b < points; b++ {
+		row := make([]string, 0, 2*len(r.order)+1)
+		row = append(row, formatFloat(windows[0][b].T))
+		for i := range r.order {
+			bk := windows[i][b]
+			row = append(row, formatFloat(bk.Min), formatFloat(bk.Max))
+		}
+		if _, err := fmt.Fprintln(w, strings.Join(row, ",")); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// TimeRange returns the earliest and latest timestamp across all series
+// in the recorder, and false if no samples have been recorded.
+func (r *Recorder) TimeRange() (from, to float64, ok bool) {
+	from, to = math.Inf(1), math.Inf(-1)
+	for _, name := range r.order {
+		s := r.series[name]
+		if s.Len() == 0 {
+			continue
+		}
+		if s.ts[0] < from {
+			from = s.ts[0]
+		}
+		if last := s.ts[s.Len()-1]; last > to {
+			to = last
+		}
+		ok = true
+	}
+	if !ok {
+		return 0, 0, false
+	}
+	return from, to, true
+}

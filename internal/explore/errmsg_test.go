@@ -1,0 +1,35 @@
+package explore
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestRunUnknownStrategyListsOptions pins the registry contract on the
+// runner's defensive strategy dispatch: Validate rejects unknown kinds
+// first, but a caller that skips validation still gets an error naming
+// the valid kinds, not a bare name.
+func TestRunUnknownStrategyListsOptions(t *testing.T) {
+	s := mustSpec(t, `{
+		"name": "syn-unknown",
+		"base": `+synBase+`,
+		"strategy": {
+			"kind": "grid",
+			"axes": [{"param": "model.scale", "values": [1, 2]}]
+		},
+		"aggregators": [
+			{"kind": "topk", "k": 1, "metric": "mean_fps", "goal": "max"}
+		]
+	}`)
+	s.Strategy.Kind = "anneal"
+	eval := synEval(func(scale, p float64) float64 { return scale * p })
+	_, err := Run(s, Options{Evaluate: eval})
+	if err == nil {
+		t.Fatal("unknown strategy kind accepted")
+	}
+	for _, want := range []string{`"anneal"`, "valid: grid, bisect, refine"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("error %q missing %q", err, want)
+		}
+	}
+}

@@ -203,11 +203,11 @@ func (s *Spec) Validate() error {
 		return s.errf("base must be sweep-free (the strategy owns the axes)")
 	}
 	if err := s.Base.Validate(); err != nil {
-		return s.errf("base: %v", err)
+		return s.errf("base: %w", err)
 	}
 	m, err := scenario.LookupModel(s.Base.ModelName())
 	if err != nil {
-		return s.errf("%v", err)
+		return s.errf("%w", err)
 	}
 	docs := map[string]bool{}
 	var keys []string
@@ -240,7 +240,7 @@ func (s *Spec) Validate() error {
 		work := s.Base.Clone()
 		work.Sweep = st.Axes
 		if err := work.Validate(); err != nil {
-			return s.errf("axes: %v", err)
+			return s.errf("axes: %w", err)
 		}
 	case "bisect":
 		if len(st.Axes) > 0 || len(st.Refine) > 0 {
@@ -311,10 +311,10 @@ func (s *Spec) Validate() error {
 			for _, x := range []float64{float64(ax.Lo), float64(ax.Hi)} {
 				probe := s.Base.Clone()
 				if err := probe.Apply(ax.Param, x); err != nil {
-					return s.errf("refine[%d]: %v", i, err)
+					return s.errf("refine[%d]: %w", i, err)
 				}
 				if err := probe.Validate(); err != nil {
-					return s.errf("refine[%d] (%s=%g): %v", i, ax.Param, x, err)
+					return s.errf("refine[%d] (%s=%g): %w", i, ax.Param, x, err)
 				}
 			}
 		}
@@ -396,7 +396,7 @@ func (ax *RefineAxis) points() int {
 func (s *Spec) variantSpec(v *Variant, x float64) (*scenario.Spec, error) {
 	sp := s.Base.Clone()
 	if err := sp.Apply(s.Strategy.Param, x); err != nil {
-		return nil, s.errf("variant %q: %v", v.Name, err)
+		return nil, s.errf("variant %q: %w", v.Name, err)
 	}
 	for _, o := range v.Set {
 		var val any
@@ -411,11 +411,11 @@ func (s *Spec) variantSpec(v *Variant, x float64) (*scenario.Spec, error) {
 			return nil, s.errf("variant %q: override %q needs a value or a name", v.Name, o.Param)
 		}
 		if err := sp.Apply(o.Param, val); err != nil {
-			return nil, s.errf("variant %q: %v", v.Name, err)
+			return nil, s.errf("variant %q: %w", v.Name, err)
 		}
 	}
 	if err := sp.Validate(); err != nil {
-		return nil, s.errf("variant %q at %s=%g: %v", v.Name, s.Strategy.Param, x, err)
+		return nil, s.errf("variant %q at %s=%g: %w", v.Name, s.Strategy.Param, x, err)
 	}
 	return sp, nil
 }
@@ -427,7 +427,7 @@ func (s *Spec) variantSpec(v *Variant, x float64) (*scenario.Spec, error) {
 func (s *Spec) Hash() (string, error) {
 	b, err := json.Marshal(s)
 	if err != nil {
-		return "", s.errf("hash: %v", err)
+		return "", s.errf("hash: %w", err)
 	}
 	sum := sha256.Sum256(b)
 	return hex.EncodeToString(sum[:]), nil

@@ -115,7 +115,7 @@ func Run(s *Spec, opts Options) (*Report, error) {
 	case "refine":
 		err = r.runRefine()
 	default:
-		err = s.errf("unknown strategy kind %q", s.Strategy.Kind)
+		err = s.errf("unknown strategy kind %q (valid: grid, bisect, refine)", s.Strategy.Kind)
 	}
 	if err != nil {
 		return nil, err
@@ -274,7 +274,7 @@ func (r *runner) runGrid() error {
 	grid := work.Grid()
 	n, err := grid.SizeChecked()
 	if err != nil {
-		return r.spec.errf("%v", err)
+		return r.spec.errf("%w", err)
 	}
 	r.total = n
 	for start := 0; start < n; start += batchSize {
@@ -287,7 +287,7 @@ func (r *runner) runGrid() error {
 			c := grid.CaseAt(i)
 			cs, err := work.At(c)
 			if err != nil {
-				return r.spec.errf("%v", err)
+				return r.spec.errf("%w", err)
 			}
 			probes = append(probes, probe{name: c.Name, sp: cs})
 		}
@@ -529,7 +529,7 @@ func (r *runner) refineSpec(rs *refineState, coord []float64) (*scenario.Spec, s
 	var name strings.Builder
 	for a, ax := range rs.axes {
 		if err := sp.Apply(ax.Param, coord[a]); err != nil {
-			return nil, "", r.spec.errf("%v", err)
+			return nil, "", r.spec.errf("%w", err)
 		}
 		if a > 0 {
 			name.WriteByte('/')
@@ -537,7 +537,7 @@ func (r *runner) refineSpec(rs *refineState, coord []float64) (*scenario.Spec, s
 		fmt.Fprintf(&name, "%s=%s", ax.Param, scenario.AxisLabel(ax.Param, coord[a]))
 	}
 	if err := sp.Validate(); err != nil {
-		return nil, "", r.spec.errf("refinement point %s: %v", name.String(), err)
+		return nil, "", r.spec.errf("refinement point %s: %w", name.String(), err)
 	}
 	return sp, name.String(), nil
 }

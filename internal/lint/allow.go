@@ -1,0 +1,134 @@
+package lint
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// allowMarker introduces the suite's escape hatch:
+//
+//	//lint:allow <analyzer> <reason>
+//
+// On a code line (or the line above one) it suppresses the named
+// analyzer there; in a function's doc comment it covers the whole
+// function body. The reason is mandatory — an intentional exception
+// documents itself at the site instead of living in a path allowlist.
+const allowMarker = "lint:allow"
+
+// allowIndex answers "is this diagnostic intentionally allowed?".
+type allowIndex struct {
+	// byLine maps file → line → analyzer names allowed on that line.
+	byLine map[string]map[int]map[string]bool
+	// spans are whole-function allowances from doc-comment directives.
+	spans []allowSpan
+}
+
+type allowSpan struct {
+	file       string
+	start, end int
+	analyzer   string
+}
+
+// scanAllows builds the package's allow index from its comments and
+// returns it along with diagnostics for malformed directives (analyzer
+// "directive" — these are not suppressible).
+func scanAllows(pkg *Package, analyzers []*Analyzer) (*allowIndex, []Diagnostic) {
+	known := make(map[string]bool, len(analyzers))
+	for _, a := range analyzers {
+		known[a.Name] = true
+	}
+	idx := &allowIndex{byLine: make(map[string]map[int]map[string]bool)}
+	var diags []Diagnostic
+
+	// funcDocs maps a doc comment group to its function's body extent,
+	// so directives there cover the whole function.
+	type bodySpan struct{ start, end int }
+	funcDocs := make(map[*ast.CommentGroup]bodySpan)
+	for _, f := range pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Doc == nil || fd.Body == nil {
+				continue
+			}
+			funcDocs[fd.Doc] = bodySpan{
+				start: pkg.Fset.Position(fd.Pos()).Line,
+				end:   pkg.Fset.Position(fd.Body.End()).Line,
+			}
+		}
+	}
+
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimPrefix(c.Text, "//")
+				text = strings.TrimSpace(text)
+				if !strings.HasPrefix(text, allowMarker) {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				fields := strings.Fields(text)
+				if len(fields) < 3 {
+					diags = append(diags, Diagnostic{
+						Pos:      pos,
+						Analyzer: "directive",
+						Message:  "malformed //lint:allow directive: want //lint:allow <analyzer> <reason>",
+					})
+					continue
+				}
+				name := fields[1]
+				if !known[name] {
+					diags = append(diags, Diagnostic{
+						Pos:      pos,
+						Analyzer: "directive",
+						Message:  "//lint:allow names unknown analyzer " + quoteName(name, analyzers),
+					})
+					continue
+				}
+				if span, ok := funcDocs[cg]; ok {
+					idx.spans = append(idx.spans, allowSpan{
+						file: pos.Filename, start: span.start, end: span.end, analyzer: name,
+					})
+					continue
+				}
+				lines := idx.byLine[pos.Filename]
+				if lines == nil {
+					lines = make(map[int]map[string]bool)
+					idx.byLine[pos.Filename] = lines
+				}
+				for _, ln := range []int{pos.Line, pos.Line + 1} {
+					if lines[ln] == nil {
+						lines[ln] = make(map[string]bool)
+					}
+					lines[ln][name] = true
+				}
+			}
+		}
+	}
+	return idx, diags
+}
+
+// quoteName renders the unknown analyzer name plus the valid set, per
+// the same registry contract errfmt enforces elsewhere.
+func quoteName(name string, analyzers []*Analyzer) string {
+	names := make([]string, len(analyzers))
+	for i, a := range analyzers {
+		names[i] = a.Name
+	}
+	return "\"" + name + "\" (valid: " + strings.Join(names, ", ") + ")"
+}
+
+// suppressed reports whether d is covered by an allow directive.
+func (idx *allowIndex) suppressed(d Diagnostic) bool {
+	if lines, ok := idx.byLine[d.Pos.Filename]; ok {
+		if lines[d.Pos.Line][d.Analyzer] {
+			return true
+		}
+	}
+	for _, s := range idx.spans {
+		if s.file == d.Pos.Filename && s.analyzer == d.Analyzer &&
+			s.start <= d.Pos.Line && d.Pos.Line <= s.end {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,15 @@
+package lint_test
+
+import (
+	"testing"
+
+	"repro/internal/lint"
+	"repro/internal/lint/linttest"
+)
+
+// TestAllowDirectiveDiagnostics runs the full suite over the directive
+// fixture: malformed and unknown-analyzer //lint:allow forms are
+// findings in their own right, well-formed ones suppress.
+func TestAllowDirectiveDiagnostics(t *testing.T) {
+	linttest.Run(t, "./testdata/src/directive/isa", lint.All()...)
+}

@@ -1,0 +1,151 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"strings"
+)
+
+// ErrfmtAnalyzer enforces the repo's two error-shape contracts:
+//
+//  1. wrapping — an error value formatted into another error must use
+//     %w, not %v/%s, so errors.Is/errors.As see through the layers
+//     (the driver matches sweep.ErrCanceled and *CheckpointError
+//     through exactly such chains). The check covers fmt.Errorf and
+//     any errf-style helper (a function or method named Errorf or
+//     ending in "errf" taking a format string plus variadic args).
+//  2. the registry contract — an "unknown name" error must list the
+//     valid options ("(known: ...)"/"(valid: ...)"), so the fix is one
+//     error message away (package registry's founding rule).
+//
+// It also flags errors.New(fmt.Sprintf(...)), which is fmt.Errorf
+// minus the ability to ever wrap.
+var ErrfmtAnalyzer = &Analyzer{
+	Name: "errfmt",
+	Doc:  "enforce %w wrapping and option-listing unknown-name errors",
+	Run:  runErrfmt,
+}
+
+var errorIface = types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+
+func runErrfmt(p *Pass) {
+	for _, f := range sourceFiles(p) {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := calleeFunc(p.Info, call)
+			if fn == nil {
+				return true
+			}
+			if pkgOf(fn) == "errors" && fn.Name() == "New" && len(call.Args) == 1 {
+				if isRenderCall(p.Info, call.Args[0]) {
+					p.Reportf(call.Pos(), "errors.New(fmt.Sprintf(...)) can never wrap a cause: use fmt.Errorf")
+				}
+				return true
+			}
+			if !errfLike(fn) {
+				return true
+			}
+			checkErrf(p, call, fn)
+			return true
+		})
+	}
+}
+
+// errfLike matches printf-shaped error constructors: fmt.Errorf itself
+// and project helpers like scenario's (*Spec).errf — name "Errorf" or
+// suffix "errf", signature ending (format string, args ...any).
+func errfLike(fn *types.Func) bool {
+	name := fn.Name()
+	if name != "Errorf" && !strings.HasSuffix(name, "errf") {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || !sig.Variadic() || sig.Params().Len() < 2 {
+		return false
+	}
+	fmtParam := sig.Params().At(sig.Params().Len() - 2)
+	b, ok := fmtParam.Type().Underlying().(*types.Basic)
+	return ok && b.Kind() == types.String
+}
+
+// checkErrf applies both error-shape rules to one errf-like call.
+func checkErrf(p *Pass, call *ast.CallExpr, fn *types.Func) {
+	sig := fn.Type().(*types.Signature)
+	fmtIndex := sig.Params().Len() - 2
+	if call.Ellipsis.IsValid() || len(call.Args) <= fmtIndex {
+		return // forwarding args... — analyzed at the forwarding site's callers
+	}
+	format, ok := constStringArg(p, call.Args[fmtIndex])
+	if !ok {
+		return
+	}
+
+	if lower := strings.ToLower(format); strings.Contains(lower, "unknown ") &&
+		!strings.Contains(lower, "known:") && !strings.Contains(lower, "valid:") {
+		p.Reportf(call.Pos(), "unknown-name error must list the valid options, e.g. %s — the registry contract", `"unknown source %q (known: %s)"`)
+	}
+
+	verbs := parseVerbs(format)
+	args := call.Args[fmtIndex+1:]
+	if len(verbs) != len(args) {
+		return // malformed printf call; cmd/vet's printf check owns that
+	}
+	for i, v := range verbs {
+		if v != 'v' && v != 's' {
+			continue
+		}
+		t := p.Info.TypeOf(args[i])
+		if t == nil || !types.Implements(t, errorIface) {
+			continue
+		}
+		p.Reportf(args[i].Pos(), "error formatted with %%%c loses the cause chain for errors.Is/errors.As: wrap with %%w", v)
+	}
+}
+
+// constStringArg resolves arg to a compile-time string.
+func constStringArg(p *Pass, arg ast.Expr) (string, bool) {
+	tv, ok := p.Info.Types[arg]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return "", false
+	}
+	return constant.StringVal(tv.Value), true
+}
+
+// parseVerbs returns the argument-consuming verbs of a printf format
+// string in order; '*' width/precision entries appear as '*'.
+func parseVerbs(format string) []rune {
+	var verbs []rune
+	runes := []rune(format)
+	for i := 0; i < len(runes); i++ {
+		if runes[i] != '%' {
+			continue
+		}
+		i++
+		if i < len(runes) && runes[i] == '%' {
+			continue
+		}
+		// flags, width, precision — '*' consumes an argument.
+		for i < len(runes) {
+			r := runes[i]
+			if r == '*' {
+				verbs = append(verbs, '*')
+				i++
+				continue
+			}
+			if r == '+' || r == '-' || r == '#' || r == ' ' || r == '0' ||
+				r == '.' || (r >= '1' && r <= '9') {
+				i++
+				continue
+			}
+			break
+		}
+		if i < len(runes) {
+			verbs = append(verbs, runes[i])
+		}
+	}
+	return verbs
+}

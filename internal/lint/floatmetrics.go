@@ -1,0 +1,212 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// FloatmetricsAnalyzer enforces the PR 8 metrics contract: every value
+// landing in a ModelCase.Metrics map (map[string]float64) is finite —
+// an undefined metric is omitted, never NaN or ±Inf — so the map stays
+// JSON-encodable and the explorer's aggregators never rank garbage. It
+// flags metric values computed by a division or a partial math function
+// unless the assignment sits under an explicit math.IsNaN/math.IsInf
+// guard, and it flags ==/!= on metric floats (exact comparison on
+// computed floats is almost always a latent bug; compare with a
+// tolerance or on the case name instead).
+var FloatmetricsAnalyzer = &Analyzer{
+	Name: "floatmetrics",
+	Doc:  "forbid possibly-NaN/Inf values and ==/!= on ModelCase.Metrics floats",
+	Run:  runFloatmetrics,
+}
+
+// partialMathFuncs are math functions whose result is NaN/Inf for
+// reachable inputs (or is NaN/Inf by construction).
+var partialMathFuncs = map[string]bool{
+	"Inf": true, "NaN": true,
+	"Log": true, "Log2": true, "Log10": true, "Log1p": true,
+	"Sqrt": true, "Pow": true, "Acos": true, "Asin": true,
+	"Acosh": true, "Atanh": true, "Mod": true, "Remainder": true,
+}
+
+// isMetricsMap reports whether t's underlying type is
+// map[string]float64 — the ModelCase.Metrics shape.
+func isMetricsMap(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	m, ok := t.Underlying().(*types.Map)
+	if !ok {
+		return false
+	}
+	k, kok := m.Key().Underlying().(*types.Basic)
+	v, vok := m.Elem().Underlying().(*types.Basic)
+	return kok && vok && k.Kind() == types.String && v.Kind() == types.Float64
+}
+
+// namedMetrics reports whether expr is rooted at an identifier or
+// field literally named "Metrics" — the name gate that keeps ordinary
+// map[string]float64 values (registry.Params tunables) out of scope.
+func namedMetrics(e ast.Expr) bool {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return e.Name == "Metrics"
+	case *ast.SelectorExpr:
+		return e.Sel.Name == "Metrics"
+	case *ast.IndexExpr:
+		return namedMetrics(e.X)
+	}
+	return false
+}
+
+func runFloatmetrics(p *Pass) {
+	if !engineScoped(p.PkgPath) {
+		return
+	}
+	for _, f := range sourceFiles(p) {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			inExtractor := metricsExtractor(p, fd)
+			checkMetricStmts(p, fd.Body, inExtractor, false)
+		}
+	}
+}
+
+// metricsExtractor reports whether fd is a metric-extraction function:
+// its name mentions metrics and it returns a map[string]float64. The
+// four models' labMetrics/mpsocMetrics/... helpers follow this shape.
+func metricsExtractor(p *Pass, fd *ast.FuncDecl) bool {
+	if !strings.Contains(strings.ToLower(fd.Name.Name), "metric") {
+		return false
+	}
+	if fd.Type.Results == nil {
+		return false
+	}
+	for _, r := range fd.Type.Results.List {
+		if isMetricsMap(p.Info.TypeOf(r.Type)) {
+			return true
+		}
+	}
+	return false
+}
+
+// checkMetricStmts walks stmts flagging risky metric stores and metric
+// float equality. guarded is true inside an if whose condition tests
+// math.IsNaN/math.IsInf — the contract's sanctioned omission pattern.
+func checkMetricStmts(p *Pass, body ast.Node, inExtractor, guarded bool) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.IfStmt:
+			g := guarded || condGuardsFinite(p, n.Cond)
+			if n.Init != nil {
+				checkMetricStmts(p, n.Init, inExtractor, guarded)
+			}
+			checkMetricStmts(p, n.Cond, inExtractor, guarded)
+			checkMetricStmts(p, n.Body, inExtractor, g)
+			if n.Else != nil {
+				checkMetricStmts(p, n.Else, inExtractor, g)
+			}
+			return false
+		case *ast.AssignStmt:
+			for i, lhs := range n.Lhs {
+				idx, ok := ast.Unparen(lhs).(*ast.IndexExpr)
+				if !ok || i >= len(n.Rhs) {
+					continue
+				}
+				if !isMetricsMap(p.Info.TypeOf(idx.X)) {
+					continue
+				}
+				if !inExtractor && !namedMetrics(idx.X) {
+					continue
+				}
+				checkMetricValue(p, n.Rhs[i], guarded)
+			}
+		case *ast.CompositeLit:
+			if inExtractor && isMetricsMap(p.Info.TypeOf(n)) {
+				for _, el := range n.Elts {
+					if kv, ok := el.(*ast.KeyValueExpr); ok {
+						checkMetricValue(p, kv.Value, guarded)
+					}
+				}
+			}
+		case *ast.BinaryExpr:
+			if n.Op == token.EQL || n.Op == token.NEQ {
+				checkMetricEquality(p, n)
+			}
+		}
+		return true
+	})
+}
+
+// condGuardsFinite reports whether cond mentions math.IsNaN or
+// math.IsInf — treated as an explicit finiteness guard for the branch.
+func condGuardsFinite(p *Pass, cond ast.Expr) bool {
+	found := false
+	ast.Inspect(cond, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok {
+			if fn := calleeFunc(p.Info, call); fn != nil && pkgOf(fn) == "math" &&
+				(fn.Name() == "IsNaN" || fn.Name() == "IsInf") {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// checkMetricValue flags v when it can evaluate to NaN/Inf and no
+// finiteness guard dominates the store.
+func checkMetricValue(p *Pass, v ast.Expr, guarded bool) {
+	if guarded {
+		return
+	}
+	ast.Inspect(v, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.BinaryExpr:
+			if n.Op != token.QUO {
+				return true
+			}
+			nt := p.Info.TypeOf(n)
+			if nt == nil {
+				return true
+			}
+			t, ok := nt.Underlying().(*types.Basic)
+			if !ok || t.Info()&types.IsFloat == 0 {
+				return true
+			}
+			if tv, ok := p.Info.Types[n.Y]; ok && tv.Value != nil {
+				if c := constant.ToFloat(tv.Value); c.Kind() == constant.Float {
+					if f, _ := constant.Float64Val(c); f != 0 {
+						return true // constant nonzero divisor: always finite
+					}
+				}
+			}
+			p.Reportf(n.Pos(), "metric value divides by a runtime quantity and may store NaN/Inf: omit the key when undefined (guard with math.IsNaN/math.IsInf) per the ModelCase.Metrics contract")
+		case *ast.CallExpr:
+			if fn := calleeFunc(p.Info, n); fn != nil && pkgOf(fn) == "math" && partialMathFuncs[fn.Name()] {
+				p.Reportf(n.Pos(), "metric value calls math.%s, which can yield NaN/Inf: omit the key when undefined (guard with math.IsNaN/math.IsInf) per the ModelCase.Metrics contract", fn.Name())
+			}
+		}
+		return true
+	})
+}
+
+// checkMetricEquality flags ==/!= where either side reads a metric map.
+func checkMetricEquality(p *Pass, be *ast.BinaryExpr) {
+	for _, side := range []ast.Expr{be.X, be.Y} {
+		idx, ok := ast.Unparen(side).(*ast.IndexExpr)
+		if !ok {
+			continue
+		}
+		if isMetricsMap(p.Info.TypeOf(idx.X)) {
+			p.Reportf(be.Pos(), "exact float equality on a metric value: compare with a tolerance (metrics are computed floats)")
+			return
+		}
+	}
+}

@@ -1,0 +1,136 @@
+// Package linttest runs analyzers over fixture packages and checks
+// their diagnostics against expectations written in the fixtures
+// themselves, analysistest-style:
+//
+//	time.Now() // want `time\.Now reads the wall clock`
+//
+// The quoted part is a regular expression matched against the
+// diagnostic's "analyzer: message" rendering at the comment's line. A
+// comment cannot share a line with another comment, so expectations
+// about a directive line carry an offset: `// want-1 ...` targets the
+// previous line (and want+1 the next).
+//
+// Every diagnostic must satisfy exactly one expectation and every
+// expectation must be satisfied — unexpected and missing findings are
+// both test failures.
+package linttest
+
+import (
+	"fmt"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/lint"
+)
+
+// expectation is one parsed want comment, pinned to a file:line.
+type expectation struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	used bool
+}
+
+// Run loads the fixture package(s) matched by pattern (relative to the
+// test's working directory) and diffs the analyzers' diagnostics
+// against the fixtures' want comments.
+func Run(t *testing.T, pattern string, analyzers ...*lint.Analyzer) {
+	t.Helper()
+	pkgs, err := lint.Load(".", pattern)
+	if err != nil {
+		t.Fatalf("loading %s: %v", pattern, err)
+	}
+	if len(pkgs) == 0 {
+		t.Fatalf("pattern %s matched no packages", pattern)
+	}
+	for _, pkg := range pkgs {
+		wants, err := collectWants(pkg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		diags := lint.Run(pkg, analyzers)
+		for _, d := range diags {
+			if !claim(wants, d) {
+				t.Errorf("unexpected diagnostic: %s", d)
+			}
+		}
+		for _, w := range wants {
+			if !w.used {
+				t.Errorf("%s:%d: no diagnostic matched want %q", w.file, w.line, w.re)
+			}
+		}
+	}
+}
+
+// claim marks the first unused expectation matching d, if any.
+func claim(wants []*expectation, d lint.Diagnostic) bool {
+	rendered := d.Analyzer + ": " + d.Message
+	for _, w := range wants {
+		if w.used || w.file != d.Pos.Filename || w.line != d.Pos.Line {
+			continue
+		}
+		if w.re.MatchString(rendered) {
+			w.used = true
+			return true
+		}
+	}
+	return false
+}
+
+// collectWants parses every want comment in the package's files.
+func collectWants(pkg *lint.Package) ([]*expectation, error) {
+	var wants []*expectation
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+				if !strings.HasPrefix(text, "want") {
+					continue
+				}
+				rest := text[len("want"):]
+				offset := 0
+				if len(rest) > 0 && (rest[0] == '+' || rest[0] == '-') {
+					i := 1
+					for i < len(rest) && rest[i] >= '0' && rest[i] <= '9' {
+						i++
+					}
+					n, err := strconv.Atoi(rest[:i])
+					if err != nil {
+						continue
+					}
+					offset, rest = n, rest[i:]
+				} else if len(rest) > 0 && rest[0] != ' ' && rest[0] != '\t' {
+					continue // an ordinary comment that happens to start with "want..."
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				pat, err := unquoteWant(strings.TrimSpace(rest))
+				if err != nil {
+					return nil, fmt.Errorf("%s:%d: %w", pos.Filename, pos.Line, err)
+				}
+				re, err := regexp.Compile(pat)
+				if err != nil {
+					return nil, fmt.Errorf("%s:%d: bad want pattern: %w", pos.Filename, pos.Line, err)
+				}
+				wants = append(wants, &expectation{
+					file: pos.Filename,
+					line: pos.Line + offset,
+					re:   re,
+				})
+			}
+		}
+	}
+	return wants, nil
+}
+
+// unquoteWant strips the pattern's backquote or double-quote delimiters.
+func unquoteWant(s string) (string, error) {
+	if len(s) >= 2 && s[0] == '`' && s[len(s)-1] == '`' {
+		return s[1 : len(s)-1], nil
+	}
+	if len(s) >= 2 && s[0] == '"' && s[len(s)-1] == '"' {
+		return strconv.Unquote(s)
+	}
+	return "", fmt.Errorf("want pattern %q is not quoted with backquotes or double quotes", s)
+}

@@ -1,0 +1,153 @@
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"runtime"
+	"strings"
+)
+
+// listPackage is the subset of `go list -json` output the loader
+// consumes.
+type listPackage struct {
+	ImportPath string
+	Name       string
+	Dir        string
+	GoFiles    []string
+	CgoFiles   []string
+	Export     string
+	DepOnly    bool
+	Standard   bool
+	ImportMap  map[string]string
+	Error      *struct{ Err string }
+}
+
+// Load lists patterns with `go list -json -deps -export` relative to
+// dir, parses and typechecks every matched (non-dependency) package,
+// and returns them ready for Run. Dependencies are imported from the
+// compiler export data the go command produces, so loading works
+// offline and never re-typechecks the world.
+func Load(dir string, patterns ...string) ([]*Package, error) {
+	args := append([]string{"list", "-json", "-deps", "-export"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("lint: go %s: %w\n%s", strings.Join(args, " "), err, stderr.String())
+	}
+
+	var all []*listPackage
+	dec := json.NewDecoder(&stdout)
+	for {
+		lp := new(listPackage)
+		if err := dec.Decode(lp); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("lint: decoding go list output: %w", err)
+		}
+		all = append(all, lp)
+	}
+
+	exports := make(map[string]string, len(all))
+	for _, lp := range all {
+		if lp.Export != "" {
+			exports[lp.ImportPath] = lp.Export
+		}
+	}
+
+	fset := token.NewFileSet()
+	gc := importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		file, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	})
+
+	var pkgs []*Package
+	for _, lp := range all {
+		if lp.DepOnly {
+			continue
+		}
+		if lp.Error != nil {
+			return nil, fmt.Errorf("lint: %s: %s", lp.ImportPath, lp.Error.Err)
+		}
+		if len(lp.CgoFiles) > 0 {
+			return nil, fmt.Errorf("lint: %s: cgo packages are not supported", lp.ImportPath)
+		}
+		var files []*ast.File
+		for _, name := range lp.GoFiles {
+			f, err := parser.ParseFile(fset, joinDir(lp.Dir, name), nil, parser.ParseComments)
+			if err != nil {
+				return nil, fmt.Errorf("lint: %w", err)
+			}
+			files = append(files, f)
+		}
+		imp := importerFunc(func(p string) (*types.Package, error) {
+			if mapped, ok := lp.ImportMap[p]; ok {
+				p = mapped
+			}
+			return gc.Import(p)
+		})
+		tpkg, info, err := TypeCheck(fset, lp.ImportPath, files, imp)
+		if err != nil {
+			return nil, fmt.Errorf("lint: %s: %w", lp.ImportPath, err)
+		}
+		pkgs = append(pkgs, &Package{
+			PkgPath: lp.ImportPath,
+			Name:    lp.Name,
+			Fset:    fset,
+			Files:   files,
+			Pkg:     tpkg,
+			Info:    info,
+		})
+	}
+	return pkgs, nil
+}
+
+// joinDir makes name absolute under dir unless it already is.
+func joinDir(dir, name string) string {
+	if strings.HasPrefix(name, "/") {
+		return name
+	}
+	return dir + string(os.PathSeparator) + name
+}
+
+// importerFunc adapts a function to types.Importer.
+type importerFunc func(path string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }
+
+// TypeCheck typechecks parsed files as package pkgPath, resolving
+// imports through imp. Shared by Load and cmd/ehsimvet's unitchecker
+// mode, so the standalone and vettool paths cannot drift.
+func TypeCheck(fset *token.FileSet, pkgPath string, files []*ast.File, imp types.Importer) (*types.Package, *types.Info, error) {
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	conf := &types.Config{
+		Importer: imp,
+		Sizes:    types.SizesFor("gc", runtime.GOARCH),
+	}
+	tpkg, err := conf.Check(pkgPath, fset, files, info)
+	if err != nil {
+		return nil, nil, err
+	}
+	return tpkg, info, nil
+}

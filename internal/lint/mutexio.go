@@ -1,0 +1,261 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// MutexioAnalyzer enforces the PR 6 service invariant: no disk or
+// network I/O while holding a mutex in the service package. The tier
+// stack's contract is lookup order memory→disk→peer→compute with all
+// cold-tier I/O off the server mutex — a blob read or peer round-trip
+// under the lock turns one slow disk into a stalled job queue. The
+// check is lexical and intraprocedural: an I/O call between x.Lock()
+// and x.Unlock() (or after defer x.Unlock()) in the same function is
+// flagged. Stores that exist to serialise their own directory (the
+// checkpoint store) declare themselves with //lint:allow mutexio in
+// the method's doc comment.
+var MutexioAnalyzer = &Analyzer{
+	Name: "mutexio",
+	Doc:  "forbid disk/network I/O while holding a mutex in the service package",
+	Run:  runMutexio,
+}
+
+// pureIOFuncs are functions from the I/O packages that do no I/O —
+// predicates and parsers that are safe under a lock.
+var pureIOFuncs = map[string]bool{
+	"os.IsNotExist": true, "os.IsExist": true, "os.IsPermission": true,
+	"os.IsTimeout": true, "os.Getpid": true, "os.IsPathSeparator": true,
+	"net.JoinHostPort": true, "net.SplitHostPort": true,
+	"net.ParseIP": true, "net.ParseCIDR": true, "net.ParseMAC": true,
+	"net/http.StatusText": true, "net/http.CanonicalHeaderKey": true,
+	"net/http.NewRequest": true, "net/http.NewRequestWithContext": true,
+	"net/http.NotFound": true, "net/http.Error": true, "net/http.Redirect": true,
+}
+
+// ioPackages are the packages whose calls count as disk/network I/O.
+var ioPackages = map[string]bool{
+	"os": true, "net": true, "net/http": true, "io/ioutil": true,
+}
+
+// ioReceivers are the receiver type names (within ioPackages) whose
+// methods count as I/O. http.Header and url.URL methods, by contrast,
+// are pure map/string manipulation.
+var ioReceivers = map[string]bool{
+	"File": true, "Conn": true, "Listener": true, "Client": true,
+	"Transport": true, "PacketConn": true, "Dialer": true, "Resolver": true,
+}
+
+func runMutexio(p *Pass) {
+	if p.Pkg.Name() != "service" {
+		return
+	}
+	for _, f := range sourceFiles(p) {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkLockedIO(p, fd.Body.List, map[string]bool{})
+		}
+	}
+}
+
+// checkLockedIO walks a statement list tracking which mutexes are held
+// (keyed by the lock expression's source shape), flagging I/O calls
+// made while any are. held is branch-local: nested blocks inherit a
+// copy, so lock state never leaks back out of an if/for arm.
+func checkLockedIO(p *Pass, stmts []ast.Stmt, held map[string]bool) {
+	for _, stmt := range stmts {
+		switch s := stmt.(type) {
+		case *ast.ExprStmt:
+			if name, op, ok := mutexOp(p, s.X); ok {
+				switch op {
+				case "Lock", "RLock":
+					held[name] = true
+				case "Unlock", "RUnlock":
+					delete(held, name)
+				}
+				continue
+			}
+			flagIOWhileLocked(p, s, held)
+		case *ast.DeferStmt:
+			// defer mu.Unlock() releases at return, so the lock stays
+			// held for the remainder of the lexical body — which is the
+			// state `held` already records. Other deferred work runs
+			// after the function body and is not inspected here.
+			if _, _, ok := mutexOp(p, s.Call); !ok {
+				flagIOWhileLocked(p, s.Call, held)
+			}
+		case *ast.BlockStmt:
+			checkLockedIO(p, s.List, copyHeld(held))
+		case *ast.IfStmt:
+			flagIOWhileLocked(p, s.Cond, held)
+			if s.Init != nil {
+				flagIOWhileLocked(p, s.Init, held)
+			}
+			checkLockedIO(p, s.Body.List, copyHeld(held))
+			if s.Else != nil {
+				checkLockedIO(p, []ast.Stmt{s.Else}, copyHeld(held))
+			}
+		case *ast.ForStmt:
+			if s.Cond != nil {
+				flagIOWhileLocked(p, s.Cond, held)
+			}
+			checkLockedIO(p, s.Body.List, copyHeld(held))
+		case *ast.RangeStmt:
+			flagIOWhileLocked(p, s.X, held)
+			checkLockedIO(p, s.Body.List, copyHeld(held))
+		case *ast.SwitchStmt:
+			for _, c := range s.Body.List {
+				if cc, ok := c.(*ast.CaseClause); ok {
+					checkLockedIO(p, cc.Body, copyHeld(held))
+				}
+			}
+		case *ast.TypeSwitchStmt:
+			for _, c := range s.Body.List {
+				if cc, ok := c.(*ast.CaseClause); ok {
+					checkLockedIO(p, cc.Body, copyHeld(held))
+				}
+			}
+		case *ast.SelectStmt:
+			for _, c := range s.Body.List {
+				if cc, ok := c.(*ast.CommClause); ok {
+					checkLockedIO(p, cc.Body, copyHeld(held))
+				}
+			}
+		case *ast.LabeledStmt:
+			checkLockedIO(p, []ast.Stmt{s.Stmt}, held)
+		case *ast.GoStmt:
+			// The spawned goroutine does not hold this goroutine's lock.
+		default:
+			flagIOWhileLocked(p, stmt, held)
+		}
+	}
+}
+
+func copyHeld(held map[string]bool) map[string]bool {
+	out := make(map[string]bool, len(held))
+	for k := range held {
+		out[k] = true
+	}
+	return out
+}
+
+// mutexOp matches `x.Lock()` / `x.Unlock()` (and RW variants) where x
+// is a sync.Mutex or sync.RWMutex, returning x's source text as the
+// lock's identity.
+func mutexOp(p *Pass, e ast.Expr) (name, op string, ok bool) {
+	call, isCall := ast.Unparen(e).(*ast.CallExpr)
+	if !isCall {
+		return "", "", false
+	}
+	sel, isSel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !isSel {
+		return "", "", false
+	}
+	switch sel.Sel.Name {
+	case "Lock", "Unlock", "RLock", "RUnlock":
+	default:
+		return "", "", false
+	}
+	if !isMutexType(p.Info.TypeOf(sel.X)) {
+		return "", "", false
+	}
+	return exprString(sel.X), sel.Sel.Name, true
+}
+
+// isMutexType reports whether t is sync.Mutex/sync.RWMutex (or a
+// pointer to one).
+func isMutexType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if ptr, ok := t.Underlying().(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return false
+	}
+	if named.Obj().Pkg().Path() != "sync" {
+		return false
+	}
+	return named.Obj().Name() == "Mutex" || named.Obj().Name() == "RWMutex"
+}
+
+// exprString renders a (small) lock expression for identity matching:
+// s.mu and s.mu produce the same string; distinct mutexes differ.
+func exprString(e ast.Expr) string {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		return exprString(e.X) + "." + e.Sel.Name
+	case *ast.StarExpr:
+		return "*" + exprString(e.X)
+	}
+	return "?"
+}
+
+// flagIOWhileLocked inspects node for I/O calls when any lock is held.
+// Function literals are skipped: defining a closure under a lock does
+// not run it there.
+func flagIOWhileLocked(p *Pass, node ast.Node, held map[string]bool) {
+	if len(held) == 0 || node == nil {
+		return
+	}
+	lock := anyKey(held)
+	ast.Inspect(node, func(n ast.Node) bool {
+		if _, isLit := n.(*ast.FuncLit); isLit {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if kind, is := ioCall(p, call); is {
+			p.Reportf(call.Pos(), "%s while holding mutex %q: cold-tier I/O must run off the service mutex (copy state under the lock, do the I/O after Unlock)", kind, lock)
+		}
+		return true
+	})
+}
+
+// anyKey returns a held lock name for the message (deterministically:
+// the smallest).
+func anyKey(held map[string]bool) string {
+	best := ""
+	for k := range held {
+		if best == "" || k < best {
+			best = k
+		}
+	}
+	return best
+}
+
+// ioCall classifies call as disk/network I/O.
+func ioCall(p *Pass, call *ast.CallExpr) (string, bool) {
+	fn := calleeFunc(p.Info, call)
+	if fn == nil {
+		return "", false
+	}
+	pkg := pkgOf(fn)
+	if !ioPackages[pkg] {
+		return "", false
+	}
+	if recv := recvOf(fn); recv != nil {
+		t := recv
+		if ptr, ok := t.Underlying().(*types.Pointer); ok {
+			t = ptr.Elem()
+		}
+		named, ok := t.(*types.Named)
+		if !ok || !ioReceivers[named.Obj().Name()] {
+			return "", false
+		}
+		return pkg + " " + named.Obj().Name() + "." + fn.Name(), true
+	}
+	if pureIOFuncs[pkg+"."+fn.Name()] {
+		return "", false
+	}
+	return pkg + "." + fn.Name(), true
+}

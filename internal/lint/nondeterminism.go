@@ -1,0 +1,77 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// NondeterminismAnalyzer enforces the engine purity contract: inside
+// the engine packages a result is a function of the canonical spec and
+// nothing else, because the service caches it by Spec.Hash(), the
+// golden corpus pins it byte-for-byte, and checkpoint/resume replays
+// it across daemon restarts. Wall-clock reads, environment lookups,
+// and the process-global rand source each smuggle ambient state into
+// that function.
+var NondeterminismAnalyzer = &Analyzer{
+	Name: "nondeterminism",
+	Doc:  "forbid wall-clock, environment, and unseeded-rand use in engine packages",
+	Run:  runNondeterminism,
+}
+
+// wallClockFuncs are the time-package functions that read or schedule
+// off the wall clock. Duration arithmetic (time.Duration, ParseDuration)
+// stays allowed — it is pure.
+var wallClockFuncs = map[string]bool{
+	"Now": true, "Since": true, "Until": true,
+	"Tick": true, "After": true, "AfterFunc": true,
+	"NewTimer": true, "NewTicker": true,
+}
+
+// envFuncs are the os-package environment reads.
+var envFuncs = map[string]bool{
+	"Getenv": true, "LookupEnv": true, "Environ": true, "ExpandEnv": true,
+}
+
+// randConstructors are the math/rand entry points that build an
+// explicitly seeded generator — the allowed way to use randomness
+// (fold the seed into the spec, as internal/source's markov supply
+// does). Everything else at package level drives the shared global
+// source.
+var randConstructors = map[string]bool{
+	"New": true, "NewSource": true, "NewZipf": true,
+	"NewPCG": true, "NewChaCha8": true,
+}
+
+func runNondeterminism(p *Pass) {
+	if !engineScoped(p.PkgPath) {
+		return
+	}
+	for _, f := range sourceFiles(p) {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			fn, ok := p.Info.Uses[sel.Sel].(*types.Func)
+			if !ok || recvOf(fn) != nil {
+				return true // methods (e.g. *rand.Rand) are fine: the receiver carries the seed
+			}
+			name := fn.Name()
+			switch pkgOf(fn) {
+			case "time":
+				if wallClockFuncs[name] {
+					p.Reportf(sel.Pos(), "time.%s reads the wall clock in engine package %q: results must be a pure function of the spec (inject a clock, or //lint:allow nondeterminism <reason>)", name, p.Pkg.Name())
+				}
+			case "os":
+				if envFuncs[name] {
+					p.Reportf(sel.Pos(), "os.%s reads the environment in engine package %q: results must be a pure function of the spec (thread the value through the spec or config)", name, p.Pkg.Name())
+				}
+			case "math/rand", "math/rand/v2":
+				if !randConstructors[name] {
+					p.Reportf(sel.Pos(), "rand.%s draws from the process-global source in engine package %q: use rand.New(rand.NewSource(seed)) with the seed folded into the spec", name, p.Pkg.Name())
+				}
+			}
+			return true
+		})
+	}
+}

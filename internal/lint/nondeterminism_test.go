@@ -1,0 +1,16 @@
+package lint_test
+
+import (
+	"testing"
+
+	"repro/internal/lint"
+	"repro/internal/lint/linttest"
+)
+
+func TestNondeterminismFlagsEnginePackages(t *testing.T) {
+	linttest.Run(t, "./testdata/src/nondeterminism/isa", lint.NondeterminismAnalyzer)
+}
+
+func TestNondeterminismIgnoresBenchPackages(t *testing.T) {
+	linttest.Run(t, "./testdata/src/nondeterminism/bench", lint.NondeterminismAnalyzer)
+}

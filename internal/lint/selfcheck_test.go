@@ -1,0 +1,30 @@
+package lint_test
+
+import (
+	"testing"
+
+	"repro/internal/lint"
+)
+
+// TestRepoIsClean is the enforcement test: the whole module must pass
+// the suite. A new violation anywhere in ./... fails `go test
+// ./internal/lint` with the same file:line diagnostic the vettool
+// prints, so the invariants hold without anyone remembering to run
+// ehsimvet by hand.
+func TestRepoIsClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("typechecks the whole module")
+	}
+	pkgs, err := lint.Load("../..", "./...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) < 10 {
+		t.Fatalf("loaded %d packages; pattern ./... resolved too narrowly", len(pkgs))
+	}
+	for _, pkg := range pkgs {
+		for _, d := range lint.Run(pkg, lint.All()) {
+			t.Errorf("%s", d)
+		}
+	}
+}

@@ -1,0 +1,29 @@
+// Package isa exercises the directive diagnostics: a malformed or
+// unknown-analyzer //lint:allow is itself a finding, and suppresses
+// nothing.
+package isa
+
+import "time"
+
+// MissingReason omits the mandatory reason, so the directive is
+// malformed and the wall-clock read underneath still fires.
+func MissingReason() int64 {
+	//lint:allow nondeterminism
+	// want-1 `malformed //lint:allow directive`
+	return time.Now().Unix() // want `time\.Now reads the wall clock`
+}
+
+// TypoName names an analyzer that does not exist; the diagnostic lists
+// the valid ones, per the registry contract.
+func TypoName() string {
+	//lint:allow nodeterminism the name is missing an n
+	// want-1 `unknown analyzer "nodeterminism" \(valid: nondeterminism, maporder, floatmetrics, mutexio, errfmt\)`
+	return "ok"
+}
+
+// WellFormed is the control: a correct directive suppresses its line
+// and the next.
+func WellFormed() int64 {
+	//lint:allow nondeterminism fixture: demonstrating the sanctioned escape hatch
+	return time.Now().Unix()
+}

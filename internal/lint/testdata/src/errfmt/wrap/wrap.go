@@ -1,0 +1,55 @@
+// Package wrap is the errfmt fixture: %w wrapping, the registry
+// contract on unknown-name errors, and the errf-helper shape.
+package wrap
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+)
+
+// spec carries an errf helper shaped like scenario's: suffix "errf",
+// (format string, args ...any) — the analyzer treats it like
+// fmt.Errorf.
+type spec struct{ name string }
+
+func (s *spec) errf(format string, args ...any) error {
+	return fmt.Errorf("spec %q: %w", s.name, fmt.Errorf(format, args...))
+}
+
+// Bad formats a cause with %v, severing the chain errors.Is needs.
+func Bad(err error) error {
+	return fmt.Errorf("loading spec: %v", err) // want `wrap with %w`
+}
+
+// BadHelper hits the same rule through the project-local helper.
+func BadHelper(s *spec, err error) error {
+	return s.errf("compile: %v", err) // want `wrap with %w`
+}
+
+// BadUnknown breaks the registry contract: an unknown-name error that
+// does not list the valid options.
+func BadUnknown(name string) error {
+	return fmt.Errorf("unknown source %q", name) // want `must list the valid options`
+}
+
+// BadSprintf can never wrap anything.
+func BadSprintf(name string) error {
+	return errors.New(fmt.Sprintf("no profile %s", name)) // want `errors\.New\(fmt\.Sprintf\(\.\.\.\)\) can never wrap`
+}
+
+// Good wraps with %w.
+func Good(err error) error {
+	return fmt.Errorf("loading spec: %w", err)
+}
+
+// GoodUnknown lists the options, so the fix is one error message away.
+func GoodUnknown(name string, known []string) error {
+	return fmt.Errorf("unknown source %q (known: %s)", name, strings.Join(known, ", "))
+}
+
+// GoodVerb keeps %v for non-error values — only error operands must
+// wrap.
+func GoodVerb(name string, n int) error {
+	return fmt.Errorf("source %q: %v samples", name, n)
+}

@@ -1,0 +1,59 @@
+// Package mcu is the floatmetrics fixture: its directory basename
+// matches an engine package, so metric stores and comparisons here are
+// in scope.
+package mcu
+
+import "math"
+
+// Case mirrors the ModelCase shape the analyzer keys on: a field
+// literally named Metrics of map[string]float64.
+type Case struct {
+	Metrics map[string]float64
+}
+
+// badMetrics is a metrics extractor (name mentions metrics, returns the
+// metrics map shape): unguarded partial values inside are findings.
+func badMetrics(events, duration float64) map[string]float64 {
+	m := map[string]float64{
+		"rate": events / duration, // want `divides by a runtime quantity and may store NaN/Inf`
+	}
+	m["log_events"] = math.Log(events) // want `math\.Log, which can yield NaN/Inf`
+	return m
+}
+
+// goodMetrics follows the contract: constant divisors are always
+// finite, and runtime divisions store under an explicit finiteness
+// guard (omit, never NaN/Inf).
+func goodMetrics(events, duration float64) map[string]float64 {
+	m := map[string]float64{
+		"events": events,
+		"half":   events / 2,
+	}
+	if rate := events / duration; !math.IsNaN(rate) && !math.IsInf(rate, 0) {
+		m["rate"] = rate
+	}
+	return m
+}
+
+// SetRate shows the name gate outside an extractor: writes into a
+// field named Metrics are in scope anywhere in an engine package.
+func SetRate(c *Case, num, den float64) {
+	c.Metrics["rate"] = num / den // want `divides by a runtime quantity`
+}
+
+// Tune is the negative of the name gate: an ordinary
+// map[string]float64 (registry params, tunables) outside an extractor
+// is not a metrics map.
+func Tune(params map[string]float64, num, den float64) {
+	params["gain"] = num / den
+}
+
+// AtTarget compares a computed metric float exactly.
+func AtTarget(c Case) bool {
+	return c.Metrics["rate"] == 1 // want `exact float equality on a metric value`
+}
+
+// NearTarget is the prescribed fix: a tolerance.
+func NearTarget(c Case) bool {
+	return math.Abs(c.Metrics["rate"]-1) < 1e-9
+}

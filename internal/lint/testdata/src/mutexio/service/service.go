@@ -1,0 +1,78 @@
+// Package service is the mutexio fixture: the analyzer is scoped to
+// packages named service, where the tier-stack contract keeps
+// cold-tier I/O off the mutex.
+package service
+
+import (
+	"net/http"
+	"os"
+	"sync"
+)
+
+// Store holds a path behind a mutex, like the server's result index.
+type Store struct {
+	mu    sync.Mutex
+	path  string
+	cache map[string][]byte
+}
+
+// BadRead does disk I/O under the lock held by a defer.
+func (s *Store) BadRead() []byte {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	data, err := os.ReadFile(s.path) // want `os\.ReadFile while holding mutex "s\.mu"`
+	if err != nil {
+		return nil
+	}
+	return data
+}
+
+// BadFetch does a network round-trip between Lock and Unlock.
+func (s *Store) BadFetch(c *http.Client, url string) {
+	s.mu.Lock()
+	resp, err := c.Get(url) // want `net/http Client\.Get while holding mutex`
+	if err == nil {
+		resp.Body.Close()
+	}
+	s.mu.Unlock()
+}
+
+// GoodRead is the prescribed fix: copy state under the lock, do the
+// I/O after Unlock.
+func (s *Store) GoodRead() []byte {
+	s.mu.Lock()
+	path := s.path
+	s.mu.Unlock()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil
+	}
+	return data
+}
+
+// Classify stays allowed: os.IsNotExist is a pure predicate, not I/O.
+func (s *Store) Classify(err error) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return os.IsNotExist(err)
+}
+
+// Spawn stays allowed: the spawned goroutine does not hold this
+// goroutine's lock.
+func (s *Store) Spawn() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	go func() {
+		os.Remove(s.path)
+	}()
+}
+
+// Compact serialises its own file — the checkpoint-store pattern — and
+// declares that in its doc comment, covering the whole body.
+//
+//lint:allow mutexio fixture: this store's mutex exists to serialise its own file
+func (s *Store) Compact() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	os.WriteFile(s.path, s.cache["all"], 0o644)
+}

@@ -1,0 +1,14 @@
+// Package bench is the out-of-scope fixture: bench is not an engine
+// package, so wall-clock reads here are the package's job, not a
+// finding.
+package bench
+
+import "time"
+
+// Elapsed times f off the wall clock — exactly what a benchmark
+// harness is for.
+func Elapsed(f func()) time.Duration {
+	start := time.Now()
+	f()
+	return time.Since(start)
+}

@@ -1,0 +1,45 @@
+// Package isa is a nondeterminism fixture: its directory basename
+// matches an engine package, so the analyzer is in scope.
+package isa
+
+import (
+	"math/rand"
+	"os"
+	"time"
+)
+
+// Step mixes ambient state into an engine computation — each marked
+// line is a violation of the purity contract.
+func Step() float64 {
+	t := time.Now()                     // want `time\.Now reads the wall clock in engine package "isa"`
+	_ = time.Since(t)                   // want `time\.Since reads the wall clock`
+	if os.Getenv("EHSIM_DEBUG") != "" { // want `os\.Getenv reads the environment`
+		return 0
+	}
+	return rand.Float64() // want `rand\.Float64 draws from the process-global source`
+}
+
+// Seeded shows the sanctioned path: the generator carries an explicit
+// seed, so methods on it are fine, as is pure duration arithmetic.
+func Seeded(seed int64) float64 {
+	r := rand.New(rand.NewSource(seed))
+	d, _ := time.ParseDuration("5ms")
+	return r.Float64() * d.Seconds()
+}
+
+// Jitter declares its exception at the site: the directive covers the
+// next line.
+func Jitter() float64 {
+	//lint:allow nondeterminism fixture: jitter is cosmetic, not part of the result
+	return rand.Float64()
+}
+
+// Elapsed is the doc-comment form: the directive covers the whole
+// function body.
+//
+//lint:allow nondeterminism fixture: wall-clock timing is this helper's purpose
+func Elapsed(f func()) time.Duration {
+	start := time.Now()
+	f()
+	return time.Since(start)
+}

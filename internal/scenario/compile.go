@@ -29,7 +29,7 @@ func (s *Spec) Setup() (lab.Setup, error) {
 
 	mk, entry, err := transient.RuntimeFactory(s.runtimeName(), float64(s.Storage.C), toParams(s.Runtime.Params))
 	if err != nil {
-		return lab.Setup{}, s.errf("%v", err)
+		return lab.Setup{}, s.errf("%w", err)
 	}
 
 	unified := entry.UnifiedNV
@@ -49,11 +49,11 @@ func (s *Spec) Setup() (lab.Setup, error) {
 
 	w, err := programs.Build(s.Workload, layout)
 	if err != nil {
-		return lab.Setup{}, s.errf("%v", err)
+		return lab.Setup{}, s.errf("%w", err)
 	}
 	built, err := source.Build(s.Source.Name, toParams(s.Source.Params))
 	if err != nil {
-		return lab.Setup{}, s.errf("%v", err)
+		return lab.Setup{}, s.errf("%w", err)
 	}
 
 	st := lab.Setup{
@@ -72,7 +72,7 @@ func (s *Spec) Setup() (lab.Setup, error) {
 	if s.Governor != nil {
 		gov, err := powerneutral.BuildGovernor(s.Governor.Policy, toParams(s.Governor.Params))
 		if err != nil {
-			return lab.Setup{}, s.errf("%v", err)
+			return lab.Setup{}, s.errf("%w", err)
 		}
 		st.OnTick = func(t float64, d *mcu.Device, rail *circuit.Rail) {
 			gov.Act(t, d, rail.V())
@@ -186,7 +186,7 @@ func (s *Spec) Apply(param string, value any) error {
 	default:
 		group, key, found := strings.Cut(param, ".")
 		if !found {
-			return fmt.Errorf("unknown sweep param %q (see scenario.Apply for the accepted set)", param)
+			return fmt.Errorf("unknown sweep param %q (valid: c, v0, leakr, duration, dt, freqindex, or a model./source./runtime./governor. key)", param)
 		}
 		switch group {
 		case "model":
@@ -201,7 +201,7 @@ func (s *Spec) Apply(param string, value any) error {
 			}
 			s.Governor.Params = setParam(s.Governor.Params, key, f)
 		default:
-			return fmt.Errorf("unknown sweep param %q (see scenario.Apply for the accepted set)", param)
+			return fmt.Errorf("unknown sweep param %q (valid: model.*, source.*, runtime.*, governor.*)", param)
 		}
 	}
 	return nil

@@ -249,7 +249,7 @@ func (s *Spec) buildPowerSource() (source.PowerSource, error) {
 	}
 	e, err := source.Lookup(s.Source.Name)
 	if err != nil {
-		return nil, s.errf("%v", err)
+		return nil, s.errf("%w", err)
 	}
 	if !e.Power {
 		var powered []string
@@ -263,7 +263,7 @@ func (s *Spec) buildPowerSource() (source.PowerSource, error) {
 	}
 	b, err := source.Build(s.Source.Name, toParams(s.Source.Params))
 	if err != nil {
-		return nil, s.errf("%v", err)
+		return nil, s.errf("%w", err)
 	}
 	return b.P, nil
 }
@@ -285,7 +285,7 @@ func (s *Spec) at(c sweep.Case) (*Spec, error) {
 			return nil, s.errf("case %q carries no value for axis %q", c.Name, ax.Param)
 		}
 		if err := cs.Apply(ax.Param, v); err != nil {
-			return nil, s.errf("case %q: %v", c.Name, err)
+			return nil, s.errf("case %q: %w", c.Name, err)
 		}
 	}
 	return cs, nil
@@ -336,7 +336,7 @@ func newTableSweepEngine(sp *Spec, opts RunOptions, header []string,
 	if checkpoint != nil {
 		var st tableSweepState
 		if err := json.Unmarshal(checkpoint, &st); err != nil {
-			return nil, sp.errf("sweep checkpoint: %v", err)
+			return nil, sp.errf("sweep checkpoint: %w", err)
 		}
 		if st.Next < 0 || st.Next > len(cases) ||
 			len(st.Rows) != st.Next || len(st.Names) != st.Next || len(st.Cases) != st.Next {

@@ -92,7 +92,7 @@ func (m eneutralModel) Validate(s *Spec) error {
 	}
 	p, err := s.modelParams(m)
 	if err != nil {
-		return s.errf("%v", err)
+		return s.errf("%w", err)
 	}
 	if p["batteryj"] <= 0 {
 		return s.errf("model param batteryj must be positive (got %g J)", p["batteryj"])
@@ -143,7 +143,7 @@ func (m eneutralModel) Engine(sp *Spec, opts RunOptions, checkpoint []byte) (Eng
 
 	p, err := sp.modelParams(m)
 	if err != nil {
-		return nil, sp.errf("%v", err)
+		return nil, sp.errf("%w", err)
 	}
 	ps, err := sp.buildPowerSource()
 	if err != nil {
@@ -173,7 +173,7 @@ func (m eneutralModel) Engine(sp *Spec, opts RunOptions, checkpoint []byte) (Eng
 	if checkpoint != nil {
 		var st eneutralState
 		if err := json.Unmarshal(checkpoint, &st); err != nil {
-			return nil, sp.errf("checkpoint: %v", err)
+			return nil, sp.errf("checkpoint: %w", err)
 		}
 		restored, recBlob = st.Sim, st.Trace
 	}
@@ -184,7 +184,7 @@ func (m eneutralModel) Engine(sp *Spec, opts RunOptions, checkpoint []byte) (Eng
 		if recBlob != nil {
 			rec, err := trace.DecodeRecorder(recBlob)
 			if err != nil {
-				return nil, sp.errf("checkpoint trace: %v", err)
+				return nil, sp.errf("checkpoint trace: %w", err)
 			}
 			e.rec = rec
 		}
@@ -286,7 +286,7 @@ func (e *eneutralEngine) Report() (*ModelReport, error) {
 func (m eneutralModel) simulate(sp *Spec, rec *trace.Recorder, cancel <-chan struct{}) (eneutral.Result, *eneutral.Node, error) {
 	p, err := sp.modelParams(m)
 	if err != nil {
-		return eneutral.Result{}, nil, sp.errf("%v", err)
+		return eneutral.Result{}, nil, sp.errf("%w", err)
 	}
 	ps, err := sp.buildPowerSource()
 	if err != nil {

@@ -77,7 +77,7 @@ func (labModel) Validate(s *Spec) error {
 		return s.errf("workload is required")
 	}
 	if _, err := programs.Lookup(s.Workload); err != nil {
-		return s.errf("%v", err)
+		return s.errf("%w", err)
 	}
 	switch s.Device.Profile {
 	case "", "default", "unified-nv":
@@ -88,21 +88,21 @@ func (labModel) Validate(s *Spec) error {
 		return s.errf("source.name is required")
 	}
 	if _, err := source.Build(s.Source.Name, toParams(s.Source.Params)); err != nil {
-		return s.errf("%v", err)
+		return s.errf("%w", err)
 	}
 	if _, _, err := transient.RuntimeFactory(s.runtimeName(), 1e-6, toParams(s.Runtime.Params)); err != nil {
-		return s.errf("%v", err)
+		return s.errf("%w", err)
 	}
 	if s.Governor != nil {
 		if _, err := powerneutral.BuildGovernor(s.Governor.Policy, toParams(s.Governor.Params)); err != nil {
-			return s.errf("%v", err)
+			return s.errf("%w", err)
 		}
 	}
 	if s.Storage.C <= 0 {
 		return s.errf("storage.c must be positive (got %g F)", float64(s.Storage.C))
 	}
 	if _, err := s.modelParams(labModel{}); err != nil {
-		return s.errf("%v", err)
+		return s.errf("%w", err)
 	}
 	return nil
 }
@@ -299,7 +299,7 @@ func newLabSweepEngine(sp *Spec, opts RunOptions, checkpoint []byte) (*labSweepE
 	if checkpoint != nil {
 		var st labSweepState
 		if err := json.Unmarshal(checkpoint, &st); err != nil {
-			return nil, sp.errf("sweep checkpoint: %v", err)
+			return nil, sp.errf("sweep checkpoint: %w", err)
 		}
 		if st.Done < 0 || st.Done > len(cases) || len(st.Results) != st.Done {
 			return nil, sp.errf("sweep checkpoint is inconsistent with the spec's %d cases", len(cases))
@@ -311,7 +311,7 @@ func newLabSweepEngine(sp *Spec, opts RunOptions, checkpoint []byte) (*labSweepE
 		if st.Trace != nil {
 			rec, err := trace.DecodeRecorder(st.Trace)
 			if err != nil {
-				return nil, sp.errf("sweep checkpoint trace: %v", err)
+				return nil, sp.errf("sweep checkpoint trace: %w", err)
 			}
 			e.rec = rec
 		}

@@ -80,7 +80,7 @@ func (m mpsocModel) Validate(s *Spec) error {
 	}
 	p, err := s.modelParams(m)
 	if err != nil {
-		return s.errf("%v", err)
+		return s.errf("%w", err)
 	}
 	if p["scale"] <= 0 {
 		return s.errf("model param scale must be positive (got %g)", p["scale"])
@@ -111,7 +111,7 @@ func (m mpsocModel) Engine(sp *Spec, opts RunOptions, checkpoint []byte) (Engine
 
 	p, err := sp.modelParams(m)
 	if err != nil {
-		return nil, sp.errf("%v", err)
+		return nil, sp.errf("%w", err)
 	}
 	ps, err := sp.buildPowerSource()
 	if err != nil {
@@ -134,7 +134,7 @@ func (m mpsocModel) Engine(sp *Spec, opts RunOptions, checkpoint []byte) (Engine
 	if checkpoint != nil {
 		var st mpsocState
 		if err := json.Unmarshal(checkpoint, &st); err != nil {
-			return nil, sp.errf("checkpoint: %v", err)
+			return nil, sp.errf("checkpoint: %w", err)
 		}
 		restored, recBlob = st.Sim, st.Trace
 	}
@@ -144,7 +144,7 @@ func (m mpsocModel) Engine(sp *Spec, opts RunOptions, checkpoint []byte) (Engine
 		if recBlob != nil {
 			rec, err := trace.DecodeRecorder(recBlob)
 			if err != nil {
-				return nil, sp.errf("checkpoint trace: %v", err)
+				return nil, sp.errf("checkpoint trace: %w", err)
 			}
 			e.rec = rec
 		}
@@ -242,7 +242,7 @@ func (e *mpsocEngine) Report() (*ModelReport, error) {
 func (m mpsocModel) simulate(sp *Spec, rec *trace.Recorder, cancel <-chan struct{}) (mpsoc.SimResult, *mpsoc.Selector, error) {
 	p, err := sp.modelParams(m)
 	if err != nil {
-		return mpsoc.SimResult{}, nil, sp.errf("%v", err)
+		return mpsoc.SimResult{}, nil, sp.errf("%w", err)
 	}
 	ps, err := sp.buildPowerSource()
 	if err != nil {

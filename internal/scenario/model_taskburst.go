@@ -53,11 +53,15 @@ func (taskburstModel) Metrics() []MetricDoc {
 // task-burst case. first_fire is omitted when the node never fired.
 func taskburstMetrics(n *taskburst.Node, p registry.Params, duration float64) map[string]float64 {
 	m := map[string]float64{
-		"events":       float64(len(n.Events)),
-		"rate":         n.Rate(0, duration),
-		"v_fire":       n.VFire,
-		"v_floor":      n.VFloor,
-		"energy_drawn": float64(len(n.Events)) * p["taskenergy"] / p["eta"],
+		"events":  float64(len(n.Events)),
+		"rate":    n.Rate(0, duration),
+		"v_fire":  n.VFire,
+		"v_floor": n.VFloor,
+	}
+	// Validate pins eta to (0, 1], but the metrics contract is omit, not
+	// trust: a zero eta must drop the key rather than store +Inf.
+	if drawn := float64(len(n.Events)) * p["taskenergy"] / p["eta"]; !math.IsNaN(drawn) && !math.IsInf(drawn, 0) {
+		m["energy_drawn"] = drawn
 	}
 	if len(n.Events) > 0 {
 		m["first_fire"] = n.Events[0]
@@ -80,7 +84,7 @@ func (m taskburstModel) Validate(s *Spec) error {
 	}
 	p, err := s.modelParams(m)
 	if err != nil {
-		return s.errf("%v", err)
+		return s.errf("%w", err)
 	}
 	if p["taskenergy"] <= 0 {
 		return s.errf("model param taskenergy must be positive (got %g J)", p["taskenergy"])
@@ -112,7 +116,7 @@ func (taskburstModel) node(s *Spec, p registry.Params) (*taskburst.Node, error) 
 	task := taskburst.Task{Name: "task", EnergyJ: p["taskenergy"]}
 	n, err := taskburst.NewNode(float64(s.Storage.C), task, ps, p["vfloor"], p["vmax"], p["eta"])
 	if err != nil {
-		return nil, s.errf("%v", err)
+		return nil, s.errf("%w", err)
 	}
 	n.Cap.LeakR = float64(s.Storage.LeakR)
 	n.Cap.V = float64(s.Storage.V0)
@@ -141,7 +145,7 @@ func (m taskburstModel) Engine(sp *Spec, opts RunOptions, checkpoint []byte) (En
 
 	p, err := sp.modelParams(m)
 	if err != nil {
-		return nil, sp.errf("%v", err)
+		return nil, sp.errf("%w", err)
 	}
 	n, err := m.node(sp, p)
 	if err != nil {
@@ -161,7 +165,7 @@ func (m taskburstModel) Engine(sp *Spec, opts RunOptions, checkpoint []byte) (En
 	if checkpoint != nil {
 		var st taskburstState
 		if err := json.Unmarshal(checkpoint, &st); err != nil {
-			return nil, sp.errf("checkpoint: %v", err)
+			return nil, sp.errf("checkpoint: %w", err)
 		}
 		restored, recBlob = st.Sim, st.Trace
 	}
@@ -171,7 +175,7 @@ func (m taskburstModel) Engine(sp *Spec, opts RunOptions, checkpoint []byte) (En
 		if recBlob != nil {
 			rec, err := trace.DecodeRecorder(recBlob)
 			if err != nil {
-				return nil, sp.errf("checkpoint trace: %v", err)
+				return nil, sp.errf("checkpoint trace: %w", err)
 			}
 			e.rec = rec
 		}
@@ -277,7 +281,7 @@ func (e *taskburstEngine) Report() (*ModelReport, error) {
 func (m taskburstModel) simulate(sp *Spec, rec *trace.Recorder, cancel <-chan struct{}) (*taskburst.Node, error) {
 	p, err := sp.modelParams(m)
 	if err != nil {
-		return nil, sp.errf("%v", err)
+		return nil, sp.errf("%w", err)
 	}
 	n, err := m.node(sp, p)
 	if err != nil {

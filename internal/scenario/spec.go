@@ -193,7 +193,7 @@ func (s *Spec) errf(format string, args ...any) error {
 func (s *Spec) Validate() error {
 	m, err := LookupModel(s.ModelName())
 	if err != nil {
-		return s.errf("%v", err)
+		return s.errf("%w", err)
 	}
 	if s.Duration <= 0 {
 		return s.errf("duration must be positive (got %g s)", float64(s.Duration))
@@ -249,7 +249,7 @@ func (s *Spec) Validate() error {
 			probe := s.clone()
 			probe.Sweep = nil
 			if err := probe.Apply(ax.Param, pt); err != nil {
-				return s.errf("sweep[%d]: %v", i, err)
+				return s.errf("sweep[%d]: %w", i, err)
 			}
 			if err := probe.Validate(); err != nil {
 				return fmt.Errorf("sweep[%d] (%s=%v): %w", i, ax.Param, pt, err)

@@ -51,6 +51,8 @@ func (s *CheckpointStore) path(key string) string {
 }
 
 // Put persists (or replaces) the record for key.
+//
+//lint:allow mutexio the store mutex exists to serialise this directory, not the server
 func (s *CheckpointStore) Put(key string, spec, state []byte) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -71,6 +73,8 @@ func (s *CheckpointStore) Put(key string, spec, state []byte) error {
 }
 
 // Get returns the record for key, if present and intact.
+//
+//lint:allow mutexio the store mutex exists to serialise this directory, not the server
 func (s *CheckpointStore) Get(key string) (CheckpointRecord, bool) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -86,6 +90,8 @@ func (s *CheckpointStore) Get(key string) (CheckpointRecord, bool) {
 }
 
 // Delete removes the record for key, if present.
+//
+//lint:allow mutexio the store mutex exists to serialise this directory, not the server
 func (s *CheckpointStore) Delete(key string) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -95,6 +101,8 @@ func (s *CheckpointStore) Delete(key string) {
 // List returns every intact record, ordered by filename for
 // deterministic resume order. Corrupt files are skipped, not deleted —
 // a transient read error must not discard a resumable job.
+//
+//lint:allow mutexio the store mutex exists to serialise this directory, not the server
 func (s *CheckpointStore) List() []CheckpointRecord {
 	s.mu.Lock()
 	defer s.mu.Unlock()
